@@ -1,0 +1,59 @@
+"""Benchmark: regenerate Figure 7 (transfer learning) at SMALL scale.
+
+Paper reference: Figure 7 — number of selected cells on a target task with
+only 10 cycles of training data, comparing TRANSFER (initialise from the
+correlated source task and fine-tune), NO-TRANSFER, SHORT-TRAIN and RANDOM.
+
+Expected shape (paper): TRANSFER selects fewer cells than the other three
+strategies on the target task.
+"""
+
+import pytest
+
+from repro.experiments.config import SMALL_SCALE
+from repro.experiments.figure7 import run_figure7
+
+from benchmarks.conftest import write_result
+
+
+@pytest.fixture(scope="module")
+def figure7_result():
+    return run_figure7(SMALL_SCALE, seed=0)
+
+
+def test_bench_figure7(benchmark, figure7_result):
+    result = benchmark.pedantic(
+        run_figure7,
+        kwargs=dict(
+            scale=SMALL_SCALE,
+            directions=(("temperature", "humidity"),),
+            strategies=("TRANSFER", "RANDOM"),
+            seed=1,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("figure7", figure7_result.as_dicts() + result.as_dicts())
+
+    rows = figure7_result.rows
+    # Both directions x four strategies.
+    assert len(rows) == 2 * 4
+    assert {row.strategy for row in rows} == {"TRANSFER", "NO-TRANSFER", "SHORT-TRAIN", "RANDOM"}
+
+
+def test_figure7_transfer_not_worse_than_baselines(figure7_result):
+    """The paper's Figure-7 ordering: TRANSFER needs the fewest cells.
+
+    At the reduced benchmark scale a single direction is noisy, so the
+    ordering is checked on the average over both transfer directions
+    (temperature→humidity and humidity→temperature), with a small tolerance.
+    """
+
+    def mean_over_directions(strategy: str) -> float:
+        rows = [row for row in figure7_result.rows if row.strategy == strategy]
+        return sum(row.mean_selected_per_cycle for row in rows) / len(rows)
+
+    transfer = mean_over_directions("TRANSFER")
+    assert transfer <= mean_over_directions("SHORT-TRAIN") * 1.05
+    assert transfer <= mean_over_directions("NO-TRANSFER") * 1.05
+    assert transfer <= mean_over_directions("RANDOM") * 1.10

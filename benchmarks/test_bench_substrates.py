@@ -1,0 +1,87 @@
+"""Micro-benchmarks of the substrates DR-Cell is built on.
+
+These are conventional pytest-benchmark micro-benchmarks (many rounds) for
+the hot paths: compressive-sensing completion, the LOO Bayesian assessment,
+DRQN forward/backward passes, and one environment step.  They are not tied
+to a paper figure; they exist so that performance regressions in the
+substrates are visible independently of the full experiments.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_sensorscope
+from repro.inference.compressive import CompressiveSensingInference
+from repro.mcs.environment import SparseMCSEnvironment
+from repro.nn.network import RecurrentQNetwork
+from repro.quality.epsilon_p import QualityRequirement
+from repro.quality.loo_bayesian import LeaveOneOutBayesianAssessor
+from repro.rl.drqn import build_drqn_agent
+
+
+@pytest.fixture(scope="module")
+def observed_matrix():
+    dataset = generate_sensorscope("temperature", n_cells=20, duration_days=1.0, seed=0)
+    observed = dataset.data[:, :12].copy()
+    rng = np.random.default_rng(0)
+    mask = rng.random(observed.shape) < 0.6
+    observed[mask] = np.nan
+    observed[::4, -1] = dataset.data[::4, 11]
+    return observed
+
+
+def test_bench_compressive_sensing_completion(benchmark, observed_matrix):
+    inference = CompressiveSensingInference(rank=3, iterations=10, seed=0)
+    completed = benchmark(inference.complete, observed_matrix)
+    assert not np.isnan(completed).any()
+
+
+def test_bench_loo_bayesian_assessment(benchmark, observed_matrix):
+    assessor = LeaveOneOutBayesianAssessor(min_observations=3, max_loo_cells=6, history_window=12)
+    inference = CompressiveSensingInference(rank=3, iterations=8, seed=0)
+    requirement = QualityRequirement(epsilon=0.5, p=0.9, metric="mae")
+    probability = benchmark(
+        assessor.probability_error_below, observed_matrix, 11, requirement, inference
+    )
+    assert 0.0 <= probability <= 1.0
+
+
+def test_bench_drqn_forward(benchmark):
+    network = RecurrentQNetwork(57, 2, lstm_hidden=64, dense_hidden=(64,), seed=0)
+    states = np.random.default_rng(0).integers(0, 2, size=(32, 2, 57)).astype(float)
+    q = benchmark(network.predict, states)
+    assert q.shape == (32, 57)
+
+
+def test_bench_drqn_train_step(benchmark):
+    network = RecurrentQNetwork(57, 2, lstm_hidden=64, dense_hidden=(64,), seed=0)
+    rng = np.random.default_rng(0)
+    states = rng.integers(0, 2, size=(32, 2, 57)).astype(float)
+    actions = rng.integers(0, 57, size=32)
+    targets = rng.normal(size=32)
+    loss = benchmark(network.train_step, states, actions, targets)
+    assert np.isfinite(loss)
+
+
+def test_bench_environment_step(benchmark):
+    dataset = generate_sensorscope("temperature", n_cells=20, duration_days=1.0, seed=0)
+    environment = SparseMCSEnvironment(
+        dataset,
+        QualityRequirement(epsilon=0.5, p=0.9, metric="mae"),
+        window=2,
+        min_cells_before_check=2,
+        history_window=8,
+        seed=0,
+    )
+    agent = build_drqn_agent(20, 2, lstm_hidden=32, dense_hidden=(32,), seed=0)
+
+    state = environment.reset()
+
+    def one_step():
+        nonlocal state
+        mask = environment.valid_action_mask()
+        action = agent.select_action(state, mask=mask)
+        next_state, _, done, _ = environment.step(action)
+        state = environment.reset() if done else next_state
+
+    benchmark(one_step)

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table 1 (dataset statistics) at full dataset scale.
+
+Paper reference: Table 1 — statistics of the two evaluation datasets.
+This also serves as the dataset-generation throughput benchmark.
+"""
+
+from repro.experiments.table1 import run_table1
+
+from benchmarks.conftest import write_result
+
+
+def test_bench_table1(benchmark):
+    rows = benchmark(run_table1, seed=0)
+    write_result("table1", [row.as_dict() for row in rows])
+
+    assert len(rows) == 3
+    by_data = {row.data: row for row in rows}
+    # Calibration against the paper's Table 1 (synthetic substitutes).
+    assert abs(by_data["temperature"].mean - 6.04) < 0.1
+    assert abs(by_data["temperature"].std - 1.87) < 0.1
+    assert abs(by_data["humidity"].mean - 84.52) < 1.0
+    assert abs(by_data["PM2.5"].mean - 79.11) / 79.11 < 0.2
+    assert by_data["temperature"].n_cells == 57
+    assert by_data["PM2.5"].n_cells == 36

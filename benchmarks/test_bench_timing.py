@@ -1,0 +1,23 @@
+"""Benchmark: DR-Cell training wall-clock time (paper §5.4, last paragraph).
+
+The paper reports 2–4 hours of off-line TensorFlow training on a Xeon
+server.  This benchmark measures the analogous quantity for the NumPy DRQN
+at SMALL scale and records the throughput (environment steps per second)
+from which larger scales can be extrapolated.
+"""
+
+from repro.experiments.config import SMALL_SCALE
+from repro.experiments.timing import run_timing
+
+from benchmarks.conftest import write_result
+
+
+def test_bench_training_time(benchmark):
+    result = benchmark.pedantic(
+        run_timing, kwargs=dict(scale=SMALL_SCALE, seed=0), rounds=1, iterations=1
+    )
+    write_result("timing", [result.as_dict()])
+
+    assert result.wall_clock_seconds > 0
+    assert result.total_steps > 0
+    assert result.episodes == SMALL_SCALE.episodes

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+only so that ``pip install -e .`` keeps working on environments without the
+``wheel`` package (legacy editable installs go through ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

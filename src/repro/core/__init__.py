@@ -1,0 +1,47 @@
+"""DR-Cell: the paper's deep-reinforcement-learning cell-selection mechanism.
+
+The public entry points are:
+
+* :class:`~repro.core.config.DRCellConfig` — all hyper-parameters of the
+  state/reward model and the DRQN training loop in one place.
+* :class:`~repro.core.trainer.DRCellTrainer` — trains a
+  :class:`~repro.core.drcell.DRCellAgent` on a preliminary-study dataset
+  (the training stage of the paper's evaluation protocol).
+* :class:`~repro.core.drcell.DRCellAgent` /
+  :class:`~repro.core.drcell.DRCellPolicy` — the trained agent and its
+  campaign-facing greedy policy.
+* :class:`~repro.core.tabular.TabularDRCell` — the tabular-Q-learning
+  variant for small sensing areas (paper §4.2).
+* :func:`~repro.core.transfer.transfer_train` — the transfer-learning
+  procedure for correlated tasks in the same area (paper §4.4).
+* :class:`~repro.core.online.OnlineDRCellPolicy` — the paper's future-work
+  extension: learn the cell-selection policy online, during the campaign,
+  with no preliminary study.
+"""
+
+from repro.core.config import DRCellConfig
+from repro.core.state import DRCellStateModel, state_space_size
+from repro.core.action import ActionSpace
+from repro.core.reward import DRCellRewardModel
+from repro.core.drcell import DRCellAgent, DRCellPolicy
+from repro.core.tabular import TabularDRCell
+from repro.core.trainer import DRCellTrainer, TrainingReport
+from repro.core.transfer import transfer_train, initialize_from_source
+from repro.core.online import OnlineDRCellPolicy, build_online_policy
+
+__all__ = [
+    "DRCellConfig",
+    "DRCellStateModel",
+    "state_space_size",
+    "ActionSpace",
+    "DRCellRewardModel",
+    "DRCellAgent",
+    "DRCellPolicy",
+    "TabularDRCell",
+    "DRCellTrainer",
+    "TrainingReport",
+    "transfer_train",
+    "initialize_from_source",
+    "OnlineDRCellPolicy",
+    "build_online_policy",
+]

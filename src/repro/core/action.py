@@ -1,0 +1,65 @@
+"""The DR-Cell action model (paper §4.1, item 2).
+
+The action set is always the full set of cells ``{0, …, m−1}``; cells
+already selected in the current cycle are assigned zero probability, which
+this module expresses as a boolean validity mask.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+
+class ActionSpace:
+    """The discrete action space of cell selection for an ``n_cells`` area."""
+
+    def __init__(self, n_cells: int) -> None:
+        self.n_cells = check_positive_int(n_cells, "n_cells")
+
+    def __len__(self) -> int:
+        return self.n_cells
+
+    def __contains__(self, action: int) -> bool:
+        return 0 <= int(action) < self.n_cells
+
+    def all_actions(self) -> np.ndarray:
+        """All cell indices, i.e. the complete action set A."""
+        return np.arange(self.n_cells)
+
+    def mask_from_sensed(self, sensed: Iterable[int] | np.ndarray) -> np.ndarray:
+        """Validity mask given the cells already sensed in the current cycle.
+
+        Accepts either a boolean per-cell vector or an iterable of cell
+        indices; returns a boolean vector that is True for selectable cells.
+        """
+        sensed = np.asarray(list(sensed) if not isinstance(sensed, np.ndarray) else sensed)
+        mask = np.ones(self.n_cells, dtype=bool)
+        if sensed.size == 0:
+            return mask
+        if sensed.dtype == bool:
+            if sensed.shape != (self.n_cells,):
+                raise ValueError(
+                    f"boolean sensed vector must have shape ({self.n_cells},), got {sensed.shape}"
+                )
+            return ~sensed
+        indices = sensed.astype(int)
+        if indices.min() < 0 or indices.max() >= self.n_cells:
+            raise ValueError("sensed cell index out of range")
+        mask[indices] = False
+        return mask
+
+    def validate(self, action: int, mask: np.ndarray) -> int:
+        """Check that ``action`` is a currently valid cell and return it as int."""
+        action = int(action)
+        if action not in self:
+            raise ValueError(f"action {action} out of range [0, {self.n_cells})")
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.n_cells,):
+            raise ValueError(f"mask must have shape ({self.n_cells},), got {mask.shape}")
+        if not mask[action]:
+            raise ValueError(f"action {action} is not valid under the current mask")
+        return action

@@ -1,0 +1,166 @@
+"""The DR-Cell agent and its campaign-facing policy.
+
+:class:`DRCellAgent` bundles a trained Q-network agent with the state model
+it was trained under; :class:`DRCellPolicy` adapts it to the
+:class:`~repro.mcs.policies.CellSelectionPolicy` interface so that the same
+campaign runner evaluates DR-Cell and the baselines identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.core.action import ActionSpace
+from repro.core.config import DRCellConfig
+from repro.core.state import DRCellStateModel
+from repro.nn.serialization import load_weights, save_weights
+from repro.rl.dqn import DQNAgent
+from repro.rl.drqn import build_dqn_agent, build_drqn_agent
+from repro.rl.schedules import LinearDecaySchedule
+from repro.mcs.policies import CellSelectionPolicy
+from repro.utils.seeding import derive_rng
+
+
+@dataclass
+class DRCellAgent:
+    """A (possibly trained) DR-Cell agent.
+
+    Attributes
+    ----------
+    agent:
+        The underlying deep Q-learning agent (recurrent or feed-forward).
+    state_model:
+        The state encoder the agent was trained with.
+    config:
+        The configuration used to build/train the agent.
+    training_info:
+        Free-form training metadata (episodes run, final exploration rate,
+        source task for transferred agents, wall-clock time).
+    """
+
+    agent: DQNAgent
+    state_model: DRCellStateModel
+    config: DRCellConfig
+    training_info: Dict[str, object] = field(default_factory=dict)
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def build(cls, n_cells: int, config: Optional[DRCellConfig] = None) -> "DRCellAgent":
+        """Build an untrained agent for an area with ``n_cells`` cells."""
+        config = config or DRCellConfig()
+        exploration = LinearDecaySchedule(
+            config.exploration_start,
+            config.exploration_end,
+            config.exploration_decay_steps,
+        )
+        if config.recurrent:
+            agent = build_drqn_agent(
+                n_cells,
+                config.window,
+                lstm_hidden=config.lstm_hidden,
+                dense_hidden=config.dense_hidden,
+                learning_rate=config.learning_rate,
+                config=config.dqn,
+                exploration=exploration,
+                seed=derive_rng(config.seed, 0),
+            )
+        else:
+            agent = build_dqn_agent(
+                n_cells,
+                config.window,
+                hidden_dims=config.dense_hidden or (64, 64),
+                learning_rate=config.learning_rate,
+                config=config.dqn,
+                exploration=exploration,
+                seed=derive_rng(config.seed, 0),
+            )
+        return cls(
+            agent=agent,
+            state_model=DRCellStateModel(n_cells, config.window),
+            config=config,
+        )
+
+    # -- basic properties -------------------------------------------------------
+
+    @property
+    def n_cells(self) -> int:
+        """Number of cells of the sensing area the agent was built for."""
+        return self.state_model.n_cells
+
+    @property
+    def window(self) -> int:
+        """State window length k."""
+        return self.state_model.window
+
+    @property
+    def action_space(self) -> ActionSpace:
+        """The cell-selection action space."""
+        return ActionSpace(self.n_cells)
+
+    # -- acting ------------------------------------------------------------------
+
+    def q_values(self, state: np.ndarray) -> np.ndarray:
+        """Q-values of every cell under ``state``."""
+        return self.agent.q_values(state)
+
+    def select_cell(
+        self,
+        observed_matrix: np.ndarray,
+        cycle: int,
+        sensed_mask: np.ndarray,
+        *,
+        greedy: bool = True,
+    ) -> int:
+        """Select the next cell from a campaign's observation matrix."""
+        state = self.state_model.from_observations(observed_matrix, cycle, sensed_mask)
+        mask = self.action_space.mask_from_sensed(np.asarray(sensed_mask, dtype=bool))
+        return self.agent.select_action(state, mask=mask, greedy=greedy)
+
+    def policy(self, *, greedy: bool = True) -> "DRCellPolicy":
+        """A campaign policy view of this agent."""
+        return DRCellPolicy(self, greedy=greedy)
+
+    # -- weights -------------------------------------------------------------------
+
+    def get_weights(self):
+        """Online Q-network weights (layer-ordered list of name→array dicts)."""
+        return self.agent.get_weights()
+
+    def set_weights(self, weights) -> None:
+        """Load Q-network weights into both the online and target networks."""
+        self.agent.set_weights(weights)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Persist the Q-network weights to an ``.npz`` file."""
+        return save_weights(self.get_weights(), path)
+
+    def load(self, path: Union[str, Path]) -> None:
+        """Load Q-network weights previously written by :meth:`save`."""
+        self.set_weights(load_weights(path))
+
+
+class DRCellPolicy(CellSelectionPolicy):
+    """Greedy (or δ-greedy) campaign policy backed by a :class:`DRCellAgent`."""
+
+    name = "DR-Cell"
+
+    def __init__(self, agent: DRCellAgent, *, greedy: bool = True, name: Optional[str] = None) -> None:
+        self.agent = agent
+        self.greedy = bool(greedy)
+        if name is not None:
+            self.name = name
+
+    def select_cell(
+        self,
+        observed_matrix: np.ndarray,
+        cycle: int,
+        sensed_mask: np.ndarray,
+    ) -> int:
+        return self.agent.select_cell(
+            observed_matrix, cycle, sensed_mask, greedy=self.greedy
+        )

@@ -1,0 +1,44 @@
+"""The DR-Cell reward model (paper §4.1, item 3).
+
+Each data submission costs ``c``; when a submission makes the current cycle
+satisfy the inference-quality requirement the agent additionally receives the
+bonus ``R``, so the per-step reward is ``R·q − c`` with ``q ∈ {0, 1}``.
+Minimising the number of submissions per cycle is then equivalent to
+maximising the episode return.
+
+The arithmetic is shared with the training environment
+(:class:`repro.mcs.environment.RewardModel`); :class:`DRCellRewardModel`
+wraps it with the paper's defaults and a couple of analysis helpers used by
+the tests and the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.mcs.environment import RewardModel
+from repro.utils.validation import check_positive_int
+
+
+class DRCellRewardModel(RewardModel):
+    """Reward ``q·bonus − cost`` with the paper's default bonus (the cell count)."""
+
+    @classmethod
+    def for_area(cls, n_cells: int, *, cost: float = 1.0) -> "DRCellRewardModel":
+        """The paper's choice: bonus equal to the total number of cells."""
+        check_positive_int(n_cells, "n_cells")
+        return cls(bonus=float(n_cells), cost=cost)
+
+    def cycle_return(self, n_selected: int) -> float:
+        """Undiscounted return of a cycle that needed ``n_selected`` submissions.
+
+        Only the final submission earns the bonus, so the return is
+        ``bonus − n_selected·cost``; fewer submissions ⇒ larger return, which
+        is exactly the objective of the cell-selection problem.
+        """
+        check_positive_int(n_selected, "n_selected")
+        return self.bonus - n_selected * self.cost
+
+    def break_even_selections(self) -> float:
+        """Number of submissions at which a cycle's return crosses zero."""
+        if self.cost == 0:
+            return float("inf")
+        return self.bonus / self.cost

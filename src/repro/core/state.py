@@ -1,0 +1,93 @@
+"""The DR-Cell state model (paper §4.1, item 1).
+
+The state is the cell-selection history of the ``window`` most recent
+cycles, a binary matrix ``S = [s_{-k+1}, …, s_{-1}, s_0]`` where ``s_0`` is
+the (partial) selection vector of the current cycle.  The encoding itself is
+shared with the training environment
+(:class:`repro.mcs.environment.StateEncoder`); this module adds the
+campaign-side view — building the state from the observation matrix a
+:class:`~repro.mcs.policies.CellSelectionPolicy` receives — and the
+state-space-size computation that motivates the move from the Q-table to a
+deep Q-network.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mcs.environment import StateEncoder
+from repro.utils.validation import check_positive_int
+
+
+def state_space_size(n_cells: int, window: int) -> int:
+    """Number of distinct states, ``2^(window · n_cells)`` (paper §4.1).
+
+    For 50 cells and a window of two cycles this is already 2^100 — the
+    number that makes tabular Q-learning intractable and motivates the DRQN.
+    """
+    check_positive_int(n_cells, "n_cells")
+    check_positive_int(window, "window")
+    return 2 ** (window * n_cells)
+
+
+class DRCellStateModel:
+    """Builds DR-Cell states from either environment or campaign data.
+
+    Parameters
+    ----------
+    n_cells:
+        Number of cells in the sensing area.
+    window:
+        Number of recent cycles k kept in the state.
+    """
+
+    def __init__(self, n_cells: int, window: int) -> None:
+        self.encoder = StateEncoder(n_cells, window)
+
+    @property
+    def n_cells(self) -> int:
+        return self.encoder.n_cells
+
+    @property
+    def window(self) -> int:
+        return self.encoder.window
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Shape ``(window, n_cells)`` of the encoded state."""
+        return self.encoder.shape
+
+    @property
+    def n_states(self) -> int:
+        """Size of the discrete state space."""
+        return state_space_size(self.n_cells, self.window)
+
+    def from_selection_history(
+        self, selection_matrix: np.ndarray, cycle: int, current: np.ndarray
+    ) -> np.ndarray:
+        """Encode from an explicit 0/1 selection matrix plus the current vector."""
+        return self.encoder.encode(selection_matrix, cycle, current)
+
+    def from_observations(
+        self, observed_matrix: np.ndarray, cycle: int, sensed_mask: np.ndarray
+    ) -> np.ndarray:
+        """Encode from a campaign's observation matrix (NaN = unobserved).
+
+        Past cycles' selection vectors are recovered as "was a value
+        observed", which is exactly the cell-selection matrix of Definition 4;
+        the current cycle's vector is the ``sensed_mask`` the campaign passes
+        to the policy.
+        """
+        observed_matrix = np.asarray(observed_matrix, dtype=float)
+        if observed_matrix.shape[0] != self.n_cells:
+            raise ValueError(
+                f"observation matrix has {observed_matrix.shape[0]} cells, expected {self.n_cells}"
+            )
+        if not 0 <= cycle < observed_matrix.shape[1] + 1:
+            raise IndexError(f"cycle {cycle} outside the observation matrix")
+        past_columns = min(cycle, observed_matrix.shape[1])
+        selection_matrix = np.zeros((self.n_cells, max(past_columns, 1)), dtype=int)
+        if past_columns > 0:
+            selection_matrix = (~np.isnan(observed_matrix[:, :past_columns])).astype(int)
+        current = np.asarray(sensed_mask, dtype=float)
+        return self.encoder.encode(selection_matrix, cycle, current)

@@ -1,0 +1,163 @@
+"""Tabular DR-Cell (paper §4.2, Algorithm 1 and Figure 5).
+
+For sensing areas with only a handful of cells the Q-function can be kept as
+an explicit table over the 2^(k·m) states.  This variant exists both because
+the paper describes it as the conceptual stepping stone to the DRQN and
+because it is the exact-arithmetic reference the unit tests check the
+Figure-5 walk-through against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.action import ActionSpace
+from repro.core.config import DRCellConfig
+from repro.core.state import DRCellStateModel, state_space_size
+from repro.datasets.base import SensingDataset
+from repro.mcs.environment import RewardModel, SparseMCSEnvironment
+from repro.mcs.policies import CellSelectionPolicy
+from repro.quality.epsilon_p import QualityRequirement
+from repro.rl.qlearning import TabularQLearner, TabularQLearningConfig
+from repro.rl.schedules import LinearDecaySchedule
+from repro.utils.logging import get_logger
+from repro.utils.seeding import derive_rng
+from repro.utils.validation import check_positive_int
+
+logger = get_logger(__name__)
+
+#: Above this many table entries the tabular variant refuses to run and the
+#: caller should use the DRQN instead (this is the paper's point about the
+#: state-space explosion).
+MAX_TRACTABLE_STATES = 2**22
+
+
+@dataclass
+class TabularDRCell:
+    """Tabular-Q-learning DR-Cell for small sensing areas.
+
+    Attributes
+    ----------
+    learner:
+        The underlying Q-table learner.
+    state_model:
+        State encoder shared with the deep variant.
+    config:
+        The DR-Cell configuration (only the state/reward fields are used).
+    """
+
+    learner: TabularQLearner
+    state_model: DRCellStateModel
+    config: DRCellConfig
+    training_info: Dict[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        n_cells: int,
+        config: Optional[DRCellConfig] = None,
+        *,
+        learning_rate: float = 0.1,
+        discount: float = 0.95,
+    ) -> "TabularDRCell":
+        """Build an untrained tabular agent, refusing intractably large state spaces."""
+        config = config or DRCellConfig()
+        n_states = state_space_size(n_cells, config.window)
+        if n_states > MAX_TRACTABLE_STATES:
+            raise ValueError(
+                f"state space of size 2^{config.window * n_cells} is intractable for "
+                "tabular Q-learning; use the DRQN variant (DRCellAgent) instead"
+            )
+        learner = TabularQLearner(
+            n_cells,
+            TabularQLearningConfig(learning_rate=learning_rate, discount=discount),
+            exploration=LinearDecaySchedule(
+                config.exploration_start,
+                config.exploration_end,
+                config.exploration_decay_steps,
+            ),
+            seed=derive_rng(config.seed, 3),
+        )
+        return cls(learner=learner, state_model=DRCellStateModel(n_cells, config.window), config=config)
+
+    # -- training -----------------------------------------------------------------
+
+    def train(
+        self,
+        dataset: SensingDataset,
+        requirement: QualityRequirement,
+        *,
+        episodes: Optional[int] = None,
+    ) -> "TabularDRCell":
+        """Train on a ground-truth dataset with the training-stage environment."""
+        episodes = check_positive_int(
+            episodes if episodes is not None else self.config.episodes, "episodes"
+        )
+        environment = SparseMCSEnvironment(
+            dataset,
+            requirement,
+            window=self.config.window,
+            reward_model=RewardModel(
+                bonus=self.config.resolve_bonus(dataset.n_cells), cost=self.config.cost
+            ),
+            min_cells_before_check=self.config.min_cells_before_check,
+            history_window=self.config.history_window,
+            max_episode_cycles=self.config.max_episode_cycles,
+            seed=derive_rng(self.config.seed, 4),
+        )
+        rewards = []
+        for episode in range(episodes):
+            total_reward, steps = self.learner.train_episode(environment)
+            rewards.append(total_reward)
+            logger.debug("tabular episode %d: reward=%.2f steps=%d", episode, total_reward, steps)
+        self.training_info.update(
+            {
+                "episodes": episodes,
+                "mean_episode_reward": float(np.mean(rewards)),
+                "states_seen": self.learner.n_states_seen,
+            }
+        )
+        return self
+
+    # -- acting ---------------------------------------------------------------------
+
+    @property
+    def n_cells(self) -> int:
+        return self.state_model.n_cells
+
+    def select_cell(
+        self,
+        observed_matrix: np.ndarray,
+        cycle: int,
+        sensed_mask: np.ndarray,
+        *,
+        greedy: bool = True,
+    ) -> int:
+        state = self.state_model.from_observations(observed_matrix, cycle, sensed_mask)
+        mask = ActionSpace(self.n_cells).mask_from_sensed(np.asarray(sensed_mask, dtype=bool))
+        return self.learner.select_action(state, mask=mask, greedy=greedy)
+
+    def policy(self, *, greedy: bool = True) -> "TabularDRCellPolicy":
+        """A campaign policy view of this tabular agent."""
+        return TabularDRCellPolicy(self, greedy=greedy)
+
+
+class TabularDRCellPolicy(CellSelectionPolicy):
+    """Campaign policy backed by a :class:`TabularDRCell`."""
+
+    name = "DR-Cell (tabular)"
+
+    def __init__(self, agent: TabularDRCell, *, greedy: bool = True) -> None:
+        self.agent = agent
+        self.greedy = bool(greedy)
+
+    def select_cell(
+        self,
+        observed_matrix: np.ndarray,
+        cycle: int,
+        sensed_mask: np.ndarray,
+    ) -> int:
+        return self.agent.select_cell(observed_matrix, cycle, sensed_mask, greedy=self.greedy)

@@ -1,0 +1,169 @@
+"""Training DR-Cell on a preliminary-study dataset.
+
+The paper's evaluation protocol (§5.3) assumes the organiser runs a 2-day
+preliminary study during which every cell's data is collected; that data is
+the ground truth the training environment uses to compute exact rewards.
+:class:`DRCellTrainer` wraps the environment construction, the deep
+Q-learning loop, and a :class:`TrainingReport` of what happened.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.config import DRCellConfig
+from repro.core.drcell import DRCellAgent
+from repro.datasets.base import SensingDataset
+from repro.inference.base import InferenceAlgorithm
+from repro.mcs.environment import RewardModel, SparseMCSEnvironment
+from repro.quality.epsilon_p import QualityRequirement
+from repro.rl.dqn import EpisodeStats
+from repro.utils.logging import get_logger
+from repro.utils.seeding import derive_rng
+from repro.utils.validation import check_positive_int
+
+logger = get_logger(__name__)
+
+
+@dataclass
+class TrainingReport:
+    """Summary of one DR-Cell training run."""
+
+    episodes: int
+    total_steps: int
+    wall_clock_seconds: float
+    episode_rewards: List[float] = field(default_factory=list)
+    episode_selections: List[float] = field(default_factory=list)
+
+    @property
+    def mean_episode_reward(self) -> float:
+        """Average undiscounted return per episode."""
+        return float(np.mean(self.episode_rewards)) if self.episode_rewards else float("nan")
+
+    @property
+    def final_episode_reward(self) -> float:
+        """Return of the last training episode."""
+        return self.episode_rewards[-1] if self.episode_rewards else float("nan")
+
+    @property
+    def mean_selections_per_cycle_last_episode(self) -> float:
+        """Average submissions per cycle in the final episode (training-time proxy
+        of the paper's headline metric)."""
+        return self.episode_selections[-1] if self.episode_selections else float("nan")
+
+
+class DRCellTrainer:
+    """Builds the training environment and runs the deep Q-learning loop.
+
+    Parameters
+    ----------
+    config:
+        DR-Cell hyper-parameters.
+    inference:
+        Inference algorithm used inside the training environment's reward
+        computation; defaults to compressive sensing.
+    """
+
+    def __init__(
+        self,
+        config: Optional[DRCellConfig] = None,
+        *,
+        inference: Optional[InferenceAlgorithm] = None,
+    ) -> None:
+        self.config = config or DRCellConfig()
+        self.inference = inference
+
+    def build_environment(
+        self, dataset: SensingDataset, requirement: QualityRequirement
+    ) -> SparseMCSEnvironment:
+        """The training-stage environment for ``dataset`` under ``requirement``."""
+        return SparseMCSEnvironment(
+            dataset,
+            requirement,
+            window=self.config.window,
+            inference=self.inference,
+            reward_model=RewardModel(
+                bonus=self.config.resolve_bonus(dataset.n_cells),
+                cost=self.config.cost,
+            ),
+            min_cells_before_check=self.config.min_cells_before_check,
+            history_window=self.config.history_window,
+            max_episode_cycles=self.config.max_episode_cycles,
+            seed=derive_rng(self.config.seed, 11),
+        )
+
+    def train(
+        self,
+        dataset: SensingDataset,
+        requirement: QualityRequirement,
+        *,
+        agent: Optional[DRCellAgent] = None,
+        episodes: Optional[int] = None,
+    ) -> tuple[DRCellAgent, TrainingReport]:
+        """Train (or continue training) a DR-Cell agent on ``dataset``.
+
+        Parameters
+        ----------
+        dataset:
+            Preliminary-study data with every cell observed (ground truth).
+        requirement:
+            The (ε, p)-quality requirement of the task.
+        agent:
+            An existing agent to continue training (used by transfer
+            learning); a fresh agent is built when omitted.
+        episodes:
+            Override the number of training episodes from the config.
+
+        Returns
+        -------
+        tuple
+            ``(trained_agent, report)``.
+        """
+        episodes = check_positive_int(
+            episodes if episodes is not None else self.config.episodes, "episodes"
+        )
+        if agent is None:
+            agent = DRCellAgent.build(dataset.n_cells, self.config)
+        elif agent.n_cells != dataset.n_cells:
+            raise ValueError(
+                f"agent was built for {agent.n_cells} cells but the dataset has {dataset.n_cells}"
+            )
+
+        environment = self.build_environment(dataset, requirement)
+        episode_rewards: List[float] = []
+        episode_selections: List[float] = []
+        start = time.perf_counter()
+        for episode in range(episodes):
+            stats: EpisodeStats = agent.agent.train_episode(environment)
+            episode_rewards.append(stats.total_reward)
+            cycles = max(1, environment._episode_cycles)
+            episode_selections.append(stats.steps / cycles)
+            logger.info(
+                "DR-Cell training episode %d/%d: reward=%.1f selections/cycle=%.2f",
+                episode + 1,
+                episodes,
+                stats.total_reward,
+                stats.steps / cycles,
+            )
+        elapsed = time.perf_counter() - start
+
+        report = TrainingReport(
+            episodes=episodes,
+            total_steps=agent.agent.total_steps,
+            wall_clock_seconds=elapsed,
+            episode_rewards=episode_rewards,
+            episode_selections=episode_selections,
+        )
+        agent.training_info.update(
+            {
+                "dataset": dataset.name,
+                "episodes_trained": agent.training_info.get("episodes_trained", 0) + episodes,
+                "last_training_seconds": elapsed,
+                "requirement": requirement.describe(),
+            }
+        )
+        return agent, report

@@ -1,0 +1,99 @@
+"""Transfer learning between correlated sensing tasks (paper §4.4).
+
+When two tasks in the same area are correlated (temperature and humidity),
+the Q-function learned for the source task is a good initialisation for the
+target task: copy the source DRQN's weights into a fresh target agent and
+fine-tune it on the target task's small amount of training data.  The paper's
+Figure-7 experiment compares this TRANSFER strategy against NO-TRANSFER
+(use the source Q-function directly), SHORT-TRAIN (train from scratch on the
+small target data), and RANDOM selection.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.config import DRCellConfig
+from repro.core.drcell import DRCellAgent
+from repro.core.trainer import DRCellTrainer, TrainingReport
+from repro.datasets.base import SensingDataset
+from repro.quality.epsilon_p import QualityRequirement
+from repro.utils.validation import check_positive_int
+
+
+def initialize_from_source(source: DRCellAgent, config: Optional[DRCellConfig] = None) -> DRCellAgent:
+    """Build a target-task agent initialised with the source agent's weights.
+
+    The two tasks must share the sensing area (same number of cells) and the
+    same state window, because the Q-network's input and output layouts are
+    determined by them.
+    """
+    config = config or source.config
+    if config.window != source.window:
+        raise ValueError(
+            f"target window {config.window} differs from source window {source.window}; "
+            "transfer requires identical state layouts"
+        )
+    if config.recurrent != source.config.recurrent:
+        raise ValueError("source and target must use the same network architecture")
+    if (
+        config.lstm_hidden != source.config.lstm_hidden
+        or tuple(config.dense_hidden) != tuple(source.config.dense_hidden)
+    ):
+        raise ValueError("source and target must use identical network sizes for weight transfer")
+    target = DRCellAgent.build(source.n_cells, config)
+    target.set_weights(source.get_weights())
+    target.training_info["transferred_from"] = source.training_info.get("dataset", "source-task")
+    return target
+
+
+def transfer_train(
+    source: DRCellAgent,
+    target_dataset: SensingDataset,
+    target_requirement: QualityRequirement,
+    *,
+    config: Optional[DRCellConfig] = None,
+    fine_tune_episodes: int = 3,
+    trainer: Optional[DRCellTrainer] = None,
+) -> Tuple[DRCellAgent, TrainingReport]:
+    """The TRANSFER strategy: initialise from the source task, fine-tune on the target.
+
+    Parameters
+    ----------
+    source:
+        Agent trained on the source task (adequate training data).
+    target_dataset:
+        The target task's *small* training dataset (the paper uses 10 cycles).
+    target_requirement:
+        The target task's (ε, p)-quality requirement.
+    config:
+        Target-task configuration; defaults to the source agent's
+        configuration.
+    fine_tune_episodes:
+        Number of fine-tuning episodes over the small target dataset.
+    trainer:
+        Optionally reuse an existing trainer (e.g. to share an inference
+        algorithm); one is built from ``config`` otherwise.
+
+    Returns
+    -------
+    tuple
+        ``(fine_tuned_agent, fine_tuning_report)``.
+    """
+    check_positive_int(fine_tune_episodes, "fine_tune_episodes")
+    if target_dataset.n_cells != source.n_cells:
+        raise ValueError(
+            f"target dataset has {target_dataset.n_cells} cells but the source agent "
+            f"was trained on {source.n_cells}; transfer requires the same sensing area"
+        )
+    config = config or source.config
+    target_agent = initialize_from_source(source, config)
+    trainer = trainer or DRCellTrainer(config)
+    agent, report = trainer.train(
+        target_dataset,
+        target_requirement,
+        agent=target_agent,
+        episodes=fine_tune_episodes,
+    )
+    agent.training_info["strategy"] = "TRANSFER"
+    return agent, report

@@ -1,0 +1,48 @@
+"""Air Quality Index (AQI) categorisation for the PM2.5 task.
+
+The U-Air experiment infers the *category* of the air quality index rather
+than the raw PM2.5 value, and measures classification error over the six
+standard categories (paper §5.1, footnote 4).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+#: Upper bounds of the first five AQI categories (µg/m³); readings above the
+#: last bound fall into the sixth ("Hazardous") category.
+AQI_BREAKPOINTS: tuple[float, ...] = (50.0, 100.0, 150.0, 200.0, 300.0)
+
+#: Human-readable category names, index-aligned with the digitised categories.
+AQI_CATEGORY_NAMES: tuple[str, ...] = (
+    "Good",
+    "Moderate",
+    "Unhealthy for Sensitive Groups",
+    "Unhealthy",
+    "Very Unhealthy",
+    "Hazardous",
+)
+
+
+def aqi_category(values: Union[float, np.ndarray, Sequence[float]]) -> np.ndarray:
+    """Map PM2.5 readings to integer AQI categories 0–5.
+
+    Accepts a scalar or an array; always returns an integer array of the same
+    shape (0-d for scalars).
+    """
+    array = np.asarray(values, dtype=float)
+    if np.isnan(array).any():
+        raise ValueError("PM2.5 readings must not contain NaN")
+    if (array < 0).any():
+        raise ValueError("PM2.5 readings must be non-negative")
+    # right=True places boundary values (e.g. exactly 50) in the lower
+    # category, matching the inclusive upper bounds of the AQI definition.
+    return np.digitize(array, AQI_BREAKPOINTS, right=True)
+
+
+def aqi_category_name(value: float) -> str:
+    """Return the category name for a single PM2.5 reading."""
+    category = int(aqi_category(float(value)))
+    return AQI_CATEGORY_NAMES[category]

@@ -1,0 +1,153 @@
+"""The :class:`SensingDataset` container.
+
+A dataset bundles the ground-truth cells × cycles matrix with the spatial
+layout of the cells and the task metadata the rest of the library needs
+(error metric, cycle length, units).  It also provides the train/test split
+used throughout the paper's evaluation: the first *training_days* of data
+form the preliminary study the organiser uses to train the Q-function, the
+rest is the testing stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_matrix, check_positive
+
+
+@dataclass
+class SensingDataset:
+    """A spatio-temporal sensing dataset.
+
+    Attributes
+    ----------
+    name:
+        Dataset identifier, e.g. ``"sensorscope-temperature"``.
+    data:
+        Ground-truth matrix of shape ``(n_cells, n_cycles)``.
+    coordinates:
+        Cell-centre coordinates of shape ``(n_cells, 2)`` in metres.
+    cycle_length_hours:
+        Length of one sensing cycle in hours.
+    metric:
+        Error-metric name used by this task (``"mae"`` or ``"classification"``).
+    units:
+        Human-readable measurement units (e.g. ``"°C"``).
+    cell_size:
+        Human-readable description of the cell footprint (e.g. ``"50m x 30m"``).
+    city:
+        Location label used in Table 1.
+    extra:
+        Free-form metadata (calibration targets, generator parameters).
+    """
+
+    name: str
+    data: np.ndarray
+    coordinates: np.ndarray
+    cycle_length_hours: float
+    metric: str = "mae"
+    units: str = ""
+    cell_size: str = ""
+    city: str = ""
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.data = check_matrix(self.data, "data", allow_nan=False)
+        self.coordinates = np.asarray(self.coordinates, dtype=float)
+        if self.coordinates.ndim != 2 or self.coordinates.shape[0] != self.data.shape[0]:
+            raise ValueError(
+                "coordinates must have one row per cell: "
+                f"{self.coordinates.shape} vs {self.data.shape[0]} cells"
+            )
+        check_positive(self.cycle_length_hours, "cycle_length_hours")
+
+    # -- basic properties ----------------------------------------------------
+
+    @property
+    def n_cells(self) -> int:
+        """Number of cells (rows of the data matrix)."""
+        return int(self.data.shape[0])
+
+    @property
+    def n_cycles(self) -> int:
+        """Number of sensing cycles (columns of the data matrix)."""
+        return int(self.data.shape[1])
+
+    @property
+    def duration_days(self) -> float:
+        """Campaign duration in days implied by the cycle length."""
+        return self.n_cycles * self.cycle_length_hours / 24.0
+
+    @property
+    def cycles_per_day(self) -> int:
+        """Number of cycles per day (rounded to the nearest integer)."""
+        return int(round(24.0 / self.cycle_length_hours))
+
+    def mean(self) -> float:
+        """Mean of all ground-truth readings."""
+        return float(self.data.mean())
+
+    def std(self) -> float:
+        """Standard deviation of all ground-truth readings."""
+        return float(self.data.std())
+
+    # -- splits ----------------------------------------------------------------
+
+    def cycles_for_days(self, days: float) -> int:
+        """Number of cycles corresponding to ``days`` days (at least 1)."""
+        check_positive(days, "days")
+        return max(1, int(round(days * 24.0 / self.cycle_length_hours)))
+
+    def train_test_split(self, training_days: float = 2.0) -> Tuple["SensingDataset", "SensingDataset"]:
+        """Split into (training, testing) datasets along the cycle axis.
+
+        The paper uses the first two days as the organiser's preliminary
+        study (training stage) and the remaining cycles as the testing
+        stage.
+        """
+        split = self.cycles_for_days(training_days)
+        if split >= self.n_cycles:
+            raise ValueError(
+                f"training period of {training_days} days ({split} cycles) does not "
+                f"leave any testing cycles out of {self.n_cycles}"
+            )
+        train = self.slice_cycles(0, split, suffix="train")
+        test = self.slice_cycles(split, self.n_cycles, suffix="test")
+        return train, test
+
+    def slice_cycles(self, start: int, stop: int, *, suffix: Optional[str] = None) -> "SensingDataset":
+        """Return a new dataset restricted to cycles ``[start, stop)``."""
+        if not 0 <= start < stop <= self.n_cycles:
+            raise ValueError(
+                f"invalid cycle slice [{start}, {stop}) for {self.n_cycles} cycles"
+            )
+        name = self.name if suffix is None else f"{self.name}-{suffix}"
+        return SensingDataset(
+            name=name,
+            data=self.data[:, start:stop].copy(),
+            coordinates=self.coordinates.copy(),
+            cycle_length_hours=self.cycle_length_hours,
+            metric=self.metric,
+            units=self.units,
+            cell_size=self.cell_size,
+            city=self.city,
+            extra=dict(self.extra),
+        )
+
+    def summary(self) -> Dict[str, object]:
+        """Table-1-style summary row for this dataset."""
+        return {
+            "dataset": self.name,
+            "city": self.city,
+            "cell_size": self.cell_size,
+            "n_cells": self.n_cells,
+            "cycle_length_h": self.cycle_length_hours,
+            "duration_d": round(self.duration_days, 2),
+            "metric": self.metric,
+            "mean": round(self.mean(), 2),
+            "std": round(self.std(), 2),
+            "units": self.units,
+        }

@@ -1,0 +1,109 @@
+"""Spatially correlated field generation.
+
+Environmental quantities (temperature, humidity, PM2.5) vary smoothly over
+space: nearby cells read similar values.  The generators here sample smooth
+spatial patterns from a Gaussian process with a squared-exponential kernel
+over the cell-centre coordinates; the dataset builders combine a few such
+patterns with temporal loadings to obtain a low-rank, spatially smooth
+ground-truth matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.seeding import RngLike, as_rng
+from repro.utils.validation import check_positive, check_positive_int
+
+
+def grid_coordinates(
+    n_rows: int,
+    n_cols: int,
+    cell_width: float,
+    cell_height: float,
+) -> np.ndarray:
+    """Cell-centre coordinates for an ``n_rows × n_cols`` grid, row-major order.
+
+    Returns an ``(n_rows·n_cols, 2)`` array of (x, y) positions in the same
+    units as the cell dimensions (metres in the built-in datasets).
+    """
+    check_positive_int(n_rows, "n_rows")
+    check_positive_int(n_cols, "n_cols")
+    check_positive(cell_width, "cell_width")
+    check_positive(cell_height, "cell_height")
+    xs = (np.arange(n_cols) + 0.5) * cell_width
+    ys = (np.arange(n_rows) + 0.5) * cell_height
+    grid_x, grid_y = np.meshgrid(xs, ys)
+    return np.column_stack([grid_x.ravel(), grid_y.ravel()])
+
+
+def squared_exponential_kernel(
+    coordinates: np.ndarray,
+    length_scale: float,
+    variance: float = 1.0,
+    jitter: float = 1e-8,
+) -> np.ndarray:
+    """Squared-exponential (RBF) covariance matrix over cell coordinates.
+
+    ``K[i, j] = variance · exp(−‖x_i − x_j‖² / (2·length_scale²))`` with a
+    small diagonal jitter for numerical stability.
+    """
+    coordinates = np.asarray(coordinates, dtype=float)
+    if coordinates.ndim != 2:
+        raise ValueError(f"coordinates must be 2-D, got shape {coordinates.shape}")
+    check_positive(length_scale, "length_scale")
+    check_positive(variance, "variance")
+    deltas = coordinates[:, None, :] - coordinates[None, :, :]
+    squared_distance = (deltas * deltas).sum(axis=2)
+    kernel = variance * np.exp(-0.5 * squared_distance / (length_scale**2))
+    kernel[np.diag_indices_from(kernel)] += jitter
+    return kernel
+
+
+def sample_spatial_field(
+    coordinates: np.ndarray,
+    length_scale: float,
+    n_samples: int = 1,
+    variance: float = 1.0,
+    *,
+    seed: RngLike = None,
+) -> np.ndarray:
+    """Draw ``n_samples`` smooth spatial patterns from the GP prior.
+
+    Returns an ``(n_samples, n_cells)`` array; each row is one zero-mean
+    pattern whose spatial correlation length is ``length_scale``.
+    """
+    check_positive_int(n_samples, "n_samples")
+    rng = as_rng(seed)
+    kernel = squared_exponential_kernel(coordinates, length_scale, variance)
+    # Cholesky of the jittered kernel; fall back to eigendecomposition if the
+    # jitter was not enough (can happen for nearly duplicated coordinates).
+    try:
+        chol = np.linalg.cholesky(kernel)
+    except np.linalg.LinAlgError:
+        eigenvalues, eigenvectors = np.linalg.eigh(kernel)
+        eigenvalues = np.clip(eigenvalues, 0.0, None)
+        chol = eigenvectors * np.sqrt(eigenvalues)
+    draws = rng.standard_normal((n_samples, coordinates.shape[0]))
+    return draws @ chol.T
+
+
+def select_valid_cells(
+    n_total: int,
+    n_valid: int,
+    *,
+    seed: RngLike = None,
+) -> np.ndarray:
+    """Choose which grid cells carry valid sensors (Sensor-Scope has 57 of 100).
+
+    Returns the sorted indices of the valid cells.
+    """
+    check_positive_int(n_total, "n_total")
+    check_positive_int(n_valid, "n_valid")
+    if n_valid > n_total:
+        raise ValueError(f"cannot select {n_valid} valid cells out of {n_total}")
+    rng = as_rng(seed)
+    chosen = rng.choice(n_total, size=n_valid, replace=False)
+    return np.sort(chosen)

@@ -1,0 +1,51 @@
+"""Experiment harness: regenerates every table and figure of the paper's evaluation.
+
+* :mod:`~repro.experiments.config` — experiment scales (TINY/SMALL/MEDIUM/FULL)
+  that trade fidelity against runtime; benchmarks run SMALL by default.
+* :mod:`~repro.experiments.table1` — dataset statistics (paper Table 1).
+* :mod:`~repro.experiments.figure6` — selected cells per cycle for the
+  temperature and PM2.5 tasks, DR-Cell vs QBC vs RANDOM (paper Figure 6).
+* :mod:`~repro.experiments.figure7` — the transfer-learning comparison
+  (paper Figure 7).
+* :mod:`~repro.experiments.timing` — DRQN training wall-clock time
+  (paper §5.4, last paragraph).
+* :mod:`~repro.experiments.reporting` — plain-text table formatting.
+* :mod:`~repro.experiments.runner` — run everything and write a report.
+"""
+
+from repro.experiments.config import (
+    FULL_SCALE,
+    MEDIUM_SCALE,
+    SMALL_SCALE,
+    TINY_SCALE,
+    ExperimentScale,
+    get_scale,
+)
+from repro.experiments.table1 import Table1Row, run_table1
+from repro.experiments.figure6 import Figure6Result, Figure6Row, run_figure6
+from repro.experiments.figure7 import Figure7Result, Figure7Row, run_figure7
+from repro.experiments.timing import TimingResult, run_timing
+from repro.experiments.reporting import format_rows, rows_to_markdown
+from repro.experiments.runner import run_all_experiments
+
+__all__ = [
+    "ExperimentScale",
+    "TINY_SCALE",
+    "SMALL_SCALE",
+    "MEDIUM_SCALE",
+    "FULL_SCALE",
+    "get_scale",
+    "Table1Row",
+    "run_table1",
+    "Figure6Result",
+    "Figure6Row",
+    "run_figure6",
+    "Figure7Result",
+    "Figure7Row",
+    "run_figure7",
+    "TimingResult",
+    "run_timing",
+    "format_rows",
+    "rows_to_markdown",
+    "run_all_experiments",
+]

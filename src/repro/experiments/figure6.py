@@ -1,0 +1,205 @@
+"""Figure 6: selected cells per cycle, DR-Cell vs QBC vs RANDOM.
+
+The paper's main result: for the Sensor-Scope temperature task with
+(0.3 °C, p)-quality and the U-Air PM2.5 task with (9/36, p)-quality,
+p ∈ {0.9, 0.95}, DR-Cell selects fewer cells per sensing cycle than the QBC
+and RANDOM baselines while meeting the same quality requirement.
+
+This module reproduces the experiment protocol of §5.3: train the Q-function
+on the first two days of data (the preliminary study), then run the testing
+stage with the leave-one-out Bayesian assessor and compare the average
+number of selected cells per cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.drcell import DRCellPolicy
+from repro.core.trainer import DRCellTrainer
+from repro.experiments.config import ExperimentScale, SMALL_SCALE
+from repro.experiments.reporting import relative_reduction
+from repro.mcs.campaign import CampaignRunner
+from repro.mcs.policies import CellSelectionPolicy
+from repro.mcs.qbc import QBCSelectionPolicy
+from repro.mcs.random_policy import RandomSelectionPolicy
+from repro.mcs.results import CampaignResult
+from repro.mcs.task import SensingTask
+from repro.quality.epsilon_p import QualityRequirement
+from repro.utils.logging import get_logger
+from repro.utils.seeding import derive_rng
+
+logger = get_logger(__name__)
+
+#: The paper's error bounds: 0.3 °C for temperature, 9/36 for the PM2.5
+#: classification error.
+PAPER_EPSILON = {"temperature": 0.3, "pm25": 9.0 / 36.0}
+
+#: The synthetic datasets are not the paper's datasets, so the absolute error
+#: bounds that are "reachable with a few cells" differ; these defaults keep
+#: the experiment in the same interesting regime (a handful of cells needed
+#: per cycle, quality achievable well before full coverage).
+DEFAULT_EPSILON = {"temperature": 0.5, "pm25": 0.25}
+
+
+@dataclass(frozen=True)
+class Figure6Row:
+    """One bar of Figure 6: a (task, p, policy) combination."""
+
+    task: str
+    p: float
+    policy: str
+    mean_selected_per_cycle: float
+    quality_satisfied_fraction: float
+    total_selected: int
+    n_cycles: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "task": self.task,
+            "p": self.p,
+            "policy": self.policy,
+            "mean_selected_per_cycle": round(self.mean_selected_per_cycle, 2),
+            "quality_satisfied_fraction": round(self.quality_satisfied_fraction, 3),
+            "total_selected": self.total_selected,
+            "n_cycles": self.n_cycles,
+        }
+
+
+@dataclass
+class Figure6Result:
+    """All rows of Figure 6 plus the derived DR-Cell-vs-baseline reductions."""
+
+    rows: List[Figure6Row] = field(default_factory=list)
+
+    def as_dicts(self) -> List[Dict[str, object]]:
+        return [row.as_dict() for row in self.rows]
+
+    def row(self, task: str, p: float, policy: str) -> Figure6Row:
+        """Look up one row; raises ``KeyError`` when absent."""
+        for candidate in self.rows:
+            if (
+                candidate.task == task
+                and abs(candidate.p - p) < 1e-9
+                and candidate.policy == policy
+            ):
+                return candidate
+        raise KeyError(f"no row for task={task!r} p={p} policy={policy!r}")
+
+    def reduction_vs(self, task: str, p: float, baseline: str) -> float:
+        """Fractional reduction of DR-Cell's selected cells vs ``baseline``."""
+        drcell = self.row(task, p, "DR-Cell")
+        other = self.row(task, p, baseline)
+        return relative_reduction(
+            drcell.mean_selected_per_cycle, other.mean_selected_per_cycle
+        )
+
+
+def run_figure6(
+    scale: Optional[ExperimentScale] = None,
+    *,
+    tasks: Sequence[str] = ("temperature", "pm25"),
+    p_values: Sequence[float] = (0.9, 0.95),
+    policies: Sequence[str] = ("DR-Cell", "QBC", "RANDOM"),
+    epsilon_overrides: Optional[Dict[str, float]] = None,
+    seed: int = 0,
+) -> Figure6Result:
+    """Reproduce Figure 6 at the given scale.
+
+    Parameters
+    ----------
+    scale:
+        Experiment scale (SMALL by default).
+    tasks:
+        Subset of ``("temperature", "pm25")``.
+    p_values:
+        The p values of the quality requirement (the paper uses 0.9 and 0.95).
+    policies:
+        Subset of ``("DR-Cell", "QBC", "RANDOM")``.
+    epsilon_overrides:
+        Optional per-task ε overrides (defaults tuned for the synthetic data).
+    seed:
+        Master experiment seed.
+    """
+    scale = scale or SMALL_SCALE
+    epsilons = dict(DEFAULT_EPSILON)
+    if epsilon_overrides:
+        epsilons.update(epsilon_overrides)
+
+    result = Figure6Result()
+    for task_name in tasks:
+        train_set, test_set, metric = _task_datasets(scale, task_name, seed)
+        for p in p_values:
+            requirement = QualityRequirement(epsilon=epsilons[task_name], p=p, metric=metric)
+            test_task = scale.task(test_set, requirement, seed=seed)
+            campaign = CampaignRunner(test_task, scale.campaign_config())
+            for policy_name in policies:
+                policy = _build_policy(
+                    policy_name, scale, train_set, test_task, requirement, seed
+                )
+                outcome = campaign.run(policy, n_cycles=scale.max_test_cycles)
+                result.rows.append(_to_row(task_name, p, policy_name, outcome))
+                logger.info(
+                    "figure6 %s p=%.2f %s: %.2f cells/cycle",
+                    task_name,
+                    p,
+                    policy_name,
+                    outcome.mean_selected_per_cycle,
+                )
+    return result
+
+
+# -- internals -----------------------------------------------------------------
+
+
+def _task_datasets(scale: ExperimentScale, task_name: str, seed: int):
+    """Build the (train, test) split and metric for one of the two tasks."""
+    if task_name == "temperature":
+        dataset = scale.sensorscope_dataset("temperature", seed=seed)
+        metric = "mae"
+    elif task_name == "pm25":
+        dataset = scale.uair_dataset(seed=seed)
+        metric = "classification"
+    else:
+        raise ValueError(f"unknown task {task_name!r}; expected 'temperature' or 'pm25'")
+    train_set, test_set = dataset.train_test_split(scale.training_days)
+    return train_set, test_set, metric
+
+
+def _build_policy(
+    policy_name: str,
+    scale: ExperimentScale,
+    train_set,
+    test_task: SensingTask,
+    requirement: QualityRequirement,
+    seed: int,
+) -> CellSelectionPolicy:
+    """Instantiate (and, for DR-Cell, train) the requested policy."""
+    if policy_name == "RANDOM":
+        return RandomSelectionPolicy(seed=derive_rng(seed, 21))
+    if policy_name == "QBC":
+        return QBCSelectionPolicy(
+            coordinates=test_task.dataset.coordinates,
+            history_window=scale.history_window,
+            seed=derive_rng(seed, 22),
+        )
+    if policy_name == "DR-Cell":
+        trainer = DRCellTrainer(
+            scale.drcell_config(seed=seed), inference=scale.inference(seed=seed)
+        )
+        agent, _ = trainer.train(train_set, requirement)
+        return DRCellPolicy(agent)
+    raise ValueError(f"unknown policy {policy_name!r}")
+
+
+def _to_row(task_name: str, p: float, policy_name: str, outcome: CampaignResult) -> Figure6Row:
+    return Figure6Row(
+        task=task_name,
+        p=p,
+        policy=policy_name,
+        mean_selected_per_cycle=outcome.mean_selected_per_cycle,
+        quality_satisfied_fraction=outcome.quality_satisfied_fraction,
+        total_selected=outcome.total_selected,
+        n_cycles=outcome.n_cycles,
+    )

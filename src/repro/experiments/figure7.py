@@ -1,0 +1,235 @@
+"""Figure 7: transfer learning between temperature and humidity.
+
+The multi-task experiment of §5.4: one task (the *source*) has a full 2-day
+preliminary study, the other (the *target*) has only 10 cycles of training
+data.  Four strategies are compared on the target task:
+
+* **TRANSFER** — initialise the target DRQN from the source DRQN's weights
+  and fine-tune on the 10 cycles (the paper's proposal);
+* **NO-TRANSFER** — use the source DRQN directly, no fine-tuning;
+* **SHORT-TRAIN** — train a fresh DRQN on only the 10 cycles;
+* **RANDOM** — the random-selection baseline.
+
+The paper runs both directions (temperature→humidity and
+humidity→temperature) and reports the average number of selected cells per
+cycle on the target task's testing stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.drcell import DRCellAgent, DRCellPolicy
+from repro.core.trainer import DRCellTrainer
+from repro.core.transfer import transfer_train
+from repro.experiments.config import ExperimentScale, SMALL_SCALE
+from repro.experiments.reporting import relative_reduction
+from repro.mcs.campaign import CampaignRunner
+from repro.mcs.random_policy import RandomSelectionPolicy
+from repro.mcs.results import CampaignResult
+from repro.quality.epsilon_p import QualityRequirement
+from repro.utils.logging import get_logger
+from repro.utils.seeding import derive_rng
+
+logger = get_logger(__name__)
+
+#: Paper quality requirements for the two tasks in the transfer experiment.
+PAPER_EPSILON = {"temperature": 0.3, "humidity": 1.5}
+
+#: Defaults tuned for the synthetic datasets (same rationale as Figure 6).
+DEFAULT_EPSILON = {"temperature": 0.5, "humidity": 2.0}
+
+STRATEGIES = ("TRANSFER", "NO-TRANSFER", "SHORT-TRAIN", "RANDOM")
+
+
+@dataclass(frozen=True)
+class Figure7Row:
+    """One bar of Figure 7: a (target task, strategy) combination."""
+
+    target_task: str
+    source_task: str
+    strategy: str
+    mean_selected_per_cycle: float
+    quality_satisfied_fraction: float
+    n_cycles: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "target_task": self.target_task,
+            "source_task": self.source_task,
+            "strategy": self.strategy,
+            "mean_selected_per_cycle": round(self.mean_selected_per_cycle, 2),
+            "quality_satisfied_fraction": round(self.quality_satisfied_fraction, 3),
+            "n_cycles": self.n_cycles,
+        }
+
+
+@dataclass
+class Figure7Result:
+    """All rows of Figure 7."""
+
+    rows: List[Figure7Row] = field(default_factory=list)
+
+    def as_dicts(self) -> List[Dict[str, object]]:
+        return [row.as_dict() for row in self.rows]
+
+    def row(self, target_task: str, strategy: str) -> Figure7Row:
+        """Look up the row of one (target task, strategy) pair."""
+        for candidate in self.rows:
+            if candidate.target_task == target_task and candidate.strategy == strategy:
+                return candidate
+        raise KeyError(f"no row for target_task={target_task!r} strategy={strategy!r}")
+
+    def reduction_vs(self, target_task: str, baseline: str) -> float:
+        """Fractional reduction of TRANSFER's selected cells vs ``baseline``."""
+        transfer = self.row(target_task, "TRANSFER")
+        other = self.row(target_task, baseline)
+        return relative_reduction(
+            transfer.mean_selected_per_cycle, other.mean_selected_per_cycle
+        )
+
+
+def run_figure7(
+    scale: Optional[ExperimentScale] = None,
+    *,
+    directions: Sequence[tuple] = (("temperature", "humidity"), ("humidity", "temperature")),
+    strategies: Sequence[str] = STRATEGIES,
+    p: float = 0.9,
+    epsilon_overrides: Optional[Dict[str, float]] = None,
+    fine_tune_episodes: int = 2,
+    seed: int = 0,
+) -> Figure7Result:
+    """Reproduce Figure 7 at the given scale.
+
+    Parameters
+    ----------
+    scale:
+        Experiment scale (SMALL by default).
+    directions:
+        ``(source, target)`` task-name pairs; the paper runs both directions
+        of temperature ↔ humidity.
+    strategies:
+        Subset of ``("TRANSFER", "NO-TRANSFER", "SHORT-TRAIN", "RANDOM")``.
+    p:
+        Quality probability (0.9 in the paper's Figure 7).
+    epsilon_overrides:
+        Optional per-task ε overrides.
+    fine_tune_episodes:
+        Episodes of fine-tuning for TRANSFER and of training for SHORT-TRAIN.
+    seed:
+        Master experiment seed.
+    """
+    scale = scale or SMALL_SCALE
+    epsilons = dict(DEFAULT_EPSILON)
+    if epsilon_overrides:
+        epsilons.update(epsilon_overrides)
+
+    result = Figure7Result()
+    for source_name, target_name in directions:
+        rows = _run_direction(
+            scale,
+            source_name,
+            target_name,
+            strategies,
+            p,
+            epsilons,
+            fine_tune_episodes,
+            seed,
+        )
+        result.rows.extend(rows)
+    return result
+
+
+# -- internals -----------------------------------------------------------------
+
+
+def _run_direction(
+    scale: ExperimentScale,
+    source_name: str,
+    target_name: str,
+    strategies: Sequence[str],
+    p: float,
+    epsilons: Dict[str, float],
+    fine_tune_episodes: int,
+    seed: int,
+) -> List[Figure7Row]:
+    source_dataset = scale.sensorscope_dataset(source_name, seed=seed)
+    target_dataset = scale.sensorscope_dataset(target_name, seed=seed)
+
+    source_train, _ = source_dataset.train_test_split(scale.training_days)
+    target_train_full, target_test = target_dataset.train_test_split(scale.training_days)
+    target_cycles = min(scale.transfer_target_cycles, target_train_full.n_cycles)
+    target_train_small = target_train_full.slice_cycles(0, target_cycles, suffix="short")
+
+    source_requirement = QualityRequirement(epsilon=epsilons[source_name], p=p, metric="mae")
+    target_requirement = QualityRequirement(epsilon=epsilons[target_name], p=p, metric="mae")
+
+    config = scale.drcell_config(seed=seed)
+    trainer = DRCellTrainer(config, inference=scale.inference(seed=seed))
+    source_agent, _ = trainer.train(source_train, source_requirement)
+
+    test_task = scale.task(target_test, target_requirement, seed=seed)
+    campaign = CampaignRunner(test_task, scale.campaign_config())
+
+    rows: List[Figure7Row] = []
+    for strategy in strategies:
+        policy = _strategy_policy(
+            strategy,
+            source_agent,
+            target_train_small,
+            target_requirement,
+            trainer,
+            fine_tune_episodes,
+            seed,
+        )
+        outcome = campaign.run(policy, n_cycles=scale.max_test_cycles)
+        rows.append(
+            Figure7Row(
+                target_task=target_name,
+                source_task=source_name,
+                strategy=strategy,
+                mean_selected_per_cycle=outcome.mean_selected_per_cycle,
+                quality_satisfied_fraction=outcome.quality_satisfied_fraction,
+                n_cycles=outcome.n_cycles,
+            )
+        )
+        logger.info(
+            "figure7 %s->%s %s: %.2f cells/cycle",
+            source_name,
+            target_name,
+            strategy,
+            outcome.mean_selected_per_cycle,
+        )
+    return rows
+
+
+def _strategy_policy(
+    strategy: str,
+    source_agent: DRCellAgent,
+    target_train_small,
+    target_requirement: QualityRequirement,
+    trainer: DRCellTrainer,
+    fine_tune_episodes: int,
+    seed: int,
+):
+    """Build the campaign policy of one Figure-7 strategy."""
+    if strategy == "RANDOM":
+        return RandomSelectionPolicy(seed=derive_rng(seed, 31))
+    if strategy == "NO-TRANSFER":
+        return DRCellPolicy(source_agent, name="NO-TRANSFER")
+    if strategy == "SHORT-TRAIN":
+        agent, _ = trainer.train(
+            target_train_small, target_requirement, episodes=fine_tune_episodes
+        )
+        return DRCellPolicy(agent, name="SHORT-TRAIN")
+    if strategy == "TRANSFER":
+        agent, _ = transfer_train(
+            source_agent,
+            target_train_small,
+            target_requirement,
+            fine_tune_episodes=fine_tune_episodes,
+            trainer=trainer,
+        )
+        return DRCellPolicy(agent, name="TRANSFER")
+    raise ValueError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")

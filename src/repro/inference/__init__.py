@@ -1,0 +1,49 @@
+"""Data-inference substrate for Sparse MCS.
+
+In Sparse MCS the data of unsensed cells is *inferred* from the sensed
+cells.  The de-facto inference algorithm is compressive sensing / low-rank
+matrix completion (paper Definition 5); the QBC baseline additionally needs
+a committee of diverse inference algorithms.  This subpackage implements:
+
+* :class:`~repro.inference.compressive.CompressiveSensingInference` —
+  alternating-least-squares low-rank matrix completion with optional
+  temporal-smoothness regularisation.
+* :class:`~repro.inference.knn.KNNInference` — spatial K-nearest-neighbour
+  inference over cell coordinates.
+* :class:`~repro.inference.interpolation.SpatialMeanInference` and
+  :class:`~repro.inference.interpolation.TemporalInterpolationInference` —
+  simple interpolation baselines.
+* :class:`~repro.inference.svt.SVTInference` — singular-value-thresholding
+  matrix completion.
+* :class:`~repro.inference.committee.InferenceCommittee` — runs several
+  algorithms and exposes their per-cell disagreement (the QBC criterion).
+* :mod:`~repro.inference.metrics` — MAE / RMSE / classification error.
+"""
+
+from repro.inference.base import InferenceAlgorithm, observed_mask
+from repro.inference.compressive import CompressiveSensingInference
+from repro.inference.knn import KNNInference
+from repro.inference.interpolation import SpatialMeanInference, TemporalInterpolationInference
+from repro.inference.svt import SVTInference
+from repro.inference.committee import InferenceCommittee
+from repro.inference.metrics import (
+    classification_error,
+    cycle_error,
+    mean_absolute_error,
+    root_mean_squared_error,
+)
+
+__all__ = [
+    "InferenceAlgorithm",
+    "observed_mask",
+    "CompressiveSensingInference",
+    "KNNInference",
+    "SpatialMeanInference",
+    "TemporalInterpolationInference",
+    "SVTInference",
+    "InferenceCommittee",
+    "mean_absolute_error",
+    "root_mean_squared_error",
+    "classification_error",
+    "cycle_error",
+]

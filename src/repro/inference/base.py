@@ -1,0 +1,90 @@
+"""Common interface for inference algorithms.
+
+An inference algorithm completes a partially observed cells × cycles matrix:
+observed entries hold sensed values, unobserved entries are ``NaN``.  The
+``complete`` method returns a fully populated matrix in which the observed
+entries are preserved exactly (Sparse MCS never overwrites sensed data).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import check_matrix
+
+
+def observed_mask(matrix: np.ndarray) -> np.ndarray:
+    """Boolean mask of observed (non-NaN) entries of ``matrix``."""
+    return ~np.isnan(np.asarray(matrix, dtype=float))
+
+
+class InferenceAlgorithm(abc.ABC):
+    """Base class for matrix-completion / inference algorithms."""
+
+    #: Short name used in committee reports and experiment output.
+    name: str = "inference"
+
+    def complete(self, matrix: np.ndarray) -> np.ndarray:
+        """Return a completed copy of ``matrix`` (NaN entries filled in).
+
+        Observed entries are copied through unchanged.  Raises if the matrix
+        contains no observation at all, because then there is no information
+        to infer from.
+        """
+        matrix = check_matrix(matrix, "matrix")
+        mask = observed_mask(matrix)
+        if not mask.any():
+            raise ValueError("cannot infer from a matrix with no observed entries")
+        completed = self._complete(matrix, mask)
+        completed = np.asarray(completed, dtype=float)
+        if completed.shape != matrix.shape:
+            raise RuntimeError(
+                f"{type(self).__name__} returned shape {completed.shape}, "
+                f"expected {matrix.shape}"
+            )
+        # Never overwrite sensed data and never return NaN.
+        completed = np.where(mask, matrix, completed)
+        if np.isnan(completed).any():
+            # Fall back to the global observed mean for anything still missing.
+            fallback = float(np.nanmean(matrix))
+            completed = np.where(np.isnan(completed), fallback, completed)
+        return completed
+
+    def infer_cycle(self, matrix: np.ndarray, cycle: int) -> np.ndarray:
+        """Convenience: complete the matrix and return column ``cycle``."""
+        completed = self.complete(matrix)
+        if not 0 <= cycle < completed.shape[1]:
+            raise IndexError(f"cycle {cycle} out of range for {completed.shape[1]} cycles")
+        return completed[:, cycle]
+
+    @abc.abstractmethod
+    def _complete(self, matrix: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Algorithm-specific completion; NaN entries of ``matrix`` are missing."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class ColumnMeanFallbackMixin:
+    """Mixin providing a column-then-global-mean fallback imputation.
+
+    Several algorithms need a dense starting point (ALS, SVT) or a fallback
+    when a cycle has no observation; this shared helper keeps that logic in
+    one place.
+    """
+
+    @staticmethod
+    def mean_imputed(matrix: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        filled = matrix.copy()
+        global_mean = float(matrix[mask].mean())
+        for column in range(matrix.shape[1]):
+            column_mask = mask[:, column]
+            column_mean = (
+                float(matrix[column_mask, column].mean()) if column_mask.any() else global_mean
+            )
+            missing = ~column_mask
+            filled[missing, column] = column_mean
+        return filled

@@ -1,0 +1,83 @@
+"""Inference committee: the disagreement signal behind the QBC baseline.
+
+Query-By-Committee (paper §5.2) runs several different inference algorithms
+on the same partially observed matrix and selects, as the next cell to
+sense, the cell whose inferred values disagree the most across the
+committee.  This module provides the committee container; the selection
+policy itself lives in :mod:`repro.mcs.qbc`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.inference.base import InferenceAlgorithm
+from repro.inference.compressive import CompressiveSensingInference
+from repro.inference.interpolation import SpatialMeanInference, TemporalInterpolationInference
+from repro.inference.knn import KNNInference
+from repro.inference.svt import SVTInference
+from repro.utils.seeding import RngLike, derive_rng
+
+
+class InferenceCommittee:
+    """A set of diverse inference algorithms evaluated on the same matrix.
+
+    Parameters
+    ----------
+    members:
+        The committee; at least two algorithms are required for the variance
+        signal to be meaningful.
+    """
+
+    def __init__(self, members: Sequence[InferenceAlgorithm]) -> None:
+        members = list(members)
+        if len(members) < 2:
+            raise ValueError(f"a committee needs at least two members, got {len(members)}")
+        self.members = members
+
+    @classmethod
+    def default(
+        cls,
+        coordinates: Optional[np.ndarray] = None,
+        *,
+        rank: int = 3,
+        seed: RngLike = None,
+    ) -> "InferenceCommittee":
+        """The paper-style committee: compressive sensing + KNN (+ cheap baselines)."""
+        return cls(
+            [
+                CompressiveSensingInference(rank=rank, seed=derive_rng(seed, 0)),
+                KNNInference(coordinates=coordinates, k=3),
+                SpatialMeanInference(),
+                TemporalInterpolationInference(),
+                SVTInference(),
+            ]
+        )
+
+    def completions(self, matrix: np.ndarray) -> Dict[str, np.ndarray]:
+        """Run every member and return its completed matrix, keyed by member name."""
+        results: Dict[str, np.ndarray] = {}
+        for index, member in enumerate(self.members):
+            key = member.name if member.name not in results else f"{member.name}_{index}"
+            results[key] = member.complete(matrix)
+        return results
+
+    def cycle_disagreement(self, matrix: np.ndarray, cycle: int) -> np.ndarray:
+        """Per-cell variance of the committee's inferred values for ``cycle``.
+
+        Cells already observed in ``cycle`` have zero disagreement by
+        construction (every member copies observed values through).
+        """
+        matrix = np.asarray(matrix, dtype=float)
+        if not 0 <= cycle < matrix.shape[1]:
+            raise IndexError(f"cycle {cycle} out of range for {matrix.shape[1]} cycles")
+        columns: List[np.ndarray] = [
+            completed[:, cycle] for completed in self.completions(matrix).values()
+        ]
+        stacked = np.stack(columns, axis=0)
+        return stacked.var(axis=0)
+
+    def __len__(self) -> int:
+        return len(self.members)

@@ -1,0 +1,73 @@
+"""Simple interpolation-based inference baselines.
+
+These serve two purposes: they are cheap committee members for QBC, and they
+are the sanity baselines the compressive-sensing tests compare against (a
+low-rank method should beat a global mean on correlated data).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.inference.base import ColumnMeanFallbackMixin, InferenceAlgorithm
+
+
+class SpatialMeanInference(ColumnMeanFallbackMixin, InferenceAlgorithm):
+    """Fill each missing entry with the mean of the cells sensed in the same cycle.
+
+    Cycles with no observation fall back to the cell's own temporal mean and
+    finally to the global observed mean.
+    """
+
+    name = "spatial_mean"
+
+    def _complete(self, matrix: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        completed = matrix.copy()
+        global_mean = float(matrix[mask].mean())
+        n_cells, n_cycles = matrix.shape
+        row_means = np.full(n_cells, global_mean)
+        for i in range(n_cells):
+            row_mask = mask[i]
+            if row_mask.any():
+                row_means[i] = float(matrix[i, row_mask].mean())
+        for j in range(n_cycles):
+            column_mask = mask[:, j]
+            missing = ~column_mask
+            if not missing.any():
+                continue
+            if column_mask.any():
+                fill = float(matrix[column_mask, j].mean())
+                completed[missing, j] = fill
+            else:
+                completed[missing, j] = row_means[missing]
+        return completed
+
+
+class TemporalInterpolationInference(ColumnMeanFallbackMixin, InferenceAlgorithm):
+    """Per-cell linear interpolation along the time axis.
+
+    Each cell's missing cycles are filled by linearly interpolating between
+    that cell's own observed cycles (with edge extension before the first and
+    after the last observation).  Cells never observed fall back to the
+    cycle-wise spatial mean.
+    """
+
+    name = "temporal_interpolation"
+
+    def _complete(self, matrix: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        n_cells, n_cycles = matrix.shape
+        completed = matrix.copy()
+        cycle_index = np.arange(n_cycles, dtype=float)
+        spatial = SpatialMeanInference()._complete(matrix, mask)
+        for i in range(n_cells):
+            observed = np.flatnonzero(mask[i])
+            missing = np.flatnonzero(~mask[i])
+            if missing.size == 0:
+                continue
+            if observed.size == 0:
+                completed[i] = spatial[i]
+                continue
+            completed[i, missing] = np.interp(
+                cycle_index[missing], cycle_index[observed], matrix[i, observed]
+            )
+        return completed

@@ -1,0 +1,100 @@
+"""K-nearest-neighbour spatial inference.
+
+KNN is one of the committee members the paper's QBC baseline relies on
+("compressive sensing and K-Nearest Neighbors", §5.2): an unsensed cell's
+value in a cycle is estimated as the distance-weighted mean of the values of
+the K nearest cells that were sensed in that cycle, falling back to temporal
+neighbours when a cycle has too few observations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.inference.base import ColumnMeanFallbackMixin, InferenceAlgorithm
+from repro.utils.validation import check_positive_int
+
+
+class KNNInference(ColumnMeanFallbackMixin, InferenceAlgorithm):
+    """Distance-weighted K-nearest-neighbour inference over cell coordinates.
+
+    Parameters
+    ----------
+    coordinates:
+        ``(n_cells, 2)`` array of cell-centre coordinates.  When omitted the
+        cells are assumed to lie on a line (index distance), which is only
+        sensible for tests.
+    k:
+        Number of neighbours to average.
+    epsilon:
+        Small constant added to distances to avoid division by zero.
+    """
+
+    name = "knn"
+
+    def __init__(
+        self,
+        coordinates: Optional[np.ndarray] = None,
+        k: int = 3,
+        *,
+        epsilon: float = 1e-6,
+    ) -> None:
+        self.k = check_positive_int(k, "k")
+        if coordinates is not None:
+            coordinates = np.asarray(coordinates, dtype=float)
+            if coordinates.ndim != 2 or coordinates.shape[1] < 1:
+                raise ValueError(
+                    f"coordinates must be (n_cells, dims), got {coordinates.shape}"
+                )
+        self.coordinates = coordinates
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        self.epsilon = float(epsilon)
+
+    def _complete(self, matrix: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        n_cells, n_cycles = matrix.shape
+        coordinates = self._resolve_coordinates(n_cells)
+        distances = self._pairwise_distances(coordinates)
+        completed = matrix.copy()
+        global_mean = float(matrix[mask].mean())
+
+        for j in range(n_cycles):
+            observed = np.flatnonzero(mask[:, j])
+            missing = np.flatnonzero(~mask[:, j])
+            if missing.size == 0:
+                continue
+            if observed.size == 0:
+                # Nothing sensed this cycle: fall back to each cell's own
+                # temporal mean, then the global mean.
+                for i in missing:
+                    row_mask = mask[i]
+                    completed[i, j] = (
+                        float(matrix[i, row_mask].mean()) if row_mask.any() else global_mean
+                    )
+                continue
+            k = min(self.k, observed.size)
+            for i in missing:
+                dist = distances[i, observed]
+                order = np.argsort(dist)[:k]
+                neighbours = observed[order]
+                weights = 1.0 / (dist[order] + self.epsilon)
+                weights = weights / weights.sum()
+                completed[i, j] = float(np.dot(weights, matrix[neighbours, j]))
+        return completed
+
+    def _resolve_coordinates(self, n_cells: int) -> np.ndarray:
+        if self.coordinates is None:
+            return np.arange(n_cells, dtype=float)[:, None]
+        if self.coordinates.shape[0] != n_cells:
+            raise ValueError(
+                f"coordinates describe {self.coordinates.shape[0]} cells but the "
+                f"matrix has {n_cells}"
+            )
+        return self.coordinates
+
+    @staticmethod
+    def _pairwise_distances(coordinates: np.ndarray) -> np.ndarray:
+        deltas = coordinates[:, None, :] - coordinates[None, :, :]
+        return np.sqrt((deltas * deltas).sum(axis=2))

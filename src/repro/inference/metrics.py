@@ -1,0 +1,125 @@
+"""Inference-error metrics.
+
+The paper evaluates temperature/humidity with mean absolute error and PM2.5
+with classification error over the six standard AQI categories
+(Table 1).  ``cycle_error`` dispatches on the metric name so the quality
+assessor and the campaign runner stay metric-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+
+def _prepare(truth: np.ndarray, estimate: np.ndarray, mask: Optional[np.ndarray]):
+    truth = np.asarray(truth, dtype=float)
+    estimate = np.asarray(estimate, dtype=float)
+    if truth.shape != estimate.shape:
+        raise ValueError(f"shape mismatch: truth {truth.shape} vs estimate {estimate.shape}")
+    if mask is None:
+        mask = np.ones(truth.shape, dtype=bool)
+    else:
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != truth.shape:
+            raise ValueError(f"mask shape {mask.shape} does not match data shape {truth.shape}")
+    if not mask.any():
+        raise ValueError("mask selects no entries; cannot compute an error")
+    return truth, estimate, mask
+
+
+def mean_absolute_error(
+    truth: np.ndarray, estimate: np.ndarray, mask: Optional[np.ndarray] = None
+) -> float:
+    """Mean absolute error over ``mask``-selected entries."""
+    truth, estimate, mask = _prepare(truth, estimate, mask)
+    return float(np.abs(truth[mask] - estimate[mask]).mean())
+
+
+def root_mean_squared_error(
+    truth: np.ndarray, estimate: np.ndarray, mask: Optional[np.ndarray] = None
+) -> float:
+    """Root mean squared error over ``mask``-selected entries."""
+    truth, estimate, mask = _prepare(truth, estimate, mask)
+    diff = truth[mask] - estimate[mask]
+    return float(np.sqrt(np.mean(diff * diff)))
+
+
+def classification_error(
+    truth: np.ndarray,
+    estimate: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+    *,
+    breakpoints: Optional[Sequence[float]] = None,
+) -> float:
+    """Fraction of entries whose category differs between truth and estimate.
+
+    The default breakpoints are the six standard AQI PM2.5 categories used by
+    the paper (Good / Moderate / Unhealthy-for-Sensitive-Groups / Unhealthy /
+    Very Unhealthy / Hazardous).
+    """
+    truth, estimate, mask = _prepare(truth, estimate, mask)
+    if breakpoints is None:
+        # Category upper bounds; > last bound falls into the final category.
+        breakpoints = (50.0, 100.0, 150.0, 200.0, 300.0)
+    edges = np.asarray(breakpoints, dtype=float)
+    if edges.ndim != 1 or edges.size == 0 or np.any(np.diff(edges) <= 0):
+        raise ValueError("breakpoints must be a strictly increasing 1-D sequence")
+    truth_category = np.digitize(truth[mask], edges, right=True)
+    estimate_category = np.digitize(estimate[mask], edges, right=True)
+    return float(np.mean(truth_category != estimate_category))
+
+
+_METRICS: Dict[str, Callable[..., float]] = {
+    "mae": mean_absolute_error,
+    "mean_absolute_error": mean_absolute_error,
+    "rmse": root_mean_squared_error,
+    "classification": classification_error,
+    "classification_error": classification_error,
+}
+
+
+def get_metric(name: str) -> Callable[..., float]:
+    """Look up an error metric by name."""
+    try:
+        return _METRICS[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown metric {name!r}; available: {sorted(_METRICS)}") from None
+
+
+def cycle_error(
+    truth_column: np.ndarray,
+    estimate_column: np.ndarray,
+    metric: str = "mae",
+    *,
+    exclude: Optional[np.ndarray] = None,
+) -> float:
+    """Error of one cycle's inferred column against the ground truth column.
+
+    Parameters
+    ----------
+    truth_column, estimate_column:
+        Length-``m`` vectors (one value per cell).
+    metric:
+        Metric name (``"mae"``, ``"rmse"`` or ``"classification"``).
+    exclude:
+        Optional boolean mask of cells to exclude (e.g. the sensed cells,
+        whose values are exact by construction).  When excluding everything
+        the error is defined as 0 — a fully sensed cycle has no inference
+        error.
+    """
+    truth_column = np.asarray(truth_column, dtype=float)
+    estimate_column = np.asarray(estimate_column, dtype=float)
+    if truth_column.ndim != 1 or truth_column.shape != estimate_column.shape:
+        raise ValueError("cycle_error expects two equal-length 1-D vectors")
+    if exclude is not None:
+        exclude = np.asarray(exclude, dtype=bool)
+        if exclude.shape != truth_column.shape:
+            raise ValueError("exclude mask shape does not match the columns")
+        keep = ~exclude
+        if not keep.any():
+            return 0.0
+    else:
+        keep = np.ones(truth_column.shape, dtype=bool)
+    return get_metric(metric)(truth_column, estimate_column, keep)

@@ -1,0 +1,38 @@
+"""Sparse Mobile CrowdSensing framework.
+
+This subpackage ties the substrates together into the system the paper
+evaluates DR-Cell inside:
+
+* :class:`~repro.mcs.task.SensingTask` — a dataset plus its (ε, p)-quality
+  requirement, inference algorithm and quality assessor.
+* :class:`~repro.mcs.policies.CellSelectionPolicy` — the policy interface;
+  :class:`~repro.mcs.random_policy.RandomSelectionPolicy` and
+  :class:`~repro.mcs.qbc.QBCSelectionPolicy` are the paper's baselines.
+* :class:`~repro.mcs.campaign.CampaignRunner` — the cycle loop: select cells
+  one by one until the quality assessor is satisfied, then infer the rest.
+* :class:`~repro.mcs.environment.SparseMCSEnvironment` — the reinforcement-
+  learning view of the same loop, used to train DR-Cell.
+* :class:`~repro.mcs.results.CampaignResult` — per-cycle records and
+  aggregate statistics (average selected cells, (ε, p) compliance).
+"""
+
+from repro.mcs.task import SensingTask
+from repro.mcs.policies import CellSelectionPolicy
+from repro.mcs.random_policy import RandomSelectionPolicy
+from repro.mcs.qbc import QBCSelectionPolicy
+from repro.mcs.campaign import CampaignConfig, CampaignRunner
+from repro.mcs.environment import SparseMCSEnvironment, StateEncoder
+from repro.mcs.results import CampaignResult, CycleRecord
+
+__all__ = [
+    "SensingTask",
+    "CellSelectionPolicy",
+    "RandomSelectionPolicy",
+    "QBCSelectionPolicy",
+    "CampaignConfig",
+    "CampaignRunner",
+    "SparseMCSEnvironment",
+    "StateEncoder",
+    "CampaignResult",
+    "CycleRecord",
+]

@@ -1,0 +1,178 @@
+"""The Sparse MCS campaign runner: the cycle loop of Figure 2.
+
+For every sensing cycle the runner asks the selection policy for cells one
+by one, reveals their ground-truth values ("a participant submits data"),
+and after each submission asks the quality assessor whether the cycle now
+satisfies the (ε, p)-quality requirement.  When it does (or when every cell
+has been sensed) the remaining cells are inferred and the campaign moves to
+the next cycle.  The true per-cycle inference error is recorded against the
+ground truth so the evaluation can verify the quality guarantee was really
+met.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.inference.metrics import cycle_error
+from repro.mcs.policies import CellSelectionPolicy
+from repro.mcs.results import CampaignResult, CycleRecord
+from repro.mcs.task import SensingTask
+from repro.utils.logging import get_logger
+from repro.utils.validation import check_positive_int
+
+logger = get_logger(__name__)
+
+
+@dataclass
+class CampaignConfig:
+    """Knobs of the campaign loop.
+
+    Attributes
+    ----------
+    min_cells_per_cycle:
+        Number of cells always sensed before the assessor is first consulted
+        (the assessor needs a few observations to say anything meaningful).
+    max_cells_per_cycle:
+        Optional hard cap on submissions per cycle; ``None`` means the cap is
+        the number of cells.
+    assess_every:
+        Consult the assessor after every ``assess_every``-th submission
+        (1 = after each submission, as in the paper; larger values trade a
+        slightly higher selection count for fewer assessments).
+    history_window:
+        Number of past cycles kept in the observation matrix handed to the
+        inference algorithm when computing the final per-cycle error.
+    """
+
+    min_cells_per_cycle: int = 3
+    max_cells_per_cycle: Optional[int] = None
+    assess_every: int = 1
+    history_window: int = 24
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.min_cells_per_cycle, "min_cells_per_cycle")
+        check_positive_int(self.assess_every, "assess_every")
+        check_positive_int(self.history_window, "history_window")
+        if self.max_cells_per_cycle is not None:
+            check_positive_int(self.max_cells_per_cycle, "max_cells_per_cycle")
+            if self.max_cells_per_cycle < self.min_cells_per_cycle:
+                raise ValueError(
+                    "max_cells_per_cycle must be >= min_cells_per_cycle "
+                    f"({self.max_cells_per_cycle} < {self.min_cells_per_cycle})"
+                )
+
+
+class CampaignRunner:
+    """Runs a full Sparse MCS campaign for one task and one selection policy."""
+
+    def __init__(self, task: SensingTask, config: Optional[CampaignConfig] = None) -> None:
+        self.task = task
+        self.config = config or CampaignConfig()
+
+    def run(self, policy: CellSelectionPolicy, *, n_cycles: Optional[int] = None) -> CampaignResult:
+        """Execute the campaign and return its :class:`CampaignResult`.
+
+        Parameters
+        ----------
+        policy:
+            The cell-selection policy under evaluation.
+        n_cycles:
+            Optionally restrict the campaign to the first ``n_cycles`` cycles
+            of the task's dataset (used by tests and quick examples).
+        """
+        dataset = self.task.dataset
+        total_cycles = dataset.n_cycles if n_cycles is None else min(
+            check_positive_int(n_cycles, "n_cycles"), dataset.n_cycles
+        )
+        n_cells = dataset.n_cells
+        max_cells = self.config.max_cells_per_cycle or n_cells
+        max_cells = min(max_cells, n_cells)
+        min_cells = min(self.config.min_cells_per_cycle, max_cells)
+
+        ground_truth = dataset.data
+        observed = np.full((n_cells, total_cycles), np.nan)
+        inferred = np.full((n_cells, total_cycles), np.nan)
+        result = CampaignResult(
+            policy_name=policy.name,
+            requirement=self.task.requirement,
+            n_cells=n_cells,
+            metadata={"dataset": dataset.name, "n_cycles": total_cycles},
+        )
+
+        for cycle in range(total_cycles):
+            policy.begin_cycle(cycle, observed)
+            sensed_mask = np.zeros(n_cells, dtype=bool)
+            selected_order = []
+            assessed_satisfied = False
+
+            while sensed_mask.sum() < max_cells:
+                cell = policy.select_cell(observed, cycle, sensed_mask)
+                cell = CellSelectionPolicy._validate_selection(cell, sensed_mask)
+                sensed_mask[cell] = True
+                selected_order.append(cell)
+                observed[cell, cycle] = ground_truth[cell, cycle]
+
+                n_selected = int(sensed_mask.sum())
+                if n_selected < min_cells:
+                    continue
+                if (n_selected - min_cells) % self.config.assess_every != 0:
+                    continue
+                if self.task.assessor.assess(
+                    observed[:, : cycle + 1], cycle, self.task.requirement, self.task.inference
+                ):
+                    assessed_satisfied = True
+                    break
+
+            true_error, cycle_estimate = self._finalize_cycle(
+                observed, ground_truth, cycle, sensed_mask
+            )
+            inferred[:, cycle] = cycle_estimate
+            policy.end_cycle(cycle, observed)
+            result.add_record(
+                CycleRecord(
+                    cycle=cycle,
+                    selected_cells=tuple(selected_order),
+                    true_error=true_error,
+                    assessed_satisfied=assessed_satisfied,
+                )
+            )
+            logger.debug(
+                "cycle %d: %d cells selected, error=%.4f, assessed=%s",
+                cycle,
+                len(selected_order),
+                true_error,
+                assessed_satisfied,
+            )
+
+        result.inferred_matrix = inferred
+        return result
+
+    # -- internals -------------------------------------------------------------
+
+    def _finalize_cycle(
+        self,
+        observed: np.ndarray,
+        ground_truth: np.ndarray,
+        cycle: int,
+        sensed_mask: np.ndarray,
+    ) -> tuple[float, np.ndarray]:
+        """Infer the unsensed cells of ``cycle`` and measure the true error."""
+        start = max(0, cycle + 1 - self.config.history_window)
+        window = observed[:, start : cycle + 1]
+        current = window.shape[1] - 1
+        if sensed_mask.all():
+            estimate = ground_truth[:, cycle].copy()
+        else:
+            completed = self.task.inference.complete(window)
+            estimate = completed[:, current]
+        error = cycle_error(
+            ground_truth[:, cycle],
+            estimate,
+            metric=self.task.requirement.metric,
+            exclude=sensed_mask,
+        )
+        return float(error), estimate

@@ -1,0 +1,294 @@
+"""The reinforcement-learning view of a Sparse MCS campaign.
+
+:class:`SparseMCSEnvironment` exposes the training-stage cell-selection loop
+as an episodic environment with the paper's state / action / reward model
+(§4.1):
+
+* **state** — the cell-selection vectors of the ``window`` most recent
+  cycles, shape ``(window, n_cells)``, the last row being the current
+  (partial) cycle;
+* **action** — the index of the next cell to sense;
+* **reward** — ``R_bonus − cost`` when the submission makes the current
+  cycle satisfy the quality requirement (the cycle then ends), ``−cost``
+  otherwise.
+
+During training the organiser is assumed to have ground-truth data for the
+whole preliminary-study period (paper footnote 2), so quality is checked by
+computing the true inference error directly rather than with the
+leave-one-out Bayesian assessor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.base import SensingDataset
+from repro.inference.base import InferenceAlgorithm
+from repro.inference.compressive import CompressiveSensingInference
+from repro.inference.metrics import cycle_error
+from repro.quality.epsilon_p import QualityRequirement
+from repro.rl.environment import Environment
+from repro.utils.seeding import RngLike, derive_rng
+from repro.utils.validation import check_non_negative, check_positive_int
+
+
+class StateEncoder:
+    """Encodes the recent-cycle selection history into the DR-Cell state tensor.
+
+    The state is a ``(window, n_cells)`` binary matrix
+    ``[s_{-window+1}, …, s_{-1}, s_0]``: older cycles first, the current
+    (partial) cycle last.  Cycles before the start of the episode are
+    all-zero rows.
+    """
+
+    def __init__(self, n_cells: int, window: int) -> None:
+        self.n_cells = check_positive_int(n_cells, "n_cells")
+        self.window = check_positive_int(window, "window")
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Shape of the encoded state."""
+        return (self.window, self.n_cells)
+
+    def encode(self, selection_matrix: np.ndarray, cycle: int, current: np.ndarray) -> np.ndarray:
+        """Build the state for ``cycle`` given past selections and the current partial vector.
+
+        Parameters
+        ----------
+        selection_matrix:
+            Cells × cycles 0/1 matrix of *completed* cycles' selections.
+        cycle:
+            Index of the current cycle.
+        current:
+            Binary vector of cells sensed so far in the current cycle (s0).
+        """
+        selection_matrix = np.asarray(selection_matrix)
+        current = np.asarray(current, dtype=float)
+        if current.shape != (self.n_cells,):
+            raise ValueError(
+                f"current selection vector must have shape ({self.n_cells},), got {current.shape}"
+            )
+        state = np.zeros(self.shape, dtype=float)
+        state[-1] = current
+        for offset in range(1, self.window):
+            past_cycle = cycle - offset
+            if past_cycle < 0:
+                break
+            state[-1 - offset] = selection_matrix[:, past_cycle]
+        return state
+
+
+@dataclass
+class RewardModel:
+    """The paper's reward: ``q·bonus − cost`` per submission.
+
+    ``bonus`` defaults to the number of cells (the value used in the paper's
+    tabular walk-through, Figure 5, where R is set to the total number of
+    cells) and ``cost`` to 1.
+
+    The paper's future-work section mentions the case where the data
+    collection costs of different cells are diverse; ``cell_costs`` supports
+    that extension: when provided, the cost of a submission is the selected
+    cell's entry instead of the uniform ``cost``.
+    """
+
+    bonus: float
+    cost: float = 1.0
+    cell_costs: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.bonus, "bonus")
+        check_non_negative(self.cost, "cost")
+        if self.cell_costs is not None:
+            costs = np.asarray(self.cell_costs, dtype=float)
+            if costs.ndim != 1:
+                raise ValueError("cell_costs must be a 1-D per-cell vector")
+            if not np.isfinite(costs).all() or (costs < 0).any():
+                raise ValueError("cell_costs must be finite and non-negative")
+            self.cell_costs = costs
+
+    def cost_of(self, cell: Optional[int] = None) -> float:
+        """Cost of sensing ``cell`` (the uniform cost when no per-cell costs are set)."""
+        if self.cell_costs is None or cell is None:
+            return self.cost
+        if not 0 <= int(cell) < self.cell_costs.shape[0]:
+            raise ValueError(
+                f"cell {cell} out of range [0, {self.cell_costs.shape[0]}) for cell_costs"
+            )
+        return float(self.cell_costs[int(cell)])
+
+    def reward(self, quality_satisfied: bool, cell: Optional[int] = None) -> float:
+        """Reward of one submission given whether it completed the cycle."""
+        return (self.bonus if quality_satisfied else 0.0) - self.cost_of(cell)
+
+
+class SparseMCSEnvironment(Environment):
+    """Training environment over a ground-truth dataset.
+
+    One episode is one pass over the dataset's cycles.  Each step senses one
+    cell of the current cycle; the cycle ends (and the next begins) as soon
+    as the true inference error of the current cycle drops below the
+    requirement's ε, or when every cell has been sensed.
+
+    Parameters
+    ----------
+    dataset:
+        Ground-truth training dataset (the preliminary-study data).
+    requirement:
+        The (ε, p)-quality requirement; only ε and the metric are used here
+        because training measures the error exactly.
+    window:
+        Number of recent cycles encoded in the state.
+    inference:
+        Inference algorithm used to compute the cycle error.
+    reward_model:
+        Reward parameters; defaults to bonus = number of cells, cost = 1.
+    min_cells_before_check:
+        Submissions collected before the first error check of a cycle
+        (checking with one observation is meaningless and expensive).
+    history_window:
+        Past cycles included in the matrix given to the inference algorithm.
+    max_episode_cycles:
+        Optionally truncate an episode to this many cycles (episodes then
+        start at a random offset so training still sees the whole dataset).
+    seed:
+        Seed for the random episode offsets.
+    """
+
+    def __init__(
+        self,
+        dataset: SensingDataset,
+        requirement: QualityRequirement,
+        *,
+        window: int = 2,
+        inference: Optional[InferenceAlgorithm] = None,
+        reward_model: Optional[RewardModel] = None,
+        min_cells_before_check: int = 2,
+        history_window: int = 12,
+        max_episode_cycles: Optional[int] = None,
+        seed: RngLike = None,
+    ) -> None:
+        self.dataset = dataset
+        self.requirement = requirement
+        self.window = check_positive_int(window, "window")
+        self.inference = inference or CompressiveSensingInference(seed=derive_rng(seed, 0))
+        self.reward_model = reward_model or RewardModel(bonus=float(dataset.n_cells))
+        self.min_cells_before_check = check_positive_int(
+            min_cells_before_check, "min_cells_before_check"
+        )
+        self.history_window = check_positive_int(history_window, "history_window")
+        if max_episode_cycles is not None:
+            max_episode_cycles = check_positive_int(max_episode_cycles, "max_episode_cycles")
+            max_episode_cycles = min(max_episode_cycles, dataset.n_cycles)
+        self.max_episode_cycles = max_episode_cycles
+        self._rng = derive_rng(seed, 1)
+        self.encoder = StateEncoder(dataset.n_cells, self.window)
+
+        # Episode state (populated by reset()).
+        self._episode_start = 0
+        self._episode_cycles = dataset.n_cycles
+        self._cycle_offset = 0
+        self._selection_matrix = np.zeros((dataset.n_cells, dataset.n_cycles), dtype=int)
+        self._observed = np.full((dataset.n_cells, dataset.n_cycles), np.nan)
+        self._current = np.zeros(dataset.n_cells, dtype=float)
+        self._done = True
+
+    # -- Environment protocol ------------------------------------------------
+
+    @property
+    def n_actions(self) -> int:
+        return self.dataset.n_cells
+
+    @property
+    def n_cells(self) -> int:
+        """Alias for the action count; one action per cell."""
+        return self.dataset.n_cells
+
+    def reset(self) -> np.ndarray:
+        n_cycles = self.dataset.n_cycles
+        if self.max_episode_cycles is None or self.max_episode_cycles >= n_cycles:
+            self._episode_start = 0
+            self._episode_cycles = n_cycles
+        else:
+            self._episode_cycles = self.max_episode_cycles
+            self._episode_start = int(
+                self._rng.integers(0, n_cycles - self.max_episode_cycles + 1)
+            )
+        self._cycle_offset = 0
+        self._selection_matrix = np.zeros((self.n_cells, n_cycles), dtype=int)
+        self._observed = np.full((self.n_cells, n_cycles), np.nan)
+        self._current = np.zeros(self.n_cells, dtype=float)
+        self._done = False
+        return self._state()
+
+    def step(self, action: int) -> Tuple[np.ndarray, float, bool, Dict[str, Any]]:
+        if self._done:
+            raise RuntimeError("step() called on a finished episode; call reset() first")
+        action = int(action)
+        if not 0 <= action < self.n_cells:
+            raise ValueError(f"action {action} out of range [0, {self.n_cells})")
+        if self._current[action] >= 1.0:
+            raise ValueError(f"cell {action} was already sensed in the current cycle")
+
+        cycle = self._absolute_cycle()
+        self._current[action] = 1.0
+        self._observed[action, cycle] = self.dataset.data[action, cycle]
+
+        n_selected = int(self._current.sum())
+        satisfied, error = self._check_quality(cycle, n_selected)
+        reward = self.reward_model.reward(satisfied, cell=action)
+        info: Dict[str, Any] = {
+            "cycle": cycle,
+            "n_selected": n_selected,
+            "error": error,
+            "quality_satisfied": satisfied,
+        }
+
+        if satisfied:
+            self._selection_matrix[:, cycle] = self._current.astype(int)
+            self._cycle_offset += 1
+            self._current = np.zeros(self.n_cells, dtype=float)
+            if self._cycle_offset >= self._episode_cycles:
+                self._done = True
+        return self._state(), reward, self._done, info
+
+    def valid_action_mask(self) -> np.ndarray:
+        return self._current < 1.0
+
+    def render(self) -> str:
+        cycle = min(self._absolute_cycle(), self.dataset.n_cycles - 1)
+        return (
+            f"cycle {cycle}: {int(self._current.sum())}/{self.n_cells} cells sensed, "
+            f"episode cycle {self._cycle_offset + 1}/{self._episode_cycles}"
+        )
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _absolute_cycle(self) -> int:
+        return min(self._episode_start + self._cycle_offset, self.dataset.n_cycles - 1)
+
+    def _state(self) -> np.ndarray:
+        cycle = self._absolute_cycle()
+        return self.encoder.encode(self._selection_matrix, cycle, self._current)
+
+    def _check_quality(self, cycle: int, n_selected: int) -> Tuple[bool, float]:
+        """Exact-error quality check for the current cycle (training stage)."""
+        if n_selected >= self.n_cells:
+            return True, 0.0
+        if n_selected < self.min_cells_before_check:
+            return False, float("inf")
+        start = max(0, cycle + 1 - self.history_window)
+        window = self._observed[:, start : cycle + 1]
+        current = window.shape[1] - 1
+        completed = self.inference.complete(window)
+        sensed = self._current >= 1.0
+        error = cycle_error(
+            self.dataset.data[:, cycle],
+            completed[:, current],
+            metric=self.requirement.metric,
+            exclude=sensed,
+        )
+        return bool(error <= self.requirement.epsilon), float(error)

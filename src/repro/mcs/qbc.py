@@ -1,0 +1,79 @@
+"""The QBC (Query-By-Committee) baseline (paper §5.2).
+
+QBC runs a committee of different inference algorithms on the partially
+observed matrix and selects, as the next cell to sense, the unsensed cell
+whose inferred values disagree the most (largest variance) across the
+committee — i.e. the cell that is currently hardest to infer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.inference.committee import InferenceCommittee
+from repro.mcs.policies import CellSelectionPolicy
+from repro.utils.seeding import RngLike, as_rng
+from repro.utils.validation import check_positive_int
+
+
+class QBCSelectionPolicy(CellSelectionPolicy):
+    """Query-by-committee cell selection.
+
+    Parameters
+    ----------
+    committee:
+        The inference committee whose disagreement drives the selection;
+        defaults to :meth:`InferenceCommittee.default`.
+    coordinates:
+        Cell coordinates handed to the default committee's KNN member.
+    history_window:
+        Number of past cycles included in the matrix handed to the committee
+        (bounds per-selection cost over long campaigns).
+    seed:
+        Seed for tie-breaking randomness.
+    """
+
+    name = "QBC"
+
+    def __init__(
+        self,
+        committee: Optional[InferenceCommittee] = None,
+        *,
+        coordinates: Optional[np.ndarray] = None,
+        history_window: int = 24,
+        seed: RngLike = None,
+    ) -> None:
+        self._rng = as_rng(seed)
+        self.history_window = check_positive_int(history_window, "history_window")
+        if committee is None:
+            committee = InferenceCommittee.default(coordinates=coordinates, seed=self._rng)
+        self.committee = committee
+
+    def select_cell(
+        self,
+        observed_matrix: np.ndarray,
+        cycle: int,
+        sensed_mask: np.ndarray,
+    ) -> int:
+        observed_matrix = np.asarray(observed_matrix, dtype=float)
+        sensed_mask = np.asarray(sensed_mask, dtype=bool)
+        candidates = np.flatnonzero(~sensed_mask)
+        if candidates.size == 0:
+            raise ValueError("all cells are already sensed in this cycle")
+
+        start = max(0, cycle + 1 - self.history_window)
+        window = observed_matrix[:, start : cycle + 1]
+        current = window.shape[1] - 1
+        if not np.any(~np.isnan(window)):
+            # Nothing observed anywhere yet: the committee has no signal, so
+            # fall back to a random first probe.
+            return int(self._rng.choice(candidates))
+
+        disagreement = self.committee.cycle_disagreement(window, current)
+        scores = disagreement[candidates]
+        best = float(scores.max())
+        # Break ties (common in the very first selections) at random.
+        top = candidates[np.flatnonzero(scores == best)]
+        return int(self._rng.choice(top))

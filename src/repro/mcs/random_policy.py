@@ -1,0 +1,33 @@
+"""The RANDOM baseline (paper §5.2).
+
+In each sensing cycle, cells are selected uniformly at random one by one
+until the quality assessor is satisfied.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mcs.policies import CellSelectionPolicy
+from repro.utils.seeding import RngLike, as_rng
+
+
+class RandomSelectionPolicy(CellSelectionPolicy):
+    """Uniform random selection among the cells not yet sensed this cycle."""
+
+    name = "RANDOM"
+
+    def __init__(self, *, seed: RngLike = None) -> None:
+        self._rng = as_rng(seed)
+
+    def select_cell(
+        self,
+        observed_matrix: np.ndarray,
+        cycle: int,
+        sensed_mask: np.ndarray,
+    ) -> int:
+        sensed_mask = np.asarray(sensed_mask, dtype=bool)
+        candidates = np.flatnonzero(~sensed_mask)
+        if candidates.size == 0:
+            raise ValueError("all cells are already sensed in this cycle")
+        return int(self._rng.choice(candidates))

@@ -1,0 +1,162 @@
+"""Campaign result records.
+
+A campaign produces one :class:`CycleRecord` per sensing cycle and a
+:class:`CampaignResult` aggregating them: the cell-selection matrix, the
+per-cycle true inference errors, and the statistics the paper reports
+(average number of selected cells per cycle, fraction of cycles meeting the
+error bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.quality.epsilon_p import QualityRequirement, satisfies_epsilon_p
+
+
+@dataclass(frozen=True)
+class CycleRecord:
+    """Outcome of one sensing cycle.
+
+    Attributes
+    ----------
+    cycle:
+        Cycle index within the campaign.
+    selected_cells:
+        The cells sensed in this cycle, in selection order.
+    true_error:
+        Inference error of the cycle measured against the ground truth over
+        the *unsensed* cells (NaN when the campaign has no ground truth).
+    assessed_satisfied:
+        Whether the quality assessor declared the cycle satisfied (as opposed
+        to collection stopping because every cell was sensed).
+    """
+
+    cycle: int
+    selected_cells: tuple
+    true_error: float
+    assessed_satisfied: bool
+
+    @property
+    def n_selected(self) -> int:
+        """Number of cells sensed in this cycle."""
+        return len(self.selected_cells)
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated outcome of a full sensing campaign."""
+
+    policy_name: str
+    requirement: QualityRequirement
+    n_cells: int
+    records: List[CycleRecord] = field(default_factory=list)
+    inferred_matrix: Optional[np.ndarray] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    # -- construction ---------------------------------------------------------
+
+    def add_record(self, record: CycleRecord) -> None:
+        """Append one cycle's record."""
+        if record.cycle != len(self.records):
+            raise ValueError(
+                f"records must be appended in cycle order; expected cycle "
+                f"{len(self.records)}, got {record.cycle}"
+            )
+        self.records.append(record)
+
+    # -- aggregate statistics -------------------------------------------------
+
+    @property
+    def n_cycles(self) -> int:
+        """Number of cycles recorded."""
+        return len(self.records)
+
+    @property
+    def total_selected(self) -> int:
+        """Total number of data submissions over the whole campaign."""
+        return int(sum(record.n_selected for record in self.records))
+
+    @property
+    def selected_per_cycle(self) -> np.ndarray:
+        """Vector of the number of selected cells in each cycle."""
+        return np.asarray([record.n_selected for record in self.records], dtype=int)
+
+    @property
+    def mean_selected_per_cycle(self) -> float:
+        """The paper's headline metric: average selected cells per cycle."""
+        if not self.records:
+            return float("nan")
+        return float(self.selected_per_cycle.mean())
+
+    @property
+    def errors(self) -> np.ndarray:
+        """Per-cycle true inference errors."""
+        return np.asarray([record.true_error for record in self.records], dtype=float)
+
+    @property
+    def quality_satisfied_fraction(self) -> float:
+        """Fraction of cycles whose true error met the bound ε."""
+        errors = self.errors
+        valid = errors[~np.isnan(errors)]
+        if valid.size == 0:
+            return float("nan")
+        return float(np.mean(valid <= self.requirement.epsilon))
+
+    @property
+    def satisfies_quality(self) -> bool:
+        """Whether the campaign as a whole met its (ε, p)-quality requirement."""
+        errors = self.errors
+        valid = errors[~np.isnan(errors)]
+        if valid.size == 0:
+            return False
+        return satisfies_epsilon_p(valid, self.requirement)
+
+    def selection_matrix(self) -> np.ndarray:
+        """The cells × cycles 0/1 cell-selection matrix S (paper Definition 4)."""
+        matrix = np.zeros((self.n_cells, self.n_cycles), dtype=int)
+        for record in self.records:
+            for cell in record.selected_cells:
+                matrix[cell, record.cycle] = 1
+        return matrix
+
+    def total_cost(self, cell_costs: Optional[np.ndarray] = None) -> float:
+        """Total data-collection cost of the campaign.
+
+        With no ``cell_costs`` every submission costs 1 (the paper's default),
+        so this equals :attr:`total_selected`; with a per-cell cost vector
+        (the paper's future-work extension) each submission is charged its
+        cell's cost.
+        """
+        if cell_costs is None:
+            return float(self.total_selected)
+        costs = np.asarray(cell_costs, dtype=float)
+        if costs.ndim != 1 or costs.shape[0] != self.n_cells:
+            raise ValueError(
+                f"cell_costs must be a length-{self.n_cells} vector, got shape {costs.shape}"
+            )
+        if (costs < 0).any():
+            raise ValueError("cell_costs must be non-negative")
+        total = 0.0
+        for record in self.records:
+            for cell in record.selected_cells:
+                total += float(costs[cell])
+        return total
+
+    def summary(self) -> Dict[str, object]:
+        """One-row summary used by the experiment reports."""
+        errors = self.errors
+        valid = errors[~np.isnan(errors)]
+        return {
+            "policy": self.policy_name,
+            "requirement": self.requirement.describe(),
+            "cycles": self.n_cycles,
+            "mean_selected_per_cycle": round(self.mean_selected_per_cycle, 2),
+            "total_selected": self.total_selected,
+            "mean_error": round(float(valid.mean()), 4) if valid.size else float("nan"),
+            "quality_satisfied_fraction": round(self.quality_satisfied_fraction, 3),
+            "satisfies_quality": self.satisfies_quality,
+        }

@@ -1,0 +1,100 @@
+"""The :class:`SensingTask`: a dataset bound to its quality requirement and inference stack.
+
+A task is what an MCS organiser runs a campaign for — e.g. "temperature over
+the campus at (0.3 °C, 0.9)-quality, inferred with compressive sensing,
+assessed with leave-one-out Bayesian inference".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.datasets.base import SensingDataset
+from repro.inference.base import InferenceAlgorithm
+from repro.inference.compressive import CompressiveSensingInference
+from repro.quality.epsilon_p import QualityRequirement
+from repro.quality.loo_bayesian import LeaveOneOutBayesianAssessor, QualityAssessor
+from repro.utils.seeding import RngLike, derive_rng
+
+
+@dataclass
+class SensingTask:
+    """A Sparse MCS sensing task.
+
+    Attributes
+    ----------
+    dataset:
+        The ground-truth dataset the campaign runs over (the campaign only
+        reveals values of cells it decides to sense).
+    requirement:
+        The (ε, p)-quality requirement.
+    inference:
+        The data-inference algorithm (compressive sensing by default).
+    assessor:
+        The test-time quality assessor (leave-one-out Bayesian by default).
+    """
+
+    dataset: SensingDataset
+    requirement: QualityRequirement
+    inference: Optional[InferenceAlgorithm] = None
+    assessor: Optional[QualityAssessor] = None
+
+    def __post_init__(self) -> None:
+        if self.inference is None:
+            self.inference = CompressiveSensingInference(seed=0)
+        if self.assessor is None:
+            self.assessor = LeaveOneOutBayesianAssessor()
+
+    @property
+    def n_cells(self) -> int:
+        """Number of cells in the task's sensing area."""
+        return self.dataset.n_cells
+
+    @property
+    def n_cycles(self) -> int:
+        """Number of sensing cycles in the task's dataset."""
+        return self.dataset.n_cycles
+
+    def with_dataset(self, dataset: SensingDataset) -> "SensingTask":
+        """A copy of this task bound to a different dataset (e.g. a train/test split)."""
+        return SensingTask(
+            dataset=dataset,
+            requirement=self.requirement,
+            inference=self.inference,
+            assessor=self.assessor,
+        )
+
+    @classmethod
+    def default_temperature_task(
+        cls,
+        dataset: SensingDataset,
+        *,
+        epsilon: float = 0.3,
+        p: float = 0.9,
+        seed: RngLike = 0,
+    ) -> "SensingTask":
+        """The paper's temperature task: (0.3 °C, p)-quality, MAE metric."""
+        return cls(
+            dataset=dataset,
+            requirement=QualityRequirement(epsilon=epsilon, p=p, metric="mae"),
+            inference=CompressiveSensingInference(seed=derive_rng(seed, 0)),
+            assessor=LeaveOneOutBayesianAssessor(),
+        )
+
+    @classmethod
+    def default_pm25_task(
+        cls,
+        dataset: SensingDataset,
+        *,
+        epsilon: float = 9.0 / 36.0,
+        p: float = 0.9,
+        seed: RngLike = 0,
+    ) -> "SensingTask":
+        """The paper's PM2.5 task: (9/36, p)-quality, classification metric."""
+        return cls(
+            dataset=dataset,
+            requirement=QualityRequirement(epsilon=epsilon, p=p, metric="classification"),
+            inference=CompressiveSensingInference(seed=derive_rng(seed, 0)),
+            assessor=LeaveOneOutBayesianAssessor(),
+        )

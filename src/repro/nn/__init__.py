@@ -1,0 +1,62 @@
+"""Minimal NumPy neural-network substrate.
+
+The paper trains its Deep Recurrent Q-Network with TensorFlow; no deep
+learning framework is available in this environment, so this subpackage
+provides the pieces DR-Cell needs, implemented from scratch on NumPy:
+
+* fully-connected (:class:`~repro.nn.layers.Dense`) and recurrent
+  (:class:`~repro.nn.layers.LSTM`) layers with hand-written backpropagation,
+* standard activations and losses,
+* SGD / Momentum / RMSProp / Adam optimizers,
+* a :class:`~repro.nn.network.Sequential` container plus a
+  :class:`~repro.nn.network.RecurrentQNetwork` tailored to the DRQN input
+  layout (a window of recent cell-selection vectors),
+* weight (de)serialization used by the transfer-learning component, and
+* numerical gradient checking used by the test suite.
+"""
+
+from repro.nn.activations import Activation, Identity, ReLU, Sigmoid, Tanh, get_activation
+from repro.nn.initializers import glorot_uniform, he_uniform, orthogonal, zeros_init
+from repro.nn.layers import Dense, Dropout, Layer, LSTM
+from repro.nn.losses import HuberLoss, Loss, MeanSquaredError, get_loss
+from repro.nn.network import QNetworkBase, RecurrentQNetwork, Sequential, FeedForwardQNetwork
+from repro.nn.optimizers import SGD, Adam, Momentum, Optimizer, RMSProp, get_optimizer
+from repro.nn.serialization import load_weights, save_weights, weights_to_dict, weights_from_dict
+from repro.nn.gradcheck import numerical_gradient, relative_error
+
+__all__ = [
+    "Activation",
+    "Identity",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "get_activation",
+    "glorot_uniform",
+    "he_uniform",
+    "orthogonal",
+    "zeros_init",
+    "Dense",
+    "Dropout",
+    "Layer",
+    "LSTM",
+    "HuberLoss",
+    "Loss",
+    "MeanSquaredError",
+    "get_loss",
+    "QNetworkBase",
+    "RecurrentQNetwork",
+    "FeedForwardQNetwork",
+    "Sequential",
+    "SGD",
+    "Adam",
+    "Momentum",
+    "Optimizer",
+    "RMSProp",
+    "get_optimizer",
+    "load_weights",
+    "save_weights",
+    "weights_to_dict",
+    "weights_from_dict",
+    "numerical_gradient",
+    "relative_error",
+]

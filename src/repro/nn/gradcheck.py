@@ -1,0 +1,48 @@
+"""Numerical gradient checking utilities.
+
+Used by the test suite to verify the hand-written backward passes of the
+dense and LSTM layers against central finite differences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+def numerical_gradient(
+    func: Callable[[np.ndarray], float],
+    x: np.ndarray,
+    epsilon: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference estimate of the gradient of ``func`` at ``x``.
+
+    ``func`` must treat ``x`` as read-only and return a scalar; the input is
+    perturbed one element at a time.
+    """
+    x = np.asarray(x, dtype=float)
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    grad_flat = grad.ravel()
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        plus = float(func(x))
+        flat[index] = original - epsilon
+        minus = float(func(x))
+        flat[index] = original
+        grad_flat[index] = (plus - minus) / (2.0 * epsilon)
+    return grad
+
+
+def relative_error(analytic: np.ndarray, numeric: np.ndarray, eps: float = 1e-9) -> float:
+    """Maximum elementwise relative error between two gradient estimates."""
+    analytic = np.asarray(analytic, dtype=float)
+    numeric = np.asarray(numeric, dtype=float)
+    if analytic.shape != numeric.shape:
+        raise ValueError(
+            f"shape mismatch: analytic {analytic.shape} vs numeric {numeric.shape}"
+        )
+    denom = np.maximum(np.abs(analytic) + np.abs(numeric), eps)
+    return float(np.max(np.abs(analytic - numeric) / denom))

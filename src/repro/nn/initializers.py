@@ -1,0 +1,84 @@
+"""Weight initializers for the NumPy neural-network substrate.
+
+Each initializer takes a shape and a random generator and returns a float64
+array.  Keeping them as plain functions (rather than classes) keeps layer
+constructors simple; layers accept the initializer by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.utils.seeding import RngLike, as_rng
+
+Initializer = Callable[[Tuple[int, ...], np.random.Generator], np.ndarray]
+
+
+def zeros_init(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """All-zeros initializer (used for biases)."""
+    del rng
+    return np.zeros(shape, dtype=float)
+
+
+def glorot_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initializer.
+
+    Samples from U(-limit, limit) with ``limit = sqrt(6 / (fan_in + fan_out))``;
+    appropriate for tanh/sigmoid layers such as the LSTM gates.
+    """
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He uniform initializer, appropriate for ReLU layers."""
+    fan_in, _ = _fans(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def orthogonal(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Orthogonal initializer, commonly used for recurrent weight matrices."""
+    if len(shape) != 2:
+        raise ValueError(f"orthogonal initializer requires a 2-D shape, got {shape}")
+    rows, cols = shape
+    size = max(rows, cols)
+    matrix = rng.normal(size=(size, size))
+    q, _ = np.linalg.qr(matrix)
+    return np.ascontiguousarray(q[:rows, :cols])
+
+
+_REGISTRY: Dict[str, Initializer] = {
+    "zeros": zeros_init,
+    "glorot_uniform": glorot_uniform,
+    "he_uniform": he_uniform,
+    "orthogonal": orthogonal,
+}
+
+
+def get_initializer(name: str) -> Initializer:
+    """Look up an initializer by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown initializer {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def initialize(name: str, shape: Tuple[int, ...], seed: RngLike = None) -> np.ndarray:
+    """Convenience wrapper: look up ``name`` and draw an array of ``shape``."""
+    return get_initializer(name)(shape, as_rng(seed))
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Return (fan_in, fan_out) for a weight shape."""
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    receptive = int(np.prod(shape[2:]))
+    return shape[0] * receptive, shape[1] * receptive

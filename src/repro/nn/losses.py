@@ -1,0 +1,120 @@
+"""Loss functions for Q-network training.
+
+Each loss exposes ``value`` (a scalar) and ``gradient`` (dLoss/dPrediction,
+same shape as the predictions).  Both accept an optional elementwise weight
+mask, which the DQN trainer uses to restrict the temporal-difference loss to
+the action actually taken in each sampled transition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+import numpy as np
+
+
+class Loss:
+    """Base class for losses."""
+
+    name = "loss"
+
+    def value(
+        self,
+        predictions: np.ndarray,
+        targets: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+    ) -> float:
+        raise NotImplementedError
+
+    def gradient(
+        self,
+        predictions: np.ndarray,
+        targets: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    @staticmethod
+    def _prepare(
+        predictions: np.ndarray,
+        targets: np.ndarray,
+        weights: Optional[np.ndarray],
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+        predictions = np.asarray(predictions, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if predictions.shape != targets.shape:
+            raise ValueError(
+                f"predictions shape {predictions.shape} != targets shape {targets.shape}"
+            )
+        if weights is None:
+            weights = np.ones_like(predictions)
+        else:
+            weights = np.asarray(weights, dtype=float)
+            if weights.shape != predictions.shape:
+                raise ValueError(
+                    f"weights shape {weights.shape} != predictions shape {predictions.shape}"
+                )
+        denom = float(weights.sum())
+        if denom <= 0:
+            denom = 1.0
+        return predictions, targets, weights, denom
+
+
+class MeanSquaredError(Loss):
+    """Weighted mean squared error: mean of ``w * (pred - target)^2``."""
+
+    name = "mse"
+
+    def value(self, predictions, targets, weights=None) -> float:
+        predictions, targets, weights, denom = self._prepare(predictions, targets, weights)
+        diff = predictions - targets
+        return float(np.sum(weights * diff * diff) / denom)
+
+    def gradient(self, predictions, targets, weights=None) -> np.ndarray:
+        predictions, targets, weights, denom = self._prepare(predictions, targets, weights)
+        return 2.0 * weights * (predictions - targets) / denom
+
+
+class HuberLoss(Loss):
+    """Huber (smooth L1) loss, the standard choice for DQN stability."""
+
+    name = "huber"
+
+    def __init__(self, delta: float = 1.0) -> None:
+        if delta <= 0:
+            raise ValueError(f"delta must be positive, got {delta}")
+        self.delta = float(delta)
+
+    def value(self, predictions, targets, weights=None) -> float:
+        predictions, targets, weights, denom = self._prepare(predictions, targets, weights)
+        diff = predictions - targets
+        abs_diff = np.abs(diff)
+        quadratic = np.minimum(abs_diff, self.delta)
+        linear = abs_diff - quadratic
+        per_element = 0.5 * quadratic * quadratic + self.delta * linear
+        return float(np.sum(weights * per_element) / denom)
+
+    def gradient(self, predictions, targets, weights=None) -> np.ndarray:
+        predictions, targets, weights, denom = self._prepare(predictions, targets, weights)
+        diff = predictions - targets
+        clipped = np.clip(diff, -self.delta, self.delta)
+        return weights * clipped / denom
+
+
+_REGISTRY: Dict[str, Type[Loss]] = {
+    "mse": MeanSquaredError,
+    "mean_squared_error": MeanSquaredError,
+    "huber": HuberLoss,
+}
+
+
+def get_loss(name_or_instance) -> Loss:
+    """Return a :class:`Loss` instance from a name or pass an instance through."""
+    if isinstance(name_or_instance, Loss):
+        return name_or_instance
+    try:
+        return _REGISTRY[str(name_or_instance).lower()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown loss {name_or_instance!r}; available: {sorted(_REGISTRY)}"
+        ) from None

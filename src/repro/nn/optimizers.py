@@ -1,0 +1,189 @@
+"""First-order optimizers for the NumPy neural-network substrate.
+
+Optimizers update parameter dictionaries in place.  Each parameter tensor is
+identified by ``(layer_index, parameter_name)`` so that per-parameter state
+(momentum, second moments) survives across steps even when layers share
+parameter names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple, Type
+
+import numpy as np
+
+from repro.utils.validation import check_non_negative, check_positive
+
+ParamGroups = Iterable[Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray]]]
+
+
+class Optimizer:
+    """Base optimizer over a list of ``(params, grads)`` dictionaries."""
+
+    def __init__(self, learning_rate: float = 1e-3, *, clip_norm: float | None = None) -> None:
+        self.learning_rate = check_positive(learning_rate, "learning_rate")
+        if clip_norm is not None:
+            clip_norm = check_positive(clip_norm, "clip_norm")
+        self.clip_norm = clip_norm
+        self.iterations = 0
+
+    def step(self, groups: ParamGroups) -> None:
+        """Apply one update to every parameter in ``groups``."""
+        groups = list(groups)
+        if self.clip_norm is not None:
+            self._clip_gradients(groups)
+        self.iterations += 1
+        for index, (params, grads) in enumerate(groups):
+            for name, value in params.items():
+                grad = grads.get(name)
+                if grad is None:
+                    continue
+                if grad.shape != value.shape:
+                    raise ValueError(
+                        f"gradient shape {grad.shape} does not match parameter "
+                        f"shape {value.shape} for {name!r}"
+                    )
+                self._update(f"{index}:{name}", value, grad)
+
+    def _update(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _clip_gradients(self, groups: List[Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray]]]) -> None:
+        """Scale all gradients so their global L2 norm is at most ``clip_norm``."""
+        total = 0.0
+        for _, grads in groups:
+            for grad in grads.values():
+                total += float(np.sum(grad * grad))
+        norm = float(np.sqrt(total))
+        if norm > self.clip_norm and norm > 0.0:
+            scale = self.clip_norm / norm
+            for _, grads in groups:
+                for name in grads:
+                    grads[name] = grads[name] * scale
+
+    def reset(self) -> None:
+        """Forget all per-parameter state (moments, velocities)."""
+        self.iterations = 0
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent."""
+
+    def _update(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
+        param -= self.learning_rate * grad
+
+
+class Momentum(Optimizer):
+    """SGD with classical momentum."""
+
+    def __init__(self, learning_rate: float = 1e-3, momentum: float = 0.9, **kwargs) -> None:
+        super().__init__(learning_rate, **kwargs)
+        self.momentum = check_non_negative(momentum, "momentum")
+        if self.momentum >= 1.0:
+            raise ValueError(f"momentum must be < 1, got {momentum}")
+        self._velocity: Dict[str, np.ndarray] = {}
+
+    def _update(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
+        velocity = self._velocity.get(key)
+        if velocity is None:
+            velocity = np.zeros_like(param)
+        velocity = self.momentum * velocity - self.learning_rate * grad
+        self._velocity[key] = velocity
+        param += velocity
+
+    def reset(self) -> None:
+        super().reset()
+        self._velocity.clear()
+
+
+class RMSProp(Optimizer):
+    """RMSProp, the optimizer used by the original DQN paper."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        decay: float = 0.99,
+        epsilon: float = 1e-8,
+        **kwargs,
+    ) -> None:
+        super().__init__(learning_rate, **kwargs)
+        self.decay = check_non_negative(decay, "decay")
+        if self.decay >= 1.0:
+            raise ValueError(f"decay must be < 1, got {decay}")
+        self.epsilon = check_positive(epsilon, "epsilon")
+        self._mean_square: Dict[str, np.ndarray] = {}
+
+    def _update(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
+        mean_square = self._mean_square.get(key)
+        if mean_square is None:
+            mean_square = np.zeros_like(param)
+        mean_square = self.decay * mean_square + (1.0 - self.decay) * grad * grad
+        self._mean_square[key] = mean_square
+        param -= self.learning_rate * grad / (np.sqrt(mean_square) + self.epsilon)
+
+    def reset(self) -> None:
+        super().reset()
+        self._mean_square.clear()
+
+
+class Adam(Optimizer):
+    """Adam optimizer with bias correction (default for DR-Cell training)."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+        **kwargs,
+    ) -> None:
+        super().__init__(learning_rate, **kwargs)
+        for name, value in (("beta1", beta1), ("beta2", beta2)):
+            value = check_non_negative(value, name)
+            if value >= 1.0:
+                raise ValueError(f"{name} must be < 1, got {value}")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.epsilon = check_positive(epsilon, "epsilon")
+        self._m: Dict[str, np.ndarray] = {}
+        self._v: Dict[str, np.ndarray] = {}
+
+    def _update(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
+        m = self._m.get(key)
+        v = self._v.get(key)
+        if m is None:
+            m = np.zeros_like(param)
+            v = np.zeros_like(param)
+        m = self.beta1 * m + (1.0 - self.beta1) * grad
+        v = self.beta2 * v + (1.0 - self.beta2) * grad * grad
+        self._m[key] = m
+        self._v[key] = v
+        m_hat = m / (1.0 - self.beta1**self.iterations)
+        v_hat = v / (1.0 - self.beta2**self.iterations)
+        param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+    def reset(self) -> None:
+        super().reset()
+        self._m.clear()
+        self._v.clear()
+
+
+_REGISTRY: Dict[str, Type[Optimizer]] = {
+    "sgd": SGD,
+    "momentum": Momentum,
+    "rmsprop": RMSProp,
+    "adam": Adam,
+}
+
+
+def get_optimizer(name_or_instance, **kwargs) -> Optimizer:
+    """Return an :class:`Optimizer` from a name (with kwargs) or pass through an instance."""
+    if isinstance(name_or_instance, Optimizer):
+        return name_or_instance
+    try:
+        cls = _REGISTRY[str(name_or_instance).lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown optimizer {name_or_instance!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,69 @@
+"""Weight (de)serialization.
+
+Transfer learning in DR-Cell (paper §4.4) initialises the target task's DRQN
+from the weights learned on a correlated source task.  These helpers store a
+network's weights either as an in-memory dictionary or as an ``.npz`` file,
+without pickling arbitrary objects.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+WeightList = List[Dict[str, np.ndarray]]
+
+
+def weights_to_dict(weights: WeightList) -> Dict[str, np.ndarray]:
+    """Flatten per-layer weight dictionaries into a single flat mapping.
+
+    Keys have the form ``"layer{index}/{name}"`` so the layer structure can
+    be reconstructed unambiguously.
+    """
+    flat: Dict[str, np.ndarray] = {}
+    for index, layer_weights in enumerate(weights):
+        for name, value in layer_weights.items():
+            flat[f"layer{index}/{name}"] = np.asarray(value, dtype=float)
+    flat["__n_layers__"] = np.asarray([len(weights)], dtype=np.int64)
+    return flat
+
+
+def weights_from_dict(flat: Dict[str, np.ndarray]) -> WeightList:
+    """Invert :func:`weights_to_dict`."""
+    if "__n_layers__" not in flat:
+        raise ValueError("missing __n_layers__ marker; not a serialized weight dict")
+    n_layers = int(np.asarray(flat["__n_layers__"]).ravel()[0])
+    weights: WeightList = [dict() for _ in range(n_layers)]
+    for key, value in flat.items():
+        if key == "__n_layers__":
+            continue
+        prefix, _, name = key.partition("/")
+        if not prefix.startswith("layer") or not name:
+            raise ValueError(f"malformed weight key {key!r}")
+        index = int(prefix[len("layer"):])
+        if index >= n_layers:
+            raise ValueError(f"weight key {key!r} refers to layer {index} >= {n_layers}")
+        weights[index][name] = np.asarray(value, dtype=float)
+    return weights
+
+
+def save_weights(weights: WeightList, path: Union[str, Path]) -> Path:
+    """Save weights to an ``.npz`` file and return the resolved path."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **weights_to_dict(weights))
+    return path
+
+
+def load_weights(path: Union[str, Path]) -> WeightList:
+    """Load weights previously written by :func:`save_weights`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no weight file at {path}")
+    with np.load(path) as data:
+        flat = {key: data[key] for key in data.files}
+    return weights_from_dict(flat)

@@ -1,0 +1,23 @@
+"""Quality-assessment substrate for Sparse MCS.
+
+Two pieces (paper Definition 6 and §5.3):
+
+* :mod:`~repro.quality.epsilon_p` — the (ε, p)-quality requirement itself
+  and a campaign-level tracker that records whether each cycle met the error
+  bound ε and whether the whole campaign met the fraction p.
+* :mod:`~repro.quality.loo_bayesian` — the leave-one-out Bayesian assessor
+  used at test time to estimate, *without ground truth*, the probability
+  that the current cycle's inference error is below ε.
+"""
+
+from repro.quality.epsilon_p import QualityRequirement, QualityTracker, satisfies_epsilon_p
+from repro.quality.loo_bayesian import LeaveOneOutBayesianAssessor, OracleAssessor, QualityAssessor
+
+__all__ = [
+    "QualityRequirement",
+    "QualityTracker",
+    "satisfies_epsilon_p",
+    "QualityAssessor",
+    "LeaveOneOutBayesianAssessor",
+    "OracleAssessor",
+]

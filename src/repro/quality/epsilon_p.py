@@ -1,0 +1,101 @@
+"""(ε, p)-quality: the Sparse MCS quality guarantee (paper Definition 6).
+
+A campaign satisfies (ε, p)-quality when, in at least ``p·100%`` of cycles,
+the inference error of that cycle is at most ε.  The requirement couples an
+error bound with a metric because different tasks use different error
+definitions (mean absolute error for temperature/humidity, classification
+error for PM2.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.inference.metrics import get_metric
+from repro.utils.validation import check_non_negative, check_probability
+
+
+@dataclass(frozen=True)
+class QualityRequirement:
+    """An (ε, p)-quality requirement for a sensing task.
+
+    Attributes
+    ----------
+    epsilon:
+        The per-cycle error bound ε (in the units of ``metric``).
+    p:
+        The required fraction of cycles whose error must be ≤ ε.
+    metric:
+        Error-metric name understood by :func:`repro.inference.metrics.get_metric`.
+    """
+
+    epsilon: float
+    p: float = 0.9
+    metric: str = "mae"
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.epsilon, "epsilon")
+        check_probability(self.p, "p")
+        get_metric(self.metric)  # validate the metric name eagerly
+
+    def cycle_satisfied(self, error: float) -> bool:
+        """True when one cycle's error meets the bound ε."""
+        return bool(error <= self.epsilon)
+
+    def describe(self) -> str:
+        """Human-readable form, e.g. ``(0.3, 0.9)-quality [mae]``."""
+        return f"({self.epsilon:g}, {self.p:g})-quality [{self.metric}]"
+
+
+def satisfies_epsilon_p(errors: Sequence[float], requirement: QualityRequirement) -> bool:
+    """Whether a sequence of per-cycle errors satisfies the (ε, p) requirement."""
+    errors = np.asarray(list(errors), dtype=float)
+    if errors.size == 0:
+        raise ValueError("cannot evaluate (epsilon, p)-quality over zero cycles")
+    satisfied = np.count_nonzero(errors <= requirement.epsilon)
+    return bool(satisfied >= requirement.p * errors.size)
+
+
+@dataclass
+class QualityTracker:
+    """Accumulates per-cycle errors of a campaign and reports (ε, p) compliance."""
+
+    requirement: QualityRequirement
+    errors: List[float] = field(default_factory=list)
+
+    def record(self, error: float) -> bool:
+        """Record one cycle's error; return whether that cycle met the bound."""
+        error = float(error)
+        if not np.isfinite(error) or error < 0:
+            raise ValueError(f"cycle error must be a finite non-negative number, got {error}")
+        self.errors.append(error)
+        return self.requirement.cycle_satisfied(error)
+
+    @property
+    def n_cycles(self) -> int:
+        """Number of cycles recorded so far."""
+        return len(self.errors)
+
+    @property
+    def satisfied_fraction(self) -> float:
+        """Fraction of recorded cycles whose error met the bound ε."""
+        if not self.errors:
+            return 0.0
+        within = sum(1 for error in self.errors if self.requirement.cycle_satisfied(error))
+        return within / len(self.errors)
+
+    @property
+    def satisfied(self) -> bool:
+        """Whether the campaign so far satisfies (ε, p)-quality."""
+        if not self.errors:
+            return False
+        return satisfies_epsilon_p(self.errors, self.requirement)
+
+    def mean_error(self) -> float:
+        """Mean per-cycle error over the campaign so far."""
+        if not self.errors:
+            return float("nan")
+        return float(np.mean(self.errors))

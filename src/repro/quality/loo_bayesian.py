@@ -1,0 +1,290 @@
+"""Leave-one-out Bayesian quality assessment (paper Definition 6 and §5.3).
+
+At test time the organiser does not know the ground truth of unsensed cells,
+so it cannot measure the inference error directly.  The Sparse MCS
+literature instead estimates it with a leave-one-out (LOO) procedure: each
+*sensed* cell is removed in turn, re-inferred from the remaining sensed
+cells, and the resulting LOO errors are treated as samples of the cycle's
+inference-error distribution.  A Bayesian posterior over the mean error of
+the *unsensed* cells then gives the probability that the cycle error is
+below ε; data collection stops for the cycle once that probability reaches
+p.
+
+Two assessors are provided:
+
+* :class:`LeaveOneOutBayesianAssessor` — the test-time assessor described
+  above.  For continuous metrics (MAE) a normal-approximation posterior over
+  the mean error is used; for the classification metric a Beta–Bernoulli
+  posterior over the misclassification probability is used.
+* :class:`OracleAssessor` — a train-time assessor with access to the ground
+  truth column, used for reward computation during Q-function training
+  (the paper's footnote 2: during training the organiser is assumed to have
+  collected the data of all the cells for a preliminary period).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+from scipy import stats
+
+from repro.inference.base import InferenceAlgorithm
+from repro.inference.metrics import cycle_error
+from repro.quality.epsilon_p import QualityRequirement
+from repro.utils.validation import check_positive_int
+
+
+class QualityAssessor(abc.ABC):
+    """Decides whether the current cycle has collected enough cells."""
+
+    @abc.abstractmethod
+    def assess(
+        self,
+        observed_matrix: np.ndarray,
+        cycle: int,
+        requirement: QualityRequirement,
+        inference: InferenceAlgorithm,
+    ) -> bool:
+        """Return True when the current cycle is judged to satisfy the requirement.
+
+        Parameters
+        ----------
+        observed_matrix:
+            Cells × cycles matrix of the data collected so far, NaN for
+            unobserved entries; column ``cycle`` is the cycle under
+            assessment.
+        cycle:
+            Index of the current cycle.
+        requirement:
+            The (ε, p)-quality requirement of the task.
+        inference:
+            The inference algorithm the campaign uses (needed for the LOO
+            re-inference).
+        """
+
+
+class LeaveOneOutBayesianAssessor(QualityAssessor):
+    """Leave-one-out Bayesian estimate of P(cycle error ≤ ε).
+
+    Parameters
+    ----------
+    min_observations:
+        Minimum number of sensed cells in the cycle before the assessor is
+        willing to declare the quality satisfied; below this the LOO sample
+        is too small to be trusted and the assessor always returns False.
+    max_loo_cells:
+        Cap on the number of LOO re-inferences per assessment (each one is a
+        full matrix completion); when more cells are sensed a random subset
+        of this size is evaluated.
+    history_window:
+        Number of past cycles included in the matrix handed to the inference
+        algorithm.  Bounding the history keeps each assessment's cost flat
+        over the campaign.
+    """
+
+    def __init__(
+        self,
+        min_observations: int = 3,
+        max_loo_cells: int = 12,
+        history_window: int = 24,
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.min_observations = check_positive_int(min_observations, "min_observations")
+        self.max_loo_cells = check_positive_int(max_loo_cells, "max_loo_cells")
+        self.history_window = check_positive_int(history_window, "history_window")
+        self._rng = rng or np.random.default_rng(0)
+
+    def assess(
+        self,
+        observed_matrix: np.ndarray,
+        cycle: int,
+        requirement: QualityRequirement,
+        inference: InferenceAlgorithm,
+    ) -> bool:
+        probability = self.probability_error_below(
+            observed_matrix, cycle, requirement, inference
+        )
+        return bool(probability >= requirement.p)
+
+    def probability_error_below(
+        self,
+        observed_matrix: np.ndarray,
+        cycle: int,
+        requirement: QualityRequirement,
+        inference: InferenceAlgorithm,
+    ) -> float:
+        """Posterior probability that the current cycle's error is ≤ ε."""
+        observed_matrix = np.asarray(observed_matrix, dtype=float)
+        if not 0 <= cycle < observed_matrix.shape[1]:
+            raise IndexError(
+                f"cycle {cycle} out of range for {observed_matrix.shape[1]} cycles"
+            )
+        window = self._window(observed_matrix, cycle)
+        current = window.shape[1] - 1
+        sensed = np.flatnonzero(~np.isnan(window[:, current]))
+        n_cells = window.shape[0]
+        if sensed.size < self.min_observations:
+            return 0.0
+        if sensed.size == n_cells:
+            # Everything sensed: there is no inference error at all.
+            return 1.0
+
+        true_values, predicted_values = self._leave_one_out_predictions(
+            window, current, sensed, inference
+        )
+        if true_values.size == 0:
+            return 0.0
+        n_unsensed = n_cells - sensed.size
+        if requirement.metric in ("classification", "classification_error"):
+            return self._classification_posterior(
+                true_values, predicted_values, requirement, n_unsensed
+            )
+        loo_errors = np.abs(predicted_values - true_values)
+        return self._continuous_posterior(loo_errors, requirement, n_unsensed)
+
+    # -- internals ---------------------------------------------------------
+
+    def _window(self, observed_matrix: np.ndarray, cycle: int) -> np.ndarray:
+        start = max(0, cycle + 1 - self.history_window)
+        return observed_matrix[:, start : cycle + 1]
+
+    def _leave_one_out_predictions(
+        self,
+        window: np.ndarray,
+        current: int,
+        sensed: np.ndarray,
+        inference: InferenceAlgorithm,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """LOO (true, re-inferred) value pairs for the sensed cells of the cycle."""
+        if sensed.size > self.max_loo_cells:
+            chosen = self._rng.choice(sensed, size=self.max_loo_cells, replace=False)
+        else:
+            chosen = sensed
+        true_values, predicted_values = [], []
+        for cell in chosen:
+            held_out = window.copy()
+            true_value = held_out[cell, current]
+            held_out[cell, current] = np.nan
+            remaining = ~np.isnan(held_out[:, current])
+            if not remaining.any():
+                continue
+            completed = inference.complete(held_out)
+            true_values.append(float(true_value))
+            predicted_values.append(float(completed[cell, current]))
+        return np.asarray(true_values, dtype=float), np.asarray(predicted_values, dtype=float)
+
+    @staticmethod
+    def _continuous_posterior(
+        loo_errors: np.ndarray, requirement: QualityRequirement, n_unsensed: int
+    ) -> float:
+        """Normal-approximation posterior over the mean error of the unsensed cells.
+
+        The LOO errors are treated as i.i.d. samples of the per-cell absolute
+        error; the cycle error (MAE over unsensed cells) is the mean of
+        ``n_unsensed`` such draws, so its posterior predictive mean/standard
+        error follow from the sample statistics.  With only a handful of LOO
+        samples the Student-t quantile widens the uncertainty appropriately.
+        """
+        n = loo_errors.size
+        mean = float(loo_errors.mean())
+        if n == 1:
+            # A single sample carries no variance information; be conservative.
+            return 1.0 if mean <= requirement.epsilon else 0.0
+        std = float(loo_errors.std(ddof=1))
+        standard_error = std / np.sqrt(n_unsensed) + std / np.sqrt(n)
+        if standard_error <= 1e-12:
+            return 1.0 if mean <= requirement.epsilon else 0.0
+        t_stat = (requirement.epsilon - mean) / standard_error
+        return float(stats.t.cdf(t_stat, df=n - 1))
+
+    @staticmethod
+    def _classification_posterior(
+        true_values: np.ndarray,
+        predicted_values: np.ndarray,
+        requirement: QualityRequirement,
+        n_unsensed: int,
+    ) -> float:
+        """Beta–Bernoulli posterior over the misclassification probability.
+
+        Each LOO re-inference gives a Bernoulli outcome — does the
+        re-inferred value fall into a different AQI category than the true
+        value?  With a Jeffreys Beta(1/2, 1/2) prior the posterior over the
+        misclassification probability θ is Beta(1/2 + misses, 1/2 + hits).
+        The cycle's classification error is the *mean* of ``n_unsensed``
+        Bernoulli(θ) outcomes, so the probability that it is ≤ ε is the
+        Beta-Binomial probability of at most ``⌊ε·n_unsensed⌋`` misses among
+        the unsensed cells, with θ integrated out over its posterior.
+        """
+        from repro.datasets.aqi import aqi_category
+
+        true_category = aqi_category(np.clip(true_values, 0.0, None))
+        predicted_category = aqi_category(np.clip(predicted_values, 0.0, None))
+        misses = int(np.count_nonzero(true_category != predicted_category))
+        n = true_values.size
+        alpha = 0.5 + misses
+        beta = 0.5 + (n - misses)
+        allowed_misses = int(np.floor(requirement.epsilon * n_unsensed))
+        posterior_predictive = stats.betabinom(n_unsensed, alpha, beta)
+        return float(posterior_predictive.cdf(allowed_misses))
+
+
+class OracleAssessor(QualityAssessor):
+    """Ground-truth quality assessment used during Q-function training.
+
+    The paper's training stage assumes the organiser has collected the data
+    of all cells for a preliminary period (footnote 2), so the inference
+    error of the current cycle can be computed exactly.
+    """
+
+    def __init__(self, ground_truth: np.ndarray, history_window: int = 24) -> None:
+        self.ground_truth = np.asarray(ground_truth, dtype=float)
+        if self.ground_truth.ndim != 2:
+            raise ValueError("ground_truth must be a cells x cycles matrix")
+        self.history_window = check_positive_int(history_window, "history_window")
+
+    def assess(
+        self,
+        observed_matrix: np.ndarray,
+        cycle: int,
+        requirement: QualityRequirement,
+        inference: InferenceAlgorithm,
+    ) -> bool:
+        error = self.cycle_error(observed_matrix, cycle, requirement, inference)
+        return bool(error <= requirement.epsilon)
+
+    def cycle_error(
+        self,
+        observed_matrix: np.ndarray,
+        cycle: int,
+        requirement: QualityRequirement,
+        inference: InferenceAlgorithm,
+    ) -> float:
+        """Exact inference error of the current cycle over its unsensed cells."""
+        observed_matrix = np.asarray(observed_matrix, dtype=float)
+        if observed_matrix.shape[0] != self.ground_truth.shape[0]:
+            raise ValueError("observed matrix and ground truth disagree on cell count")
+        if not 0 <= cycle < observed_matrix.shape[1]:
+            raise IndexError(
+                f"cycle {cycle} out of range for {observed_matrix.shape[1]} cycles"
+            )
+        start = max(0, cycle + 1 - self.history_window)
+        window = observed_matrix[:, start : cycle + 1]
+        current = window.shape[1] - 1
+        sensed = ~np.isnan(window[:, current])
+        if not np.isnan(window).any():
+            return 0.0
+        if not sensed.any():
+            # Nothing sensed yet: the error of inferring from nothing is
+            # effectively unbounded; report infinity so no requirement passes.
+            return float("inf")
+        completed = inference.complete(window)
+        truth_column = self.ground_truth[:, cycle]
+        return cycle_error(
+            truth_column,
+            completed[:, current],
+            metric=requirement.metric,
+            exclude=sensed,
+        )

@@ -1,0 +1,258 @@
+"""Deep Q-learning with experience replay and fixed Q-targets (paper §4.3, Algorithm 2).
+
+:class:`DQNAgent` is architecture-agnostic: it accepts any
+:class:`~repro.nn.network.QNetworkBase`, so the same loop drives both the
+feed-forward DQN ablation and the paper's recurrent DRQN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.nn.network import QNetworkBase
+from repro.rl.environment import Environment, Transition
+from repro.rl.replay import ReplayBuffer
+from repro.rl.schedules import LinearDecaySchedule, Schedule
+from repro.utils.logging import get_logger
+from repro.utils.seeding import RngLike, as_rng
+from repro.utils.validation import check_positive_int, check_probability
+
+logger = get_logger(__name__)
+
+
+@dataclass
+class DQNConfig:
+    """Hyper-parameters of the deep Q-learning loop.
+
+    Attributes
+    ----------
+    discount:
+        γ used in the TD target.
+    batch_size:
+        Minibatch size sampled from the replay buffer per learning step.
+    replay_capacity:
+        Capacity of the replay buffer.
+    min_replay_size:
+        Number of transitions that must be collected before learning starts.
+    target_update_interval:
+        Number of learning steps between copies of the online network into
+        the fixed-target network (the paper's ``REPLACE_ITER``).
+    learn_every:
+        Environment steps between gradient updates.
+    """
+
+    discount: float = 0.95
+    batch_size: int = 32
+    replay_capacity: int = 10_000
+    min_replay_size: int = 200
+    target_update_interval: int = 100
+    learn_every: int = 1
+
+    def __post_init__(self) -> None:
+        self.discount = check_probability(self.discount, "discount")
+        for name in (
+            "batch_size",
+            "replay_capacity",
+            "min_replay_size",
+            "target_update_interval",
+            "learn_every",
+        ):
+            setattr(self, name, check_positive_int(getattr(self, name), name))
+        if self.min_replay_size < self.batch_size:
+            raise ValueError(
+                "min_replay_size must be at least batch_size "
+                f"({self.min_replay_size} < {self.batch_size})"
+            )
+        if self.replay_capacity < self.min_replay_size:
+            raise ValueError(
+                "replay_capacity must be at least min_replay_size "
+                f"({self.replay_capacity} < {self.min_replay_size})"
+            )
+
+
+@dataclass
+class EpisodeStats:
+    """Summary statistics for one training episode."""
+
+    episode: int
+    total_reward: float
+    steps: int
+    mean_loss: float
+    final_delta: float
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+class DQNAgent:
+    """Deep Q-learning agent with experience replay and fixed Q-targets.
+
+    Parameters
+    ----------
+    network:
+        The online Q-network; a deep copy of it becomes the target network.
+    config:
+        Loop hyper-parameters.
+    exploration:
+        δ schedule; defaults to a linear decay from 1.0 to 0.05.
+    seed:
+        Seed for exploration randomness and replay sampling.
+    """
+
+    def __init__(
+        self,
+        network: QNetworkBase,
+        config: Optional[DQNConfig] = None,
+        *,
+        exploration: Optional[Schedule] = None,
+        seed: RngLike = None,
+    ) -> None:
+        self.online = network
+        self.target = network.clone()
+        self.config = config or DQNConfig()
+        self.exploration = exploration or LinearDecaySchedule(1.0, 0.05, 5_000)
+        self._rng = as_rng(seed)
+        self.replay = ReplayBuffer(self.config.replay_capacity, seed=self._rng)
+        self.total_steps = 0
+        self.learn_steps = 0
+
+    @property
+    def n_actions(self) -> int:
+        return self.online.n_actions
+
+    # -- acting ------------------------------------------------------------
+
+    def select_action(
+        self,
+        state: np.ndarray,
+        *,
+        mask: Optional[np.ndarray] = None,
+        greedy: bool = False,
+    ) -> int:
+        """δ-greedy action selection restricted to valid actions."""
+        mask = self._validate_mask(mask)
+        valid = np.flatnonzero(mask)
+        if valid.size == 0:
+            raise ValueError("no valid actions available")
+        delta = 0.0 if greedy else self.exploration(self.total_steps)
+        if self._rng.random() < delta:
+            return int(self._rng.choice(valid))
+        q = self.online.q_values(state)
+        masked = np.where(mask, q, -np.inf)
+        best = float(masked.max())
+        candidates = np.flatnonzero(masked == best)
+        return int(self._rng.choice(candidates))
+
+    def q_values(self, state: np.ndarray) -> np.ndarray:
+        """Online-network Q-values for a single state."""
+        return self.online.q_values(state)
+
+    # -- learning ----------------------------------------------------------
+
+    def observe(self, transition: Transition) -> Optional[float]:
+        """Record a transition; learn when due.  Returns the loss if a step ran."""
+        self.replay.add(transition)
+        self.total_steps += 1
+        if len(self.replay) < self.config.min_replay_size:
+            return None
+        if self.total_steps % self.config.learn_every != 0:
+            return None
+        return self.learn()
+
+    def learn(self) -> float:
+        """Run one minibatch gradient update and return the loss."""
+        states, actions, rewards, next_states, dones = self.replay.sample_arrays(
+            self.config.batch_size
+        )
+        next_q = self.target.predict(next_states)
+        max_next = next_q.max(axis=1)
+        targets = rewards + self.config.discount * max_next * (~dones)
+        loss = self.online.train_step(states, actions, targets)
+        self.learn_steps += 1
+        if self.learn_steps % self.config.target_update_interval == 0:
+            self.target.copy_weights_from(self.online)
+        return loss
+
+    def train_episode(self, env: Environment, max_steps: int = 10_000) -> EpisodeStats:
+        """Interact with ``env`` for one episode, learning as transitions arrive."""
+        state = env.reset()
+        total_reward = 0.0
+        losses: List[float] = []
+        episode_index = getattr(self, "_episode_counter", 0)
+        steps_taken = 0
+        for _ in range(check_positive_int(max_steps, "max_steps")):
+            mask = env.valid_action_mask()
+            action = self.select_action(state, mask=mask)
+            next_state, reward, done, info = env.step(action)
+            loss = self.observe(
+                Transition(state, action, reward, next_state, done, info=dict(info))
+            )
+            if loss is not None:
+                losses.append(loss)
+            total_reward += reward
+            state = next_state
+            steps_taken += 1
+            if done:
+                break
+        self._episode_counter = episode_index + 1
+        return EpisodeStats(
+            episode=episode_index,
+            total_reward=total_reward,
+            steps=steps_taken,
+            mean_loss=float(np.mean(losses)) if losses else float("nan"),
+            final_delta=self.exploration(self.total_steps),
+        )
+
+    def train(
+        self,
+        env: Environment,
+        episodes: int,
+        *,
+        max_steps_per_episode: int = 10_000,
+        log_every: int = 10,
+    ) -> List[EpisodeStats]:
+        """Train for a fixed number of episodes and return per-episode stats."""
+        episodes = check_positive_int(episodes, "episodes")
+        history: List[EpisodeStats] = []
+        for episode in range(episodes):
+            stats = self.train_episode(env, max_steps=max_steps_per_episode)
+            history.append(stats)
+            if log_every and (episode + 1) % log_every == 0:
+                logger.info(
+                    "episode %d/%d reward=%.2f steps=%d loss=%.4f delta=%.3f",
+                    episode + 1,
+                    episodes,
+                    stats.total_reward,
+                    stats.steps,
+                    stats.mean_loss,
+                    stats.final_delta,
+                )
+        return history
+
+    # -- weights -----------------------------------------------------------
+
+    def get_weights(self):
+        """Online-network weights (used by transfer learning)."""
+        return self.online.get_weights()
+
+    def set_weights(self, weights) -> None:
+        """Load weights into both the online and the target network."""
+        self.online.set_weights(weights)
+        self.target.set_weights(weights)
+
+    def sync_target(self) -> None:
+        """Force-copy online weights into the target network."""
+        self.target.copy_weights_from(self.online)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _validate_mask(self, mask: Optional[np.ndarray]) -> np.ndarray:
+        if mask is None:
+            return np.ones(self.n_actions, dtype=bool)
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.n_actions,):
+            raise ValueError(
+                f"mask shape {mask.shape} does not match n_actions {self.n_actions}"
+            )
+        return mask

@@ -1,0 +1,74 @@
+"""Convenience constructors for the paper's DRQN agent and the DQN ablation.
+
+These wire a Q-network architecture, an exploration schedule and the
+:class:`~repro.rl.dqn.DQNAgent` loop together with sensible defaults so that
+callers (the DR-Cell core and the experiment harness) only specify the
+problem size and a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.nn.network import FeedForwardQNetwork, RecurrentQNetwork
+from repro.rl.dqn import DQNAgent, DQNConfig
+from repro.rl.schedules import LinearDecaySchedule, Schedule
+from repro.utils.seeding import RngLike, derive_rng
+
+
+def build_drqn_agent(
+    n_cells: int,
+    window: int,
+    *,
+    lstm_hidden: int = 64,
+    dense_hidden: Sequence[int] = (64,),
+    learning_rate: float = 1e-3,
+    config: Optional[DQNConfig] = None,
+    exploration: Optional[Schedule] = None,
+    seed: RngLike = None,
+) -> DQNAgent:
+    """Build the paper's Deep Recurrent Q-Network agent.
+
+    The network is an LSTM over the ``window`` most recent cell-selection
+    vectors followed by dense layers producing one Q-value per cell.
+    """
+    network = RecurrentQNetwork(
+        n_cells,
+        window,
+        lstm_hidden=lstm_hidden,
+        dense_hidden=dense_hidden,
+        learning_rate=learning_rate,
+        seed=derive_rng(seed, 0),
+    )
+    return DQNAgent(
+        network,
+        config=config or DQNConfig(),
+        exploration=exploration or LinearDecaySchedule(1.0, 0.05, 5_000),
+        seed=derive_rng(seed, 1),
+    )
+
+
+def build_dqn_agent(
+    n_cells: int,
+    window: int,
+    *,
+    hidden_dims: Sequence[int] = (64, 64),
+    learning_rate: float = 1e-3,
+    config: Optional[DQNConfig] = None,
+    exploration: Optional[Schedule] = None,
+    seed: RngLike = None,
+) -> DQNAgent:
+    """Build the dense (non-recurrent) DQN used as an architecture ablation."""
+    network = FeedForwardQNetwork(
+        n_cells,
+        window,
+        hidden_dims=hidden_dims,
+        learning_rate=learning_rate,
+        seed=derive_rng(seed, 0),
+    )
+    return DQNAgent(
+        network,
+        config=config or DQNConfig(),
+        exploration=exploration or LinearDecaySchedule(1.0, 0.05, 5_000),
+        seed=derive_rng(seed, 1),
+    )

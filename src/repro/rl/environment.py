@@ -1,0 +1,70 @@
+"""Minimal episodic environment protocol and the transition record.
+
+The protocol is deliberately close to the classic gym API but trimmed to
+what the cell-selection problem needs: discrete actions, an optional mask of
+valid actions (cells already sensed this cycle must not be selected again),
+and NumPy-array observations.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A single agent-environment interaction ⟨S, A, R, S′⟩ plus termination flag.
+
+    ``done`` marks the end of an *episode* (e.g. the end of the sensing data
+    used for training), not the end of a cycle; cycle boundaries are part of
+    the state itself in DR-Cell.
+    """
+
+    state: np.ndarray
+    action: int
+    reward: float
+    next_state: np.ndarray
+    done: bool
+    info: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "state", np.asarray(self.state, dtype=float))
+        object.__setattr__(self, "next_state", np.asarray(self.next_state, dtype=float))
+        if self.state.shape != self.next_state.shape:
+            raise ValueError(
+                f"state shape {self.state.shape} != next_state shape {self.next_state.shape}"
+            )
+
+
+class Environment(abc.ABC):
+    """Abstract episodic environment with discrete actions and action masking."""
+
+    @property
+    @abc.abstractmethod
+    def n_actions(self) -> int:
+        """Number of discrete actions."""
+
+    @abc.abstractmethod
+    def reset(self) -> np.ndarray:
+        """Start a new episode and return the initial observation."""
+
+    @abc.abstractmethod
+    def step(self, action: int) -> Tuple[np.ndarray, float, bool, Dict[str, Any]]:
+        """Apply ``action``; return ``(observation, reward, done, info)``."""
+
+    def valid_action_mask(self) -> np.ndarray:
+        """Boolean mask of currently valid actions (default: all valid).
+
+        The paper keeps the action set fixed across states but assigns zero
+        probability to cells already selected in the current cycle; agents
+        respect this mask both when exploring and when exploiting.
+        """
+        return np.ones(self.n_actions, dtype=bool)
+
+    def render(self) -> Optional[str]:
+        """Optional human-readable rendering of the current state."""
+        return None

@@ -1,0 +1,193 @@
+"""Tabular Q-learning (paper §4.2, Algorithm 1).
+
+The Q-function is represented as a table indexed by (state, action).  States
+are arbitrary hashable keys; for DR-Cell the key is the byte representation
+of the binary state window, so the same learner also works for other small
+discrete problems in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+from repro.rl.environment import Environment
+from repro.rl.schedules import ConstantSchedule, Schedule
+from repro.utils.seeding import RngLike, as_rng
+from repro.utils.validation import check_positive_int, check_probability
+
+
+@dataclass
+class TabularQLearningConfig:
+    """Hyper-parameters for :class:`TabularQLearner`.
+
+    Attributes
+    ----------
+    learning_rate:
+        α in the update ``Q ← (1−α)·Q + α·(R + γ·V(S′))``.
+    discount:
+        γ, the future-reward discount.
+    initial_q:
+        Value used for unseen (state, action) pairs.
+    """
+
+    learning_rate: float = 0.1
+    discount: float = 0.95
+    initial_q: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.learning_rate <= 1.0:
+            raise ValueError(f"learning_rate must be in (0, 1], got {self.learning_rate}")
+        self.discount = check_probability(self.discount, "discount")
+
+
+def state_key(state: np.ndarray) -> bytes:
+    """Hashable key for a binary/continuous NumPy state."""
+    return np.ascontiguousarray(np.asarray(state, dtype=float)).tobytes()
+
+
+class TabularQLearner:
+    """Q-table learner with δ-greedy exploration and action masking.
+
+    Parameters
+    ----------
+    n_actions:
+        Size of the discrete action set.
+    config:
+        Learning hyper-parameters.
+    exploration:
+        Schedule for the exploration probability δ; a constant 0.1 by default.
+    seed:
+        Seed or generator for exploration randomness.
+    """
+
+    def __init__(
+        self,
+        n_actions: int,
+        config: Optional[TabularQLearningConfig] = None,
+        *,
+        exploration: Optional[Schedule] = None,
+        seed: RngLike = None,
+    ) -> None:
+        self.n_actions = check_positive_int(n_actions, "n_actions")
+        self.config = config or TabularQLearningConfig()
+        self.exploration = exploration or ConstantSchedule(0.1)
+        self._rng = as_rng(seed)
+        self._table: Dict[Hashable, np.ndarray] = {}
+        self.steps = 0
+
+    # -- Q-table access ----------------------------------------------------
+
+    def q_values(self, state: np.ndarray) -> np.ndarray:
+        """Return (a copy of) the Q-value row for ``state``."""
+        return self._row(state).copy()
+
+    def _row(self, state: np.ndarray) -> np.ndarray:
+        key = state_key(state)
+        row = self._table.get(key)
+        if row is None:
+            row = np.full(self.n_actions, self.config.initial_q, dtype=float)
+            self._table[key] = row
+        return row
+
+    @property
+    def n_states_seen(self) -> int:
+        """Number of distinct states with a Q-table row."""
+        return len(self._table)
+
+    # -- acting ------------------------------------------------------------
+
+    def select_action(
+        self,
+        state: np.ndarray,
+        *,
+        mask: Optional[np.ndarray] = None,
+        greedy: bool = False,
+    ) -> int:
+        """δ-greedy action selection restricted to ``mask``-valid actions."""
+        mask = self._validate_mask(mask)
+        delta = 0.0 if greedy else self.exploration(self.steps)
+        valid = np.flatnonzero(mask)
+        if valid.size == 0:
+            raise ValueError("no valid actions available")
+        if self._rng.random() < delta:
+            return int(self._rng.choice(valid))
+        row = self._row(state)
+        masked = np.where(mask, row, -np.inf)
+        best = float(masked.max())
+        # Break ties randomly so early training does not lock onto action 0.
+        candidates = np.flatnonzero(masked == best)
+        return int(self._rng.choice(candidates))
+
+    # -- learning ----------------------------------------------------------
+
+    def update(
+        self,
+        state: np.ndarray,
+        action: int,
+        reward: float,
+        next_state: np.ndarray,
+        done: bool = False,
+        *,
+        next_mask: Optional[np.ndarray] = None,
+    ) -> float:
+        """Apply the tabular update (paper Eq. 2–3) and return the new Q[S, A]."""
+        if not 0 <= action < self.n_actions:
+            raise ValueError(f"action {action} out of range [0, {self.n_actions})")
+        row = self._row(state)
+        if done:
+            future = 0.0
+        else:
+            next_row = self._row(next_state)
+            next_mask = self._validate_mask(next_mask)
+            masked = np.where(next_mask, next_row, -np.inf)
+            future = float(masked.max())
+            if not np.isfinite(future):
+                future = 0.0
+        alpha = self.config.learning_rate
+        target = reward + self.config.discount * future
+        row[action] = (1.0 - alpha) * row[action] + alpha * target
+        self.steps += 1
+        return float(row[action])
+
+    def train_episode(self, env: Environment, max_steps: int = 10_000) -> Tuple[float, int]:
+        """Run one episode of interaction + learning on ``env``.
+
+        Returns
+        -------
+        tuple
+            ``(total_reward, steps_taken)``.
+        """
+        state = env.reset()
+        total_reward = 0.0
+        for step in range(check_positive_int(max_steps, "max_steps")):
+            mask = env.valid_action_mask()
+            action = self.select_action(state, mask=mask)
+            next_state, reward, done, _ = env.step(action)
+            self.update(
+                state,
+                action,
+                reward,
+                next_state,
+                done,
+                next_mask=env.valid_action_mask(),
+            )
+            total_reward += reward
+            state = next_state
+            if done:
+                return total_reward, step + 1
+        return total_reward, max_steps
+
+    # -- helpers -----------------------------------------------------------
+
+    def _validate_mask(self, mask: Optional[np.ndarray]) -> np.ndarray:
+        if mask is None:
+            return np.ones(self.n_actions, dtype=bool)
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.n_actions,):
+            raise ValueError(
+                f"mask shape {mask.shape} does not match n_actions {self.n_actions}"
+            )
+        return mask

@@ -1,0 +1,97 @@
+"""Experience replay buffer (paper §4.3).
+
+The buffer stores :class:`~repro.rl.environment.Transition` records in a
+fixed-capacity ring and samples uniformly at random, which decorrelates the
+gradient updates of the Q-network.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from repro.rl.environment import Transition
+from repro.utils.seeding import RngLike, as_rng
+from repro.utils.validation import check_positive_int
+
+
+class ReplayBuffer:
+    """Fixed-capacity uniform experience replay.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of transitions kept; the oldest are evicted first.
+    seed:
+        Seed or generator for the sampling stream.
+    """
+
+    def __init__(self, capacity: int, *, seed: RngLike = None) -> None:
+        self.capacity = check_positive_int(capacity, "capacity")
+        self._storage: List[Transition] = []
+        self._next_index = 0
+        self._rng = as_rng(seed)
+
+    def __len__(self) -> int:
+        return len(self._storage)
+
+    def __iter__(self) -> Iterator[Transition]:
+        return iter(list(self._storage))
+
+    @property
+    def is_full(self) -> bool:
+        """True once the buffer has reached its capacity."""
+        return len(self._storage) == self.capacity
+
+    def add(self, transition: Transition) -> None:
+        """Insert one transition, evicting the oldest when at capacity."""
+        if not isinstance(transition, Transition):
+            raise TypeError(f"expected Transition, got {type(transition).__name__}")
+        if len(self._storage) < self.capacity:
+            self._storage.append(transition)
+        else:
+            self._storage[self._next_index] = transition
+        self._next_index = (self._next_index + 1) % self.capacity
+
+    def extend(self, transitions: Sequence[Transition]) -> None:
+        """Insert several transitions in order."""
+        for transition in transitions:
+            self.add(transition)
+
+    def sample(self, batch_size: int) -> List[Transition]:
+        """Sample ``batch_size`` transitions uniformly with replacement-free draws.
+
+        Raises if the buffer holds fewer than ``batch_size`` transitions, so
+        callers are forced to warm up the buffer before learning starts.
+        """
+        batch_size = check_positive_int(batch_size, "batch_size")
+        if batch_size > len(self._storage):
+            raise ValueError(
+                f"cannot sample {batch_size} transitions from a buffer of size "
+                f"{len(self._storage)}"
+            )
+        indices = self._rng.choice(len(self._storage), size=batch_size, replace=False)
+        return [self._storage[int(i)] for i in indices]
+
+    def sample_arrays(self, batch_size: int):
+        """Sample a batch and stack it into arrays ready for the Q-network.
+
+        Returns
+        -------
+        tuple
+            ``(states, actions, rewards, next_states, dones)`` with shapes
+            ``(B, …)``, ``(B,)``, ``(B,)``, ``(B, …)``, ``(B,)``.
+        """
+        batch = self.sample(batch_size)
+        states = np.stack([t.state for t in batch])
+        actions = np.asarray([t.action for t in batch], dtype=int)
+        rewards = np.asarray([t.reward for t in batch], dtype=float)
+        next_states = np.stack([t.next_state for t in batch])
+        dones = np.asarray([t.done for t in batch], dtype=bool)
+        return states, actions, rewards, next_states, dones
+
+    def clear(self) -> None:
+        """Drop all stored transitions."""
+        self._storage.clear()
+        self._next_index = 0

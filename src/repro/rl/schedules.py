@@ -1,0 +1,68 @@
+"""Exploration-rate schedules for the δ-greedy policy.
+
+The paper starts training with a relatively large exploration probability δ
+and gradually reduces it as training proceeds (§4.2).  Schedules map a step
+counter to the exploration probability used at that step.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.utils.validation import check_non_negative, check_positive_int, check_probability
+
+
+class Schedule(abc.ABC):
+    """A mapping from training step to exploration probability δ ∈ [0, 1]."""
+
+    @abc.abstractmethod
+    def value(self, step: int) -> float:
+        """Return δ at ``step`` (0-based)."""
+
+    def __call__(self, step: int) -> float:
+        if step < 0:
+            raise ValueError(f"step must be non-negative, got {step}")
+        delta = self.value(step)
+        # Guard subclasses against drifting outside [0, 1].
+        return min(1.0, max(0.0, float(delta)))
+
+
+class ConstantSchedule(Schedule):
+    """δ fixed for the whole run (useful for evaluation or ablations)."""
+
+    def __init__(self, delta: float) -> None:
+        self.delta = check_probability(delta, "delta")
+
+    def value(self, step: int) -> float:
+        return self.delta
+
+
+class LinearDecaySchedule(Schedule):
+    """Linear interpolation from ``start`` to ``end`` over ``decay_steps`` steps."""
+
+    def __init__(self, start: float = 1.0, end: float = 0.05, decay_steps: int = 10_000) -> None:
+        self.start = check_probability(start, "start")
+        self.end = check_probability(end, "end")
+        self.decay_steps = check_positive_int(decay_steps, "decay_steps")
+
+    def value(self, step: int) -> float:
+        if step >= self.decay_steps:
+            return self.end
+        fraction = step / self.decay_steps
+        return self.start + fraction * (self.end - self.start)
+
+
+class ExponentialDecaySchedule(Schedule):
+    """Exponential decay ``end + (start - end)·exp(-step/tau)``."""
+
+    def __init__(self, start: float = 1.0, end: float = 0.05, tau: float = 2_000.0) -> None:
+        self.start = check_probability(start, "start")
+        self.end = check_probability(end, "end")
+        self.tau = check_non_negative(tau, "tau")
+        if self.tau == 0:
+            raise ValueError("tau must be strictly positive")
+
+    def value(self, step: int) -> float:
+        import math
+
+        return self.end + (self.start - self.end) * math.exp(-step / self.tau)

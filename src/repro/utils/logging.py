@@ -1,0 +1,49 @@
+"""Library-wide logging configuration.
+
+The library never configures the root logger; it only attaches a
+``NullHandler`` to its own namespace so that applications stay in control of
+log routing.  ``get_logger`` is the single entry point every module uses.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_LIBRARY_ROOT = "repro"
+
+logging.getLogger(_LIBRARY_ROOT).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under the library root.
+
+    Parameters
+    ----------
+    name:
+        Usually ``__name__`` of the calling module.  Names outside the
+        ``repro`` namespace are re-parented under it so that a single
+        ``logging.getLogger("repro")`` handler captures everything.
+    """
+    if not name.startswith(_LIBRARY_ROOT):
+        name = f"{_LIBRARY_ROOT}.{name}"
+    return logging.getLogger(name)
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Convenience helper for examples and scripts: log to stderr.
+
+    Safe to call repeatedly; only one console handler is attached.
+    """
+    root = logging.getLogger(_LIBRARY_ROOT)
+    root.setLevel(level)
+    has_console = any(
+        isinstance(handler, logging.StreamHandler)
+        and not isinstance(handler, logging.NullHandler)
+        for handler in root.handlers
+    )
+    if not has_console:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)s %(name)s: %(message)s")
+        )
+        root.addHandler(handler)

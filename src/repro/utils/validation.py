@@ -1,0 +1,91 @@
+"""Argument-validation helpers shared by all subpackages.
+
+Raising early with a precise message is cheaper than chasing a NaN through a
+training run, so public constructors validate their inputs with these
+helpers.  Each helper returns the validated (possibly coerced) value so it
+can be used inline in assignments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite number strictly greater than zero."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a finite positive number, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite number greater than or equal to zero."""
+    value = float(value)
+    if not np.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be a finite non-negative number, got {value!r}")
+    return value
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is an integer strictly greater than zero."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    value = float(value)
+    if not np.isfinite(value) or value < 0.0 or value > 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Validate that ``value`` lies in the half-open interval (0, 1]."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0.0 or value > 1.0:
+        raise ValueError(f"{name} must lie in (0, 1], got {value!r}")
+    return value
+
+
+def check_matrix(
+    matrix: np.ndarray,
+    name: str,
+    *,
+    shape: Optional[Tuple[Optional[int], Optional[int]]] = None,
+    allow_nan: bool = True,
+) -> np.ndarray:
+    """Validate a 2-D float matrix and return it as ``np.ndarray`` of float64.
+
+    Parameters
+    ----------
+    matrix:
+        Array-like to validate.
+    name:
+        Name used in error messages.
+    shape:
+        Optional ``(rows, cols)`` constraint; ``None`` entries are wildcards.
+    allow_nan:
+        When False, NaN entries raise.  Missing observations in the library
+        are represented as NaN, so most callers keep the default.
+    """
+    arr = np.asarray(matrix, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be a 2-D matrix, got ndim={arr.ndim}")
+    if shape is not None:
+        rows, cols = shape
+        if rows is not None and arr.shape[0] != rows:
+            raise ValueError(f"{name} must have {rows} rows, got {arr.shape[0]}")
+        if cols is not None and arr.shape[1] != cols:
+            raise ValueError(f"{name} must have {cols} columns, got {arr.shape[1]}")
+    if not allow_nan and np.isnan(arr).any():
+        raise ValueError(f"{name} must not contain NaN values")
+    if np.isinf(arr).any():
+        raise ValueError(f"{name} must not contain infinite values")
+    return arr

@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite.
+
+The fixtures build deliberately tiny datasets and agents so that the whole
+suite stays fast; the experiment-scale integration tests use the TINY scale
+from :mod:`repro.experiments.config`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_sensorscope, generate_uair
+from repro.quality import QualityRequirement
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """A session-wide deterministic random generator for test data."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_temperature_dataset():
+    """A small temperature dataset (8 cells, 2-hour cycles, 1.5 days)."""
+    return generate_sensorscope(
+        "temperature", n_cells=8, duration_days=1.5, cycle_length_hours=2.0, seed=7
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_humidity_dataset():
+    """A small humidity dataset correlated with ``tiny_temperature_dataset``."""
+    return generate_sensorscope(
+        "humidity", n_cells=8, duration_days=1.5, cycle_length_hours=2.0, seed=7
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_pm25_dataset():
+    """A small PM2.5 dataset (9 cells, 2-hour cycles, 1.5 days)."""
+    return generate_uair(n_cells=9, duration_days=1.5, cycle_length_hours=2.0, seed=7)
+
+
+@pytest.fixture(scope="session")
+def loose_mae_requirement() -> QualityRequirement:
+    """A loose MAE requirement that small campaigns can satisfy quickly."""
+    return QualityRequirement(epsilon=1.0, p=0.8, metric="mae")
+
+
+@pytest.fixture
+def low_rank_matrix(rng) -> np.ndarray:
+    """A rank-2 cells × cycles matrix with mild noise, for inference tests."""
+    n_cells, n_cycles, rank = 12, 20, 2
+    cell_factors = rng.normal(size=(n_cells, rank))
+    cycle_factors = rng.normal(size=(n_cycles, rank))
+    return cell_factors @ cycle_factors.T + 0.01 * rng.normal(size=(n_cells, n_cycles))
+
+
+def mask_entries(matrix: np.ndarray, fraction_missing: float, rng: np.random.Generator) -> np.ndarray:
+    """Return a copy of ``matrix`` with a random fraction of entries set to NaN."""
+    observed = matrix.copy()
+    mask = rng.random(matrix.shape) < fraction_missing
+    # Keep at least one observation per column so inference has a signal.
+    for j in range(matrix.shape[1]):
+        if mask[:, j].all():
+            mask[rng.integers(0, matrix.shape[0]), j] = False
+    observed[mask] = np.nan
+    return observed

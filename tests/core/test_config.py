@@ -1,0 +1,47 @@
+"""Tests for repro.core.config."""
+
+import pytest
+
+from repro.core.config import DRCellConfig
+from repro.rl.dqn import DQNConfig
+
+
+class TestDRCellConfig:
+    def test_defaults_are_valid(self):
+        config = DRCellConfig()
+        assert config.window == 2
+        assert config.recurrent
+        assert isinstance(config.dqn, DQNConfig)
+
+    def test_resolve_bonus_defaults_to_cell_count(self):
+        config = DRCellConfig()
+        assert config.resolve_bonus(57) == 57.0
+
+    def test_resolve_bonus_explicit_value(self):
+        config = DRCellConfig(bonus=10.0)
+        assert config.resolve_bonus(57) == 10.0
+
+    def test_invalid_window_raises(self):
+        with pytest.raises(ValueError):
+            DRCellConfig(window=0)
+
+    def test_invalid_exploration_schedule_raises(self):
+        with pytest.raises(ValueError):
+            DRCellConfig(exploration_start=0.1, exploration_end=0.5)
+
+    def test_negative_cost_raises(self):
+        with pytest.raises(ValueError):
+            DRCellConfig(cost=-1.0)
+
+    def test_dense_hidden_validated(self):
+        with pytest.raises(ValueError):
+            DRCellConfig(dense_hidden=(16, 0))
+
+    def test_scaled_for_quick_run_is_smaller(self):
+        config = DRCellConfig()
+        quick = config.scaled_for_quick_run()
+        assert quick.episodes < config.episodes
+        assert quick.lstm_hidden < config.lstm_hidden
+        assert quick.dqn.batch_size <= config.dqn.batch_size
+        # The original is untouched.
+        assert config.episodes == 20

@@ -1,0 +1,148 @@
+"""Tests for repro.core.drcell and repro.core.trainer."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DRCellConfig
+from repro.core.drcell import DRCellAgent, DRCellPolicy
+from repro.core.trainer import DRCellTrainer
+from repro.inference.interpolation import SpatialMeanInference
+from repro.quality.epsilon_p import QualityRequirement
+from repro.rl.dqn import DQNConfig
+
+
+def quick_config(**overrides):
+    defaults = dict(
+        window=2,
+        episodes=2,
+        lstm_hidden=8,
+        dense_hidden=(8,),
+        exploration_start=0.8,
+        exploration_end=0.1,
+        exploration_decay_steps=100,
+        min_cells_before_check=2,
+        history_window=4,
+        dqn=DQNConfig(
+            batch_size=8,
+            replay_capacity=500,
+            min_replay_size=16,
+            target_update_interval=20,
+            learn_every=2,
+        ),
+        seed=0,
+    )
+    defaults.update(overrides)
+    return DRCellConfig(**defaults)
+
+
+class TestBuild:
+    def test_recurrent_agent_dimensions(self):
+        agent = DRCellAgent.build(6, quick_config())
+        assert agent.n_cells == 6
+        assert agent.window == 2
+        assert agent.q_values(np.zeros((2, 6))).shape == (6,)
+
+    def test_feedforward_agent_dimensions(self):
+        agent = DRCellAgent.build(6, quick_config(recurrent=False, dense_hidden=(8, 8)))
+        assert agent.q_values(np.zeros((2, 6))).shape == (6,)
+
+    def test_default_config_used_when_omitted(self):
+        agent = DRCellAgent.build(4)
+        assert agent.config.window == 2
+
+
+class TestSelection:
+    def test_select_cell_avoids_sensed(self):
+        agent = DRCellAgent.build(5, quick_config())
+        observed = np.full((5, 3), np.nan)
+        sensed = np.array([True, True, False, True, True])
+        assert agent.select_cell(observed, 1, sensed) == 2
+
+    def test_policy_wrapper_delegates(self):
+        agent = DRCellAgent.build(5, quick_config())
+        policy = agent.policy()
+        assert isinstance(policy, DRCellPolicy)
+        observed = np.full((5, 3), np.nan)
+        sensed = np.zeros(5, dtype=bool)
+        cell = policy.select_cell(observed, 0, sensed)
+        assert 0 <= cell < 5
+
+    def test_policy_name_override(self):
+        agent = DRCellAgent.build(3, quick_config())
+        policy = DRCellPolicy(agent, name="CUSTOM")
+        assert policy.name == "CUSTOM"
+
+
+class TestWeightsRoundTrip:
+    def test_save_load_roundtrip(self, tmp_path):
+        agent = DRCellAgent.build(5, quick_config())
+        path = agent.save(tmp_path / "agent")
+        other = DRCellAgent.build(5, quick_config(seed=99))
+        state = np.random.default_rng(0).integers(0, 2, (2, 5)).astype(float)
+        assert not np.allclose(agent.q_values(state), other.q_values(state))
+        other.load(path)
+        assert np.allclose(agent.q_values(state), other.q_values(state))
+
+
+class TestTrainer:
+    def test_training_produces_report(self, tiny_temperature_dataset):
+        trainer = DRCellTrainer(quick_config(), inference=SpatialMeanInference())
+        agent, report = trainer.train(
+            tiny_temperature_dataset, QualityRequirement(epsilon=1.0, p=0.9)
+        )
+        assert report.episodes == 2
+        assert report.total_steps > 0
+        assert report.wall_clock_seconds > 0
+        assert len(report.episode_rewards) == 2
+        assert agent.training_info["episodes_trained"] == 2
+
+    def test_training_report_statistics(self, tiny_temperature_dataset):
+        trainer = DRCellTrainer(quick_config(), inference=SpatialMeanInference())
+        _, report = trainer.train(
+            tiny_temperature_dataset, QualityRequirement(epsilon=1.0, p=0.9)
+        )
+        assert np.isfinite(report.mean_episode_reward)
+        assert np.isfinite(report.final_episode_reward)
+        assert report.mean_selections_per_cycle_last_episode >= 1.0
+
+    def test_continue_training_existing_agent(self, tiny_temperature_dataset):
+        config = quick_config()
+        trainer = DRCellTrainer(config, inference=SpatialMeanInference())
+        agent, _ = trainer.train(tiny_temperature_dataset, QualityRequirement(epsilon=1.0))
+        agent, _ = trainer.train(
+            tiny_temperature_dataset,
+            QualityRequirement(epsilon=1.0),
+            agent=agent,
+            episodes=1,
+        )
+        assert agent.training_info["episodes_trained"] == 3
+
+    def test_cell_count_mismatch_raises(self, tiny_temperature_dataset):
+        trainer = DRCellTrainer(quick_config(), inference=SpatialMeanInference())
+        wrong_agent = DRCellAgent.build(tiny_temperature_dataset.n_cells + 1, quick_config())
+        with pytest.raises(ValueError):
+            trainer.train(
+                tiny_temperature_dataset,
+                QualityRequirement(epsilon=1.0),
+                agent=wrong_agent,
+            )
+
+    def test_environment_uses_config_bonus(self, tiny_temperature_dataset):
+        config = quick_config(bonus=3.0, cost=0.5)
+        trainer = DRCellTrainer(config, inference=SpatialMeanInference())
+        env = trainer.build_environment(
+            tiny_temperature_dataset, QualityRequirement(epsilon=1.0)
+        )
+        assert env.reward_model.bonus == 3.0
+        assert env.reward_model.cost == 0.5
+
+    def test_training_learns_on_easy_task(self, tiny_temperature_dataset):
+        # With a generous epsilon the minimal policy is "sense the minimum
+        # number of cells"; after a few episodes the selections per cycle in
+        # the final episode should not exceed the worst case.
+        config = quick_config(episodes=3)
+        trainer = DRCellTrainer(config, inference=SpatialMeanInference())
+        _, report = trainer.train(
+            tiny_temperature_dataset, QualityRequirement(epsilon=2.5, p=0.9)
+        )
+        assert report.mean_selections_per_cycle_last_episode < tiny_temperature_dataset.n_cells

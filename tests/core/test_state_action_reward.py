@@ -1,0 +1,128 @@
+"""Tests for the DR-Cell state, action and reward models (paper §4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.action import ActionSpace
+from repro.core.reward import DRCellRewardModel
+from repro.core.state import DRCellStateModel, state_space_size
+
+
+class TestStateSpaceSize:
+    def test_paper_examples(self):
+        # Paper §4.1: 5 cells over 2 cycles -> 2^10 = 1024 states.
+        assert state_space_size(5, 2) == 1024
+        # Paper §4.2: 50 cells over 2 cycles -> 2^100 states.
+        assert state_space_size(50, 2) == 2**100
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            state_space_size(0, 2)
+        with pytest.raises(ValueError):
+            state_space_size(5, 0)
+
+
+class TestDRCellStateModel:
+    def test_shape_and_counts(self):
+        model = DRCellStateModel(n_cells=6, window=3)
+        assert model.shape == (3, 6)
+        assert model.n_cells == 6
+        assert model.window == 3
+        assert model.n_states == 2**18
+
+    def test_from_observations_recovers_past_selections(self):
+        model = DRCellStateModel(n_cells=4, window=2)
+        observed = np.array(
+            [
+                [1.0, np.nan],
+                [np.nan, 2.0],
+                [3.0, np.nan],
+                [np.nan, np.nan],
+            ]
+        )
+        sensed_now = np.array([False, False, True, False])
+        state = model.from_observations(observed, cycle=2, sensed_mask=sensed_now)
+        # Previous cycle (index 1): only cell 1 observed.
+        assert state[0].tolist() == [0.0, 1.0, 0.0, 0.0]
+        # Current cycle: cell 2 sensed.
+        assert state[1].tolist() == [0.0, 0.0, 1.0, 0.0]
+
+    def test_from_observations_first_cycle_has_empty_history(self):
+        model = DRCellStateModel(n_cells=3, window=2)
+        observed = np.full((3, 5), np.nan)
+        state = model.from_observations(observed, 0, np.array([True, False, False]))
+        assert np.array_equal(state[0], np.zeros(3))
+        assert state[1].tolist() == [1.0, 0.0, 0.0]
+
+    def test_cell_count_mismatch_raises(self):
+        model = DRCellStateModel(n_cells=3, window=2)
+        with pytest.raises(ValueError):
+            model.from_observations(np.zeros((5, 4)), 1, np.zeros(3))
+
+    def test_from_selection_history_delegates_to_encoder(self):
+        model = DRCellStateModel(n_cells=3, window=2)
+        selections = np.array([[1, 0], [0, 1], [0, 0]])
+        state = model.from_selection_history(selections, 1, np.array([0.0, 0.0, 1.0]))
+        assert state[0].tolist() == [1.0, 0.0, 0.0]
+        assert state[1].tolist() == [0.0, 0.0, 1.0]
+
+
+class TestActionSpace:
+    def test_len_and_contains(self):
+        space = ActionSpace(5)
+        assert len(space) == 5
+        assert 4 in space
+        assert 5 not in space
+        assert space.all_actions().tolist() == [0, 1, 2, 3, 4]
+
+    def test_mask_from_boolean_vector(self):
+        space = ActionSpace(4)
+        mask = space.mask_from_sensed(np.array([True, False, True, False]))
+        assert mask.tolist() == [False, True, False, True]
+
+    def test_mask_from_index_list(self):
+        space = ActionSpace(4)
+        mask = space.mask_from_sensed([0, 3])
+        assert mask.tolist() == [False, True, True, False]
+
+    def test_empty_sensed_gives_all_valid(self):
+        space = ActionSpace(3)
+        assert space.mask_from_sensed([]).all()
+
+    def test_out_of_range_index_raises(self):
+        space = ActionSpace(3)
+        with pytest.raises(ValueError):
+            space.mask_from_sensed([5])
+
+    def test_validate(self):
+        space = ActionSpace(3)
+        mask = np.array([True, False, True])
+        assert space.validate(0, mask) == 0
+        with pytest.raises(ValueError):
+            space.validate(1, mask)
+        with pytest.raises(ValueError):
+            space.validate(9, mask)
+
+
+class TestDRCellRewardModel:
+    def test_for_area_uses_cell_count_as_bonus(self):
+        model = DRCellRewardModel.for_area(5)
+        assert model.bonus == 5.0
+        assert model.cost == 1.0
+
+    def test_paper_figure5_rewards(self):
+        # Paper Figure 5 example: R = 5 (cell count), c = 1; a submission that
+        # does not satisfy quality earns -1, one that does earns 4.
+        model = DRCellRewardModel.for_area(5)
+        assert model.reward(False) == pytest.approx(-1.0)
+        assert model.reward(True) == pytest.approx(4.0)
+
+    def test_cycle_return_decreases_with_more_selections(self):
+        model = DRCellRewardModel.for_area(10)
+        assert model.cycle_return(2) > model.cycle_return(5)
+        assert model.cycle_return(3) == pytest.approx(10 - 3)
+
+    def test_break_even(self):
+        model = DRCellRewardModel(bonus=12.0, cost=2.0)
+        assert model.break_even_selections() == pytest.approx(6.0)
+        assert DRCellRewardModel(bonus=5.0, cost=0.0).break_even_selections() == float("inf")

@@ -1,0 +1,107 @@
+"""Tests for repro.core.transfer (transfer learning, paper §4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DRCellConfig
+from repro.core.drcell import DRCellAgent
+from repro.core.trainer import DRCellTrainer
+from repro.core.transfer import initialize_from_source, transfer_train
+from repro.inference.interpolation import SpatialMeanInference
+from repro.quality.epsilon_p import QualityRequirement
+from repro.rl.dqn import DQNConfig
+
+
+def quick_config(**overrides):
+    defaults = dict(
+        window=2,
+        episodes=1,
+        lstm_hidden=8,
+        dense_hidden=(8,),
+        exploration_decay_steps=100,
+        min_cells_before_check=2,
+        history_window=4,
+        dqn=DQNConfig(
+            batch_size=8,
+            replay_capacity=300,
+            min_replay_size=16,
+            target_update_interval=20,
+            learn_every=2,
+        ),
+        seed=0,
+    )
+    defaults.update(overrides)
+    return DRCellConfig(**defaults)
+
+
+class TestInitializeFromSource:
+    def test_weights_copied(self):
+        source = DRCellAgent.build(6, quick_config())
+        target = initialize_from_source(source)
+        state = np.random.default_rng(0).integers(0, 2, (2, 6)).astype(float)
+        assert np.allclose(source.q_values(state), target.q_values(state))
+        assert "transferred_from" in target.training_info
+
+    def test_target_is_independent_copy(self):
+        source = DRCellAgent.build(4, quick_config())
+        target = initialize_from_source(source)
+        weights = target.get_weights()
+        weights[0]["Wx"][:] += 1.0
+        target.set_weights(weights)
+        state = np.ones((2, 4))
+        assert not np.allclose(source.q_values(state), target.q_values(state))
+
+    def test_window_mismatch_raises(self):
+        source = DRCellAgent.build(4, quick_config(window=2))
+        with pytest.raises(ValueError):
+            initialize_from_source(source, quick_config(window=3))
+
+    def test_architecture_mismatch_raises(self):
+        source = DRCellAgent.build(4, quick_config(recurrent=True))
+        with pytest.raises(ValueError):
+            initialize_from_source(source, quick_config(recurrent=False))
+
+    def test_size_mismatch_raises(self):
+        source = DRCellAgent.build(4, quick_config(lstm_hidden=8))
+        with pytest.raises(ValueError):
+            initialize_from_source(source, quick_config(lstm_hidden=16))
+
+
+class TestTransferTrain:
+    def test_transfer_fine_tunes_on_target(self, tiny_temperature_dataset, tiny_humidity_dataset):
+        config = quick_config()
+        trainer = DRCellTrainer(config, inference=SpatialMeanInference())
+        source_agent, _ = trainer.train(
+            tiny_temperature_dataset, QualityRequirement(epsilon=1.0, p=0.9)
+        )
+        target_small = tiny_humidity_dataset.slice_cycles(0, 4)
+        agent, report = transfer_train(
+            source_agent,
+            target_small,
+            QualityRequirement(epsilon=3.0, p=0.9),
+            fine_tune_episodes=1,
+            trainer=trainer,
+        )
+        assert agent.training_info["strategy"] == "TRANSFER"
+        assert report.episodes == 1
+        assert agent.n_cells == tiny_humidity_dataset.n_cells
+
+    def test_cell_count_mismatch_raises(self, tiny_temperature_dataset, tiny_pm25_dataset):
+        config = quick_config()
+        source = DRCellAgent.build(tiny_temperature_dataset.n_cells, config)
+        with pytest.raises(ValueError):
+            transfer_train(
+                source,
+                tiny_pm25_dataset,  # different number of cells
+                QualityRequirement(epsilon=0.3, metric="classification"),
+            )
+
+    def test_invalid_episode_count_raises(self, tiny_temperature_dataset):
+        source = DRCellAgent.build(tiny_temperature_dataset.n_cells, quick_config())
+        with pytest.raises(ValueError):
+            transfer_train(
+                source,
+                tiny_temperature_dataset,
+                QualityRequirement(epsilon=1.0),
+                fine_tune_episodes=0,
+            )

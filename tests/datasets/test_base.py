@@ -1,0 +1,103 @@
+"""Tests for repro.datasets.base (SensingDataset)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import SensingDataset
+
+
+def make_dataset(n_cells=6, n_cycles=24, cycle_hours=1.0):
+    rng = np.random.default_rng(0)
+    return SensingDataset(
+        name="test",
+        data=rng.normal(size=(n_cells, n_cycles)),
+        coordinates=rng.random((n_cells, 2)),
+        cycle_length_hours=cycle_hours,
+        metric="mae",
+        units="u",
+        cell_size="1m x 1m",
+        city="Testville",
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        dataset = make_dataset(6, 24, 1.0)
+        assert dataset.n_cells == 6
+        assert dataset.n_cycles == 24
+        assert dataset.duration_days == pytest.approx(1.0)
+        assert dataset.cycles_per_day == 24
+
+    def test_nan_data_rejected(self):
+        data = np.zeros((3, 4))
+        data[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            SensingDataset("bad", data, np.zeros((3, 2)), 1.0)
+
+    def test_coordinate_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SensingDataset("bad", np.zeros((3, 4)), np.zeros((2, 2)), 1.0)
+
+    def test_invalid_cycle_length_rejected(self):
+        with pytest.raises(ValueError):
+            SensingDataset("bad", np.zeros((3, 4)), np.zeros((3, 2)), 0.0)
+
+    def test_mean_std(self):
+        dataset = make_dataset()
+        assert dataset.mean() == pytest.approx(float(dataset.data.mean()))
+        assert dataset.std() == pytest.approx(float(dataset.data.std()))
+
+
+class TestSplits:
+    def test_train_test_split_covers_all_cycles(self):
+        dataset = make_dataset(6, 48, 1.0)
+        train, test = dataset.train_test_split(training_days=1.0)
+        assert train.n_cycles == 24
+        assert test.n_cycles == 24
+        assert np.allclose(
+            np.concatenate([train.data, test.data], axis=1), dataset.data
+        )
+
+    def test_split_preserves_metadata(self):
+        dataset = make_dataset()
+        train, test = dataset.train_test_split(training_days=0.5)
+        for part in (train, test):
+            assert part.metric == dataset.metric
+            assert part.cycle_length_hours == dataset.cycle_length_hours
+            assert part.n_cells == dataset.n_cells
+        assert train.name.endswith("train")
+        assert test.name.endswith("test")
+
+    def test_split_longer_than_dataset_raises(self):
+        dataset = make_dataset(6, 24, 1.0)
+        with pytest.raises(ValueError):
+            dataset.train_test_split(training_days=2.0)
+
+    def test_slice_cycles(self):
+        dataset = make_dataset(6, 24, 1.0)
+        part = dataset.slice_cycles(4, 10)
+        assert part.n_cycles == 6
+        assert np.allclose(part.data, dataset.data[:, 4:10])
+
+    def test_slice_invalid_range_raises(self):
+        dataset = make_dataset()
+        with pytest.raises(ValueError):
+            dataset.slice_cycles(10, 5)
+
+    def test_slice_is_a_copy(self):
+        dataset = make_dataset()
+        part = dataset.slice_cycles(0, 5)
+        part.data[0, 0] = 999.0
+        assert dataset.data[0, 0] != 999.0
+
+    def test_cycles_for_days(self):
+        dataset = make_dataset(6, 48, 0.5)
+        assert dataset.cycles_for_days(1.0) == 48
+        assert dataset.cycles_for_days(0.25) == 12
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        summary = make_dataset().summary()
+        for key in ("dataset", "n_cells", "cycle_length_h", "duration_d", "mean", "std"):
+            assert key in summary

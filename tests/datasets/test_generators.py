@@ -1,0 +1,223 @@
+"""Tests for the spatial/temporal building blocks and the dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.aqi import AQI_BREAKPOINTS, aqi_category, aqi_category_name
+from repro.datasets.sensorscope import (
+    HUMIDITY_MEAN,
+    HUMIDITY_STD,
+    TEMPERATURE_MEAN,
+    TEMPERATURE_STD,
+    generate_sensorscope,
+    generate_sensorscope_pair,
+)
+from repro.datasets.spatial import (
+    grid_coordinates,
+    sample_spatial_field,
+    select_valid_cells,
+    squared_exponential_kernel,
+)
+from repro.datasets.temporal import ar1_series, diurnal_profile, smooth_episode_series
+from repro.datasets.uair import PM25_MEAN, PM25_STD, generate_uair
+
+
+class TestSpatial:
+    def test_grid_coordinates_shape_and_spacing(self):
+        coords = grid_coordinates(2, 3, 10.0, 5.0)
+        assert coords.shape == (6, 2)
+        assert coords[0].tolist() == [5.0, 2.5]
+        assert coords[1].tolist() == [15.0, 2.5]
+
+    def test_kernel_is_symmetric_psd(self):
+        coords = grid_coordinates(3, 3, 1.0, 1.0)
+        kernel = squared_exponential_kernel(coords, length_scale=2.0)
+        assert np.allclose(kernel, kernel.T)
+        eigenvalues = np.linalg.eigvalsh(kernel)
+        assert np.all(eigenvalues > -1e-10)
+
+    def test_kernel_decays_with_distance(self):
+        coords = np.array([[0.0, 0.0], [1.0, 0.0], [10.0, 0.0]])
+        kernel = squared_exponential_kernel(coords, length_scale=1.0)
+        assert kernel[0, 1] > kernel[0, 2]
+
+    def test_spatial_field_shape_and_determinism(self):
+        coords = grid_coordinates(4, 4, 1.0, 1.0)
+        a = sample_spatial_field(coords, 2.0, n_samples=3, seed=1)
+        b = sample_spatial_field(coords, 2.0, n_samples=3, seed=1)
+        assert a.shape == (3, 16)
+        assert np.allclose(a, b)
+
+    def test_spatial_field_is_smooth(self):
+        coords = grid_coordinates(1, 50, 1.0, 1.0)
+        field = sample_spatial_field(coords, length_scale=10.0, seed=0)[0]
+        neighbour_diff = np.abs(np.diff(field)).mean()
+        shuffled = field.copy()
+        np.random.default_rng(0).shuffle(shuffled)
+        shuffled_diff = np.abs(np.diff(shuffled)).mean()
+        assert neighbour_diff < shuffled_diff
+
+    def test_select_valid_cells(self):
+        chosen = select_valid_cells(100, 57, seed=0)
+        assert chosen.shape == (57,)
+        assert len(set(chosen.tolist())) == 57
+        assert chosen.max() < 100
+        assert np.all(np.diff(chosen) > 0)
+
+    def test_select_too_many_raises(self):
+        with pytest.raises(ValueError):
+            select_valid_cells(10, 20)
+
+
+class TestTemporal:
+    def test_diurnal_profile_period(self):
+        profile = diurnal_profile(96, 48, amplitude=1.0)
+        # Two full days: the two halves are identical.
+        assert np.allclose(profile[:48], profile[48:], atol=1e-9)
+
+    def test_diurnal_peak_near_requested_hour(self):
+        profile = diurnal_profile(48, 48, amplitude=1.0, peak_hour=15.0, harmonics=1)
+        peak_cycle = int(np.argmax(profile))
+        assert abs(peak_cycle * 0.5 - 15.0) <= 0.5
+
+    def test_ar1_correlation_sign(self):
+        series = ar1_series(4000, correlation=0.9, seed=0)
+        lag1 = np.corrcoef(series[:-1], series[1:])[0, 1]
+        assert lag1 > 0.7
+
+    def test_ar1_invalid_correlation_raises(self):
+        with pytest.raises(ValueError):
+            ar1_series(10, correlation=1.0)
+
+    def test_episode_series_is_smooth_and_normalised(self):
+        series = smooth_episode_series(500, episode_length=50, amplitude=2.0, seed=0)
+        assert series.std() == pytest.approx(2.0, rel=0.05)
+        lag1 = np.corrcoef(series[:-1], series[1:])[0, 1]
+        assert lag1 > 0.9
+
+
+class TestAQI:
+    def test_category_boundaries(self):
+        assert int(aqi_category(10.0)) == 0
+        assert int(aqi_category(50.0)) == 0
+        assert int(aqi_category(50.1)) == 1
+        assert int(aqi_category(320.0)) == 5
+
+    def test_vectorised(self):
+        categories = aqi_category(np.array([10.0, 120.0, 500.0]))
+        assert categories.tolist() == [0, 2, 5]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            aqi_category(-1.0)
+
+    def test_category_names(self):
+        assert aqi_category_name(10.0) == "Good"
+        assert aqi_category_name(1000.0) == "Hazardous"
+        assert len(AQI_BREAKPOINTS) == 5
+
+
+class TestSensorScope:
+    def test_default_scale_matches_table1(self):
+        dataset = generate_sensorscope("temperature", seed=0)
+        assert dataset.n_cells == 57
+        assert dataset.cycle_length_hours == 0.5
+        assert dataset.duration_days == pytest.approx(7.0, abs=0.1)
+        assert dataset.mean() == pytest.approx(TEMPERATURE_MEAN, abs=0.05)
+        assert dataset.std() == pytest.approx(TEMPERATURE_STD, abs=0.05)
+
+    def test_humidity_calibration_and_bounds(self):
+        dataset = generate_sensorscope("humidity", seed=0)
+        assert dataset.mean() == pytest.approx(HUMIDITY_MEAN, abs=0.5)
+        assert dataset.std() == pytest.approx(HUMIDITY_STD, rel=0.1)
+        assert dataset.data.max() <= 100.0
+        assert dataset.data.min() >= 0.0
+
+    def test_custom_size(self):
+        dataset = generate_sensorscope("temperature", n_cells=10, duration_days=1.0, seed=0)
+        assert dataset.n_cells == 10
+        assert dataset.n_cycles == 48
+
+    def test_deterministic_per_seed(self):
+        a = generate_sensorscope("temperature", n_cells=10, duration_days=1.0, seed=3)
+        b = generate_sensorscope("temperature", n_cells=10, duration_days=1.0, seed=3)
+        assert np.allclose(a.data, b.data)
+
+    def test_different_seeds_differ(self):
+        a = generate_sensorscope("temperature", n_cells=10, duration_days=1.0, seed=3)
+        b = generate_sensorscope("temperature", n_cells=10, duration_days=1.0, seed=4)
+        assert not np.allclose(a.data, b.data)
+
+    def test_invalid_kind_raises(self):
+        with pytest.raises(ValueError):
+            generate_sensorscope("pressure")
+
+    def test_too_many_cells_raises(self):
+        with pytest.raises(ValueError):
+            generate_sensorscope("temperature", n_cells=200)
+
+    def test_spatial_correlation_present(self):
+        dataset = generate_sensorscope("temperature", seed=0)
+        data, coords = dataset.data, dataset.coordinates
+        distances = np.linalg.norm(coords[:, None, :] - coords[None, :, :], axis=2)
+        correlations = np.corrcoef(data)
+        iu = np.triu_indices(dataset.n_cells, k=1)
+        near = correlations[iu][distances[iu] < 100]
+        far = correlations[iu][distances[iu] > 300]
+        assert near.mean() > far.mean() - 0.05
+
+    def test_temporal_correlation_present(self):
+        dataset = generate_sensorscope("temperature", n_cells=20, duration_days=3.0, seed=0)
+        series = dataset.data[0]
+        lag1 = np.corrcoef(series[:-1], series[1:])[0, 1]
+        assert lag1 > 0.5
+
+    def test_pair_is_correlated(self):
+        temperature, humidity = generate_sensorscope_pair(
+            n_cells=20, duration_days=2.0, seed=0
+        )
+        # Shared latent components with opposite loadings: city-mean series
+        # should be clearly negatively correlated.
+        correlation = np.corrcoef(temperature.data.mean(axis=0), humidity.data.mean(axis=0))[0, 1]
+        assert correlation < -0.3
+
+
+class TestUAir:
+    def test_default_scale_matches_table1(self):
+        dataset = generate_uair(seed=0)
+        assert dataset.n_cells == 36
+        assert dataset.cycle_length_hours == 1.0
+        assert dataset.duration_days == pytest.approx(11.0, abs=0.1)
+        assert dataset.mean() == pytest.approx(PM25_MEAN, rel=0.15)
+        assert dataset.std() == pytest.approx(PM25_STD, rel=0.3)
+
+    def test_values_positive_and_heavy_tailed(self):
+        dataset = generate_uair(seed=0)
+        assert dataset.data.min() > 0.0
+        # Heavy tail: max well above the mean.
+        assert dataset.data.max() > 3 * dataset.mean()
+
+    def test_metric_is_classification(self):
+        assert generate_uair(n_cells=4, duration_days=1.0, seed=0).metric == "classification"
+
+    def test_custom_size(self):
+        dataset = generate_uair(n_cells=9, duration_days=2.0, seed=0)
+        assert dataset.n_cells == 9
+        assert dataset.n_cycles == 48
+
+    def test_too_many_cells_raises(self):
+        with pytest.raises(ValueError):
+            generate_uair(n_cells=100)
+
+    def test_deterministic_per_seed(self):
+        a = generate_uair(n_cells=9, duration_days=1.0, seed=5)
+        b = generate_uair(n_cells=9, duration_days=1.0, seed=5)
+        assert np.allclose(a.data, b.data)
+
+    def test_citywide_episodes_dominate(self):
+        dataset = generate_uair(seed=0)
+        # Cells should be strongly positively correlated through the shared
+        # episode signal.
+        correlations = np.corrcoef(dataset.data)
+        iu = np.triu_indices(dataset.n_cells, k=1)
+        assert correlations[iu].mean() > 0.5

@@ -1,0 +1,90 @@
+"""Tests for the experiment scales and the reporting helpers."""
+
+import pytest
+
+from repro.experiments.config import (
+    FULL_SCALE,
+    MEDIUM_SCALE,
+    SMALL_SCALE,
+    TINY_SCALE,
+    get_scale,
+)
+from repro.experiments.reporting import format_rows, relative_reduction, rows_to_markdown
+from repro.quality.epsilon_p import QualityRequirement
+
+
+class TestScales:
+    def test_lookup_by_name(self):
+        assert get_scale("tiny") is TINY_SCALE
+        assert get_scale("SMALL") is SMALL_SCALE
+        assert get_scale("medium") is MEDIUM_SCALE
+        assert get_scale("full") is FULL_SCALE
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(ValueError):
+            get_scale("gigantic")
+
+    def test_full_scale_matches_paper(self):
+        assert FULL_SCALE.sensorscope_cells == 57
+        assert FULL_SCALE.uair_cells == 36
+        assert FULL_SCALE.sensorscope_cycle_hours == 0.5
+        assert FULL_SCALE.uair_cycle_hours == 1.0
+        assert FULL_SCALE.training_days == 2.0
+        assert FULL_SCALE.transfer_target_cycles == 10
+
+    def test_scales_are_ordered_by_effort(self):
+        assert TINY_SCALE.sensorscope_cells < SMALL_SCALE.sensorscope_cells
+        assert SMALL_SCALE.sensorscope_cells < MEDIUM_SCALE.sensorscope_cells
+        assert MEDIUM_SCALE.sensorscope_cells < FULL_SCALE.sensorscope_cells
+        assert TINY_SCALE.episodes <= SMALL_SCALE.episodes <= MEDIUM_SCALE.episodes
+
+    def test_dataset_builders_produce_requested_sizes(self):
+        dataset = TINY_SCALE.sensorscope_dataset("temperature", seed=0)
+        assert dataset.n_cells == TINY_SCALE.sensorscope_cells
+        pm25 = TINY_SCALE.uair_dataset(seed=0)
+        assert pm25.n_cells == TINY_SCALE.uair_cells
+
+    def test_task_builder_wires_components(self):
+        dataset = TINY_SCALE.sensorscope_dataset("temperature", seed=0)
+        task = TINY_SCALE.task(dataset, QualityRequirement(epsilon=0.5, p=0.9), seed=0)
+        assert task.dataset is dataset
+        assert task.inference.iterations == TINY_SCALE.als_iterations
+        assert task.assessor.max_loo_cells == TINY_SCALE.max_loo_cells
+
+    def test_campaign_config_reflects_scale(self):
+        config = SMALL_SCALE.campaign_config()
+        assert config.min_cells_per_cycle == SMALL_SCALE.min_cells_per_cycle
+        assert config.assess_every == SMALL_SCALE.assess_every
+
+    def test_drcell_config_reflects_scale(self):
+        config = SMALL_SCALE.drcell_config(seed=3)
+        assert config.episodes == SMALL_SCALE.episodes
+        assert config.lstm_hidden == SMALL_SCALE.lstm_hidden
+        assert config.seed == 3
+
+
+class TestReporting:
+    def test_format_rows_contains_all_values(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y", "c": 3.5}]
+        text = format_rows(rows, title="My table")
+        assert "My table" in text
+        assert "x" in text and "y" in text and "3.500" in text
+        assert "c" in text
+
+    def test_format_rows_empty(self):
+        assert "(no rows)" in format_rows([], title="Empty")
+
+    def test_markdown_structure(self):
+        rows = [{"col": 1}]
+        markdown = rows_to_markdown(rows, title="T")
+        assert markdown.startswith("### T")
+        assert "| col |" in markdown
+        assert "|---|" in markdown
+
+    def test_markdown_empty(self):
+        assert "_no rows_" in rows_to_markdown([])
+
+    def test_relative_reduction(self):
+        assert relative_reduction(8.0, 10.0) == pytest.approx(0.2)
+        assert relative_reduction(10.0, 8.0) == pytest.approx(-0.25)
+        assert relative_reduction(5.0, 0.0) == 0.0

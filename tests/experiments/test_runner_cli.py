@@ -1,0 +1,25 @@
+"""Tests for the experiment runner's command-line entry point."""
+
+import pytest
+
+from repro.experiments.runner import main
+
+
+class TestRunnerCLI:
+    def test_tiny_scale_run_writes_report(self, tmp_path, capsys):
+        output = tmp_path / "report.md"
+        exit_code = main(
+            ["--scale", "tiny", "--seed", "0", "--skip-figure7", "--output", str(output)]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "Table 1" in captured
+        assert "Figure 6" in captured
+        assert output.exists()
+        content = output.read_text(encoding="utf-8")
+        assert "### Table 1" in content
+        assert "### Figure 6" in content
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(ValueError):
+            main(["--scale", "galactic"])

@@ -1,0 +1,37 @@
+"""Tests for the Table 1 experiment."""
+
+import pytest
+
+from repro.experiments.config import TINY_SCALE
+from repro.experiments.table1 import run_table1
+
+
+class TestTable1:
+    def test_three_rows(self):
+        rows = run_table1(TINY_SCALE, seed=0)
+        assert len(rows) == 3
+        datasets = {row.data for row in rows}
+        assert datasets == {"temperature", "humidity", "PM2.5"}
+
+    def test_full_scale_calibration(self):
+        rows = run_table1(seed=0)  # FULL scale by default
+        by_data = {row.data: row for row in rows}
+        assert by_data["temperature"].n_cells == 57
+        assert by_data["PM2.5"].n_cells == 36
+        # Calibration targets from the paper's Table 1.
+        assert by_data["temperature"].mean == pytest.approx(6.04, abs=0.1)
+        assert by_data["temperature"].std == pytest.approx(1.87, abs=0.1)
+        assert by_data["humidity"].mean == pytest.approx(84.52, abs=1.0)
+        assert by_data["PM2.5"].mean == pytest.approx(79.11, rel=0.15)
+
+    def test_row_dict_keys(self):
+        rows = run_table1(TINY_SCALE, seed=0)
+        as_dict = rows[0].as_dict()
+        for key in ("dataset", "city", "n_cells", "cycle_length_h", "mean", "std"):
+            assert key in as_dict
+
+    def test_metrics_match_paper(self):
+        rows = run_table1(TINY_SCALE, seed=0)
+        by_data = {row.data: row for row in rows}
+        assert by_data["temperature"].error_metric == "mean absolute error"
+        assert by_data["PM2.5"].error_metric == "classification error"

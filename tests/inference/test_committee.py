@@ -1,0 +1,65 @@
+"""Tests for repro.inference.committee."""
+
+import numpy as np
+import pytest
+
+from repro.inference.committee import InferenceCommittee
+from repro.inference.compressive import CompressiveSensingInference
+from repro.inference.interpolation import SpatialMeanInference
+
+from tests.conftest import mask_entries
+
+
+class TestConstruction:
+    def test_requires_two_members(self):
+        with pytest.raises(ValueError):
+            InferenceCommittee([SpatialMeanInference()])
+
+    def test_default_committee_has_multiple_members(self):
+        committee = InferenceCommittee.default(seed=0)
+        assert len(committee) >= 3
+
+
+class TestCompletions:
+    def test_one_completion_per_member(self, low_rank_matrix, rng):
+        observed = mask_entries(low_rank_matrix, 0.4, rng)
+        committee = InferenceCommittee.default(seed=0)
+        completions = committee.completions(observed)
+        assert len(completions) == len(committee)
+        for completed in completions.values():
+            assert completed.shape == observed.shape
+            assert not np.isnan(completed).any()
+
+    def test_duplicate_member_names_disambiguated(self, low_rank_matrix, rng):
+        observed = mask_entries(low_rank_matrix, 0.4, rng)
+        committee = InferenceCommittee([SpatialMeanInference(), SpatialMeanInference()])
+        completions = committee.completions(observed)
+        assert len(completions) == 2
+
+
+class TestDisagreement:
+    def test_observed_cells_have_zero_disagreement(self, low_rank_matrix, rng):
+        observed = mask_entries(low_rank_matrix, 0.5, rng)
+        committee = InferenceCommittee.default(seed=0)
+        cycle = 2
+        disagreement = committee.cycle_disagreement(observed, cycle)
+        sensed = ~np.isnan(observed[:, cycle])
+        assert np.allclose(disagreement[sensed], 0.0)
+
+    def test_disagreement_non_negative(self, low_rank_matrix, rng):
+        observed = mask_entries(low_rank_matrix, 0.5, rng)
+        committee = InferenceCommittee.default(seed=0)
+        disagreement = committee.cycle_disagreement(observed, 0)
+        assert np.all(disagreement >= 0.0)
+
+    def test_out_of_range_cycle_raises(self, low_rank_matrix):
+        committee = InferenceCommittee.default(seed=0)
+        with pytest.raises(IndexError):
+            committee.cycle_disagreement(low_rank_matrix, 999)
+
+    def test_identical_members_never_disagree(self, low_rank_matrix, rng):
+        observed = mask_entries(low_rank_matrix, 0.5, rng)
+        member = CompressiveSensingInference(seed=3)
+        committee = InferenceCommittee([member, member])
+        disagreement = committee.cycle_disagreement(observed, 1)
+        assert np.allclose(disagreement, 0.0)

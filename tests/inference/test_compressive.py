@@ -1,0 +1,116 @@
+"""Tests for repro.inference.compressive (ALS matrix completion)."""
+
+import numpy as np
+import pytest
+
+from repro.inference.compressive import CompressiveSensingInference
+from repro.inference.interpolation import SpatialMeanInference
+from repro.inference.metrics import mean_absolute_error
+
+from tests.conftest import mask_entries
+
+
+class TestBasicBehaviour:
+    def test_observed_entries_preserved(self, low_rank_matrix, rng):
+        observed = mask_entries(low_rank_matrix, 0.4, rng)
+        completed = CompressiveSensingInference(seed=0).complete(observed)
+        mask = ~np.isnan(observed)
+        assert np.allclose(completed[mask], observed[mask])
+
+    def test_no_nan_in_output(self, low_rank_matrix, rng):
+        observed = mask_entries(low_rank_matrix, 0.6, rng)
+        completed = CompressiveSensingInference(seed=0).complete(observed)
+        assert not np.isnan(completed).any()
+
+    def test_shape_preserved(self, low_rank_matrix, rng):
+        observed = mask_entries(low_rank_matrix, 0.3, rng)
+        completed = CompressiveSensingInference(seed=0).complete(observed)
+        assert completed.shape == low_rank_matrix.shape
+
+    def test_fully_observed_matrix_unchanged(self, low_rank_matrix):
+        completed = CompressiveSensingInference(seed=0).complete(low_rank_matrix)
+        assert np.allclose(completed, low_rank_matrix)
+
+    def test_all_missing_raises(self):
+        with pytest.raises(ValueError):
+            CompressiveSensingInference(seed=0).complete(np.full((3, 3), np.nan))
+
+    def test_constant_matrix_completed_with_constant(self):
+        matrix = np.full((5, 6), 7.0)
+        matrix[2, 3] = np.nan
+        completed = CompressiveSensingInference(seed=0).complete(matrix)
+        assert completed[2, 3] == pytest.approx(7.0)
+
+
+class TestRecoveryQuality:
+    def test_recovers_low_rank_matrix_accurately(self, low_rank_matrix, rng):
+        observed = mask_entries(low_rank_matrix, 0.3, rng)
+        completed = CompressiveSensingInference(rank=3, iterations=30, seed=0).complete(observed)
+        missing = np.isnan(observed)
+        error = mean_absolute_error(low_rank_matrix[missing], completed[missing])
+        scale = np.abs(low_rank_matrix).mean()
+        assert error < 0.25 * scale
+
+    def test_beats_spatial_mean_on_low_rank_data(self, low_rank_matrix, rng):
+        observed = mask_entries(low_rank_matrix, 0.4, rng)
+        missing = np.isnan(observed)
+        cs = CompressiveSensingInference(rank=3, iterations=30, seed=0).complete(observed)
+        baseline = SpatialMeanInference().complete(observed)
+        cs_error = mean_absolute_error(low_rank_matrix[missing], cs[missing])
+        baseline_error = mean_absolute_error(low_rank_matrix[missing], baseline[missing])
+        assert cs_error < baseline_error
+
+    def test_temporal_smoothness_helps_on_smooth_data(self, rng):
+        # Smooth temporal signal shared by all cells + small per-cell offsets.
+        n_cells, n_cycles = 10, 40
+        trend = np.sin(np.linspace(0, 3 * np.pi, n_cycles))
+        data = trend[None, :] + 0.1 * rng.normal(size=(n_cells, 1))
+        observed = mask_entries(data, 0.6, rng)
+        missing = np.isnan(observed)
+        smooth = CompressiveSensingInference(
+            rank=2, temporal_weight=0.5, iterations=25, seed=0
+        ).complete(observed)
+        rough = CompressiveSensingInference(
+            rank=2, temporal_weight=0.0, iterations=25, seed=0
+        ).complete(observed)
+        smooth_error = mean_absolute_error(data[missing], smooth[missing])
+        rough_error = mean_absolute_error(data[missing], rough[missing])
+        assert smooth_error <= rough_error * 1.25
+
+    def test_single_observed_column_still_completes(self, rng):
+        data = rng.normal(size=(6, 5))
+        observed = np.full_like(data, np.nan)
+        observed[:, 2] = data[:, 2]
+        completed = CompressiveSensingInference(seed=0).complete(observed)
+        assert not np.isnan(completed).any()
+
+
+class TestParameters:
+    def test_invalid_rank_raises(self):
+        with pytest.raises(ValueError):
+            CompressiveSensingInference(rank=0)
+
+    def test_negative_regularization_raises(self):
+        with pytest.raises(ValueError):
+            CompressiveSensingInference(regularization=-1.0)
+
+    def test_rank_capped_at_matrix_size(self, rng):
+        data = rng.normal(size=(3, 4))
+        data[0, 0] = np.nan
+        completed = CompressiveSensingInference(rank=50, iterations=5, seed=0).complete(data)
+        assert completed.shape == (3, 4)
+
+    def test_deterministic_given_seed(self, low_rank_matrix, rng):
+        observed = mask_entries(low_rank_matrix, 0.4, rng)
+        a = CompressiveSensingInference(seed=5).complete(observed)
+        b = CompressiveSensingInference(seed=5).complete(observed)
+        assert np.allclose(a, b)
+
+    def test_infer_cycle_returns_column(self, low_rank_matrix, rng):
+        observed = mask_entries(low_rank_matrix, 0.4, rng)
+        column = CompressiveSensingInference(seed=0).infer_cycle(observed, 3)
+        assert column.shape == (low_rank_matrix.shape[0],)
+
+    def test_infer_cycle_out_of_range_raises(self, low_rank_matrix):
+        with pytest.raises(IndexError):
+            CompressiveSensingInference(seed=0).infer_cycle(low_rank_matrix, 999)

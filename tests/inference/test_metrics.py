@@ -1,0 +1,122 @@
+"""Tests for repro.inference.metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.inference.metrics import (
+    classification_error,
+    cycle_error,
+    get_metric,
+    mean_absolute_error,
+    root_mean_squared_error,
+)
+
+
+class TestMAE:
+    def test_zero_for_identical(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert mean_absolute_error(x, x) == 0.0
+
+    def test_known_value(self):
+        truth = np.array([0.0, 0.0])
+        estimate = np.array([1.0, -3.0])
+        assert mean_absolute_error(truth, estimate) == pytest.approx(2.0)
+
+    def test_mask_restricts_entries(self):
+        truth = np.array([0.0, 0.0])
+        estimate = np.array([1.0, 100.0])
+        mask = np.array([True, False])
+        assert mean_absolute_error(truth, estimate, mask) == pytest.approx(1.0)
+
+    def test_empty_mask_raises(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error(np.zeros(2), np.zeros(2), np.zeros(2, dtype=bool))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error(np.zeros(2), np.zeros(3))
+
+
+class TestRMSE:
+    def test_known_value(self):
+        truth = np.zeros(2)
+        estimate = np.array([3.0, 4.0])
+        assert root_mean_squared_error(truth, estimate) == pytest.approx(np.sqrt(12.5))
+
+    def test_rmse_at_least_mae(self):
+        rng = np.random.default_rng(0)
+        truth = rng.normal(size=20)
+        estimate = rng.normal(size=20)
+        assert root_mean_squared_error(truth, estimate) >= mean_absolute_error(truth, estimate)
+
+
+class TestClassificationError:
+    def test_same_category_is_zero(self):
+        truth = np.array([10.0, 60.0, 120.0])
+        estimate = np.array([40.0, 90.0, 140.0])
+        assert classification_error(truth, estimate) == 0.0
+
+    def test_different_category_counts(self):
+        truth = np.array([10.0, 60.0])
+        estimate = np.array([60.0, 60.0])  # first crosses 50 boundary
+        assert classification_error(truth, estimate) == pytest.approx(0.5)
+
+    def test_custom_breakpoints(self):
+        truth = np.array([1.0, 9.0])
+        estimate = np.array([9.0, 1.0])
+        assert classification_error(truth, estimate, breakpoints=(5.0,)) == 1.0
+
+    def test_non_increasing_breakpoints_raise(self):
+        with pytest.raises(ValueError):
+            classification_error(np.zeros(2), np.zeros(2), breakpoints=(10.0, 5.0))
+
+
+class TestCycleError:
+    def test_exclude_sensed_cells(self):
+        truth = np.array([1.0, 2.0, 3.0])
+        estimate = np.array([1.0, 2.0, 10.0])
+        exclude = np.array([False, False, True])
+        assert cycle_error(truth, estimate, "mae", exclude=exclude) == 0.0
+
+    def test_exclude_all_returns_zero(self):
+        truth = np.array([1.0, 2.0])
+        estimate = np.array([5.0, 5.0])
+        assert cycle_error(truth, estimate, "mae", exclude=np.array([True, True])) == 0.0
+
+    def test_classification_metric_dispatch(self):
+        truth = np.array([10.0, 250.0])
+        estimate = np.array([80.0, 260.0])
+        assert cycle_error(truth, estimate, "classification") == pytest.approx(0.5)
+
+    def test_requires_1d(self):
+        with pytest.raises(ValueError):
+            cycle_error(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(ValueError):
+            get_metric("accuracy")
+
+
+class TestMetricProperties:
+    @given(
+        st.lists(st.floats(-100, 100), min_size=2, max_size=30),
+        st.lists(st.floats(-100, 100), min_size=2, max_size=30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_mae_symmetric_and_non_negative(self, a, b):
+        size = min(len(a), len(b))
+        truth = np.asarray(a[:size])
+        estimate = np.asarray(b[:size])
+        forward = mean_absolute_error(truth, estimate)
+        backward = mean_absolute_error(estimate, truth)
+        assert forward >= 0.0
+        assert forward == pytest.approx(backward)
+
+    @given(st.lists(st.floats(0, 500), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_classification_error_bounded(self, values):
+        truth = np.asarray(values)
+        estimate = truth[::-1].copy()
+        error = classification_error(truth, estimate)
+        assert 0.0 <= error <= 1.0

@@ -1,0 +1,124 @@
+"""Tests for KNN, interpolation and SVT inference algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.inference.interpolation import SpatialMeanInference, TemporalInterpolationInference
+from repro.inference.knn import KNNInference
+from repro.inference.metrics import mean_absolute_error
+from repro.inference.svt import SVTInference
+
+from tests.conftest import mask_entries
+
+
+class TestKNN:
+    def test_neighbour_value_used(self):
+        # Two close cells and one far; the missing close cell should copy its
+        # close neighbour, not the far one.
+        coordinates = np.array([[0.0, 0.0], [1.0, 0.0], [100.0, 0.0]])
+        matrix = np.array([[np.nan], [5.0], [50.0]])
+        completed = KNNInference(coordinates, k=1).complete(matrix)
+        assert completed[0, 0] == pytest.approx(5.0)
+
+    def test_weighted_average_between_neighbours(self):
+        coordinates = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        matrix = np.array([[np.nan], [2.0], [4.0]])
+        completed = KNNInference(coordinates, k=2).complete(matrix)
+        assert 2.0 < completed[0, 0] < 4.0
+        # The nearer neighbour dominates the weighting.
+        assert completed[0, 0] < 3.0
+
+    def test_empty_cycle_falls_back_to_temporal_mean(self):
+        coordinates = np.array([[0.0, 0.0], [1.0, 0.0]])
+        matrix = np.array([[1.0, np.nan], [3.0, np.nan]])
+        completed = KNNInference(coordinates, k=1).complete(matrix)
+        assert completed[0, 1] == pytest.approx(1.0)
+        assert completed[1, 1] == pytest.approx(3.0)
+
+    def test_observed_entries_preserved(self, low_rank_matrix, rng):
+        observed = mask_entries(low_rank_matrix, 0.4, rng)
+        coordinates = rng.random((low_rank_matrix.shape[0], 2))
+        completed = KNNInference(coordinates, k=3).complete(observed)
+        mask = ~np.isnan(observed)
+        assert np.allclose(completed[mask], observed[mask])
+
+    def test_coordinate_count_mismatch_raises(self, low_rank_matrix):
+        coordinates = np.zeros((3, 2))
+        matrix = low_rank_matrix.copy()
+        matrix[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            KNNInference(coordinates).complete(matrix)
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ValueError):
+            KNNInference(k=0)
+
+
+class TestSpatialMean:
+    def test_missing_filled_with_cycle_mean(self):
+        matrix = np.array([[1.0, np.nan], [3.0, 10.0]])
+        completed = SpatialMeanInference().complete(matrix)
+        assert completed[0, 1] == pytest.approx(10.0)
+
+    def test_empty_cycle_uses_row_mean(self):
+        matrix = np.array([[2.0, np.nan], [4.0, np.nan]])
+        completed = SpatialMeanInference().complete(matrix)
+        assert completed[0, 1] == pytest.approx(2.0)
+        assert completed[1, 1] == pytest.approx(4.0)
+
+    def test_no_nan_output(self, low_rank_matrix, rng):
+        observed = mask_entries(low_rank_matrix, 0.7, rng)
+        completed = SpatialMeanInference().complete(observed)
+        assert not np.isnan(completed).any()
+
+
+class TestTemporalInterpolation:
+    def test_linear_interpolation_between_observations(self):
+        matrix = np.array([[0.0, np.nan, 4.0]])
+        completed = TemporalInterpolationInference().complete(matrix)
+        assert completed[0, 1] == pytest.approx(2.0)
+
+    def test_edges_extended(self):
+        matrix = np.array([[np.nan, 3.0, np.nan]])
+        completed = TemporalInterpolationInference().complete(matrix)
+        assert completed[0, 0] == pytest.approx(3.0)
+        assert completed[0, 2] == pytest.approx(3.0)
+
+    def test_never_observed_cell_uses_spatial_fallback(self):
+        matrix = np.array([[np.nan, np.nan], [2.0, 6.0]])
+        completed = TemporalInterpolationInference().complete(matrix)
+        assert completed[0, 0] == pytest.approx(2.0)
+        assert completed[0, 1] == pytest.approx(6.0)
+
+    def test_accurate_on_smooth_series(self, rng):
+        cycles = np.linspace(0, 2 * np.pi, 30)
+        data = np.vstack([np.sin(cycles) + i for i in range(4)])
+        observed = mask_entries(data, 0.4, rng)
+        missing = np.isnan(observed)
+        completed = TemporalInterpolationInference().complete(observed)
+        assert mean_absolute_error(data[missing], completed[missing]) < 0.3
+
+
+class TestSVT:
+    def test_observed_entries_preserved(self, low_rank_matrix, rng):
+        observed = mask_entries(low_rank_matrix, 0.4, rng)
+        completed = SVTInference().complete(observed)
+        mask = ~np.isnan(observed)
+        assert np.allclose(completed[mask], observed[mask])
+
+    def test_recovers_low_rank_data_reasonably(self, low_rank_matrix, rng):
+        observed = mask_entries(low_rank_matrix, 0.3, rng)
+        missing = np.isnan(observed)
+        completed = SVTInference(threshold=0.05, iterations=50).complete(observed)
+        error = mean_absolute_error(low_rank_matrix[missing], completed[missing])
+        scale = np.abs(low_rank_matrix).mean()
+        assert error < 0.6 * scale
+
+    def test_invalid_threshold_raises(self):
+        with pytest.raises(ValueError):
+            SVTInference(threshold=-0.1)
+
+    def test_no_nan_output(self, low_rank_matrix, rng):
+        observed = mask_entries(low_rank_matrix, 0.8, rng)
+        completed = SVTInference().complete(observed)
+        assert not np.isnan(completed).any()

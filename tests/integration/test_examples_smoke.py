@@ -1,0 +1,59 @@
+"""Smoke tests that the example scripts are importable and their pieces wire up.
+
+Running the full example scripts takes minutes, so these tests import each
+module (which catches broken imports and API drift) and re-exercise the
+example-specific helper logic on tiny inputs.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+EXAMPLE_FILES = [
+    "quickstart.py",
+    "air_quality_campaign.py",
+    "transfer_learning.py",
+    "tabular_small_area.py",
+    "online_learning.py",
+]
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesImport:
+    @pytest.mark.parametrize("filename", EXAMPLE_FILES)
+    def test_example_imports_and_has_main(self, filename):
+        module = load_example(filename)
+        assert hasattr(module, "main")
+        assert callable(module.main)
+
+    def test_examples_directory_contains_expected_files(self):
+        present = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        assert set(EXAMPLE_FILES) <= present
+
+
+class TestAirQualityHelpers:
+    def test_categorisation_accuracy_helper(self):
+        module = load_example("air_quality_campaign.py")
+
+        class FakeResult:
+            inferred_matrix = np.array([[40.0, 120.0], [60.0, 180.0]])
+
+        class FakeDataset:
+            data = np.array([[45.0, 110.0], [70.0, 260.0]])
+
+        accuracy = module.categorisation_accuracy(FakeResult(), FakeDataset())
+        # Categories: truth [[0,2],[1,4]] vs inferred [[0,2],[1,3]] -> 3/4 match.
+        assert accuracy == pytest.approx(0.75)

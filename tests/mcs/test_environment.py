@@ -1,0 +1,187 @@
+"""Tests for repro.mcs.environment (state encoder, reward model, RL environment)."""
+
+import numpy as np
+import pytest
+
+from repro.inference.interpolation import SpatialMeanInference
+from repro.mcs.environment import RewardModel, SparseMCSEnvironment, StateEncoder
+from repro.quality.epsilon_p import QualityRequirement
+
+
+class TestStateEncoder:
+    def test_shape(self):
+        encoder = StateEncoder(n_cells=5, window=3)
+        assert encoder.shape == (3, 5)
+
+    def test_current_cycle_is_last_row(self):
+        encoder = StateEncoder(5, 2)
+        selection = np.zeros((5, 4), dtype=int)
+        current = np.array([0.0, 1.0, 0.0, 0.0, 1.0])
+        state = encoder.encode(selection, 2, current)
+        assert np.array_equal(state[-1], current)
+
+    def test_past_cycles_filled_in_order(self):
+        encoder = StateEncoder(3, 3)
+        selection = np.array(
+            [
+                [1, 0, 0],
+                [0, 1, 0],
+                [0, 0, 1],
+            ]
+        )
+        state = encoder.encode(selection, 2, np.zeros(3))
+        # Row 0 = cycle 0, row 1 = cycle 1, row 2 = current (zeros).
+        assert np.array_equal(state[0], selection[:, 0])
+        assert np.array_equal(state[1], selection[:, 1])
+        assert np.array_equal(state[2], np.zeros(3))
+
+    def test_cycles_before_start_are_zero(self):
+        encoder = StateEncoder(4, 3)
+        selection = np.ones((4, 10), dtype=int)
+        state = encoder.encode(selection, 0, np.zeros(4))
+        assert np.array_equal(state[0], np.zeros(4))
+        assert np.array_equal(state[1], np.zeros(4))
+
+    def test_wrong_current_shape_raises(self):
+        encoder = StateEncoder(4, 2)
+        with pytest.raises(ValueError):
+            encoder.encode(np.zeros((4, 2)), 1, np.zeros(3))
+
+    def test_paper_figure4_example(self):
+        # The paper's Figure 4: a 5-cell area, state = two recent cycles.
+        selection = np.array(
+            [
+                [0, 1, 0, 1, 0],
+                [1, 0, 0, 1, 0],
+                [1, 1, 0, 0, 1],
+                [1, 0, 1, 0, 0],
+                [0, 0, 0, 0, 0],
+            ]
+        )
+        encoder = StateEncoder(5, 2)
+        # Current cycle index 4 (the last column is being built, still empty).
+        state = encoder.encode(selection[:, :4], 4, selection[:, 4].astype(float))
+        assert np.array_equal(state[0], selection[:, 3])
+        assert np.array_equal(state[1], selection[:, 4])
+
+
+class TestRewardModel:
+    def test_reward_values(self):
+        model = RewardModel(bonus=5.0, cost=1.0)
+        assert model.reward(False) == -1.0
+        assert model.reward(True) == 4.0
+
+    def test_negative_bonus_rejected(self):
+        with pytest.raises(ValueError):
+            RewardModel(bonus=-1.0)
+
+
+class TestSparseMCSEnvironment:
+    def _environment(self, dataset, epsilon=1.0, window=2, **kwargs):
+        return SparseMCSEnvironment(
+            dataset,
+            QualityRequirement(epsilon=epsilon, p=0.9, metric=dataset.metric),
+            window=window,
+            inference=SpatialMeanInference(),
+            min_cells_before_check=2,
+            history_window=6,
+            seed=0,
+            **kwargs,
+        )
+
+    def test_reset_returns_zero_state(self, tiny_temperature_dataset):
+        env = self._environment(tiny_temperature_dataset)
+        state = env.reset()
+        assert state.shape == (2, tiny_temperature_dataset.n_cells)
+        assert np.all(state == 0.0)
+
+    def test_step_marks_cell_in_state(self, tiny_temperature_dataset):
+        env = self._environment(tiny_temperature_dataset, epsilon=1e-9)
+        env.reset()
+        state, reward, done, info = env.step(3)
+        assert state[-1, 3] == 1.0
+        assert reward == pytest.approx(-1.0)
+        assert not done
+        assert info["cycle"] == 0
+
+    def test_mask_excludes_sensed_cells(self, tiny_temperature_dataset):
+        env = self._environment(tiny_temperature_dataset, epsilon=1e-9)
+        env.reset()
+        env.step(2)
+        mask = env.valid_action_mask()
+        assert not mask[2]
+        assert mask.sum() == tiny_temperature_dataset.n_cells - 1
+
+    def test_repeated_cell_raises(self, tiny_temperature_dataset):
+        env = self._environment(tiny_temperature_dataset, epsilon=1e-9)
+        env.reset()
+        env.step(1)
+        with pytest.raises(ValueError):
+            env.step(1)
+
+    def test_quality_satisfied_gives_bonus_and_advances_cycle(self, tiny_temperature_dataset):
+        env = self._environment(tiny_temperature_dataset, epsilon=1e6)
+        env.reset()
+        env.step(0)
+        state, reward, done, info = env.step(1)  # second cell triggers the check
+        assert info["quality_satisfied"]
+        assert reward == pytest.approx(tiny_temperature_dataset.n_cells - 1.0)
+        # New cycle: current selection vector reset to zeros.
+        assert np.all(state[-1] == 0.0)
+        # Previous cycle's selections appear in the history row.
+        assert state[-2, 0] == 1.0 and state[-2, 1] == 1.0
+
+    def test_sensing_every_cell_always_ends_cycle(self, tiny_temperature_dataset):
+        env = self._environment(tiny_temperature_dataset, epsilon=0.0)
+        env.reset()
+        n = tiny_temperature_dataset.n_cells
+        rewards = []
+        for cell in range(n):
+            _, reward, _, info = env.step(cell)
+            rewards.append(reward)
+        assert info["quality_satisfied"]
+        assert rewards[-1] == pytest.approx(n - 1.0)
+
+    def test_episode_ends_after_all_cycles(self, tiny_temperature_dataset):
+        env = self._environment(tiny_temperature_dataset, epsilon=1e6)
+        env.reset()
+        done = False
+        steps = 0
+        limit = tiny_temperature_dataset.n_cycles * tiny_temperature_dataset.n_cells + 10
+        while not done and steps < limit:
+            mask = env.valid_action_mask()
+            action = int(np.flatnonzero(mask)[0])
+            _, _, done, _ = env.step(action)
+            steps += 1
+        assert done
+        # With a huge epsilon each cycle needs exactly min_cells_before_check cells.
+        assert steps == 2 * tiny_temperature_dataset.n_cycles
+
+    def test_step_after_done_raises(self, tiny_temperature_dataset):
+        env = self._environment(
+            tiny_temperature_dataset, epsilon=1e6, max_episode_cycles=1
+        )
+        env.reset()
+        env.step(0)
+        _, _, done, _ = env.step(1)
+        assert done
+        with pytest.raises(RuntimeError):
+            env.step(2)
+
+    def test_max_episode_cycles_limits_length(self, tiny_temperature_dataset):
+        env = self._environment(
+            tiny_temperature_dataset, epsilon=1e6, max_episode_cycles=2
+        )
+        env.reset()
+        assert env._episode_cycles == 2
+
+    def test_out_of_range_action_raises(self, tiny_temperature_dataset):
+        env = self._environment(tiny_temperature_dataset)
+        env.reset()
+        with pytest.raises(ValueError):
+            env.step(999)
+
+    def test_render_mentions_cycle(self, tiny_temperature_dataset):
+        env = self._environment(tiny_temperature_dataset)
+        env.reset()
+        assert "cycle" in env.render()

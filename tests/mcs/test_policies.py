@@ -1,0 +1,117 @@
+"""Tests for the RANDOM and QBC selection policies."""
+
+import numpy as np
+import pytest
+
+from repro.inference.committee import InferenceCommittee
+from repro.inference.interpolation import SpatialMeanInference, TemporalInterpolationInference
+from repro.mcs.policies import CellSelectionPolicy
+from repro.mcs.qbc import QBCSelectionPolicy
+from repro.mcs.random_policy import RandomSelectionPolicy
+
+
+class TestValidationHelper:
+    def test_valid_selection_passes(self):
+        mask = np.array([False, True, False])
+        assert CellSelectionPolicy._validate_selection(0, mask) == 0
+
+    def test_already_sensed_rejected(self):
+        mask = np.array([False, True, False])
+        with pytest.raises(ValueError):
+            CellSelectionPolicy._validate_selection(1, mask)
+
+    def test_out_of_range_rejected(self):
+        mask = np.array([False, False])
+        with pytest.raises(ValueError):
+            CellSelectionPolicy._validate_selection(5, mask)
+
+
+class TestRandomPolicy:
+    def test_never_selects_sensed_cell(self):
+        policy = RandomSelectionPolicy(seed=0)
+        observed = np.full((5, 3), np.nan)
+        sensed = np.array([True, False, True, False, True])
+        for _ in range(30):
+            cell = policy.select_cell(observed, 2, sensed)
+            assert not sensed[cell]
+
+    def test_covers_all_unsensed_cells_eventually(self):
+        policy = RandomSelectionPolicy(seed=1)
+        observed = np.full((6, 1), np.nan)
+        sensed = np.zeros(6, dtype=bool)
+        chosen = {policy.select_cell(observed, 0, sensed) for _ in range(200)}
+        assert chosen == set(range(6))
+
+    def test_all_sensed_raises(self):
+        policy = RandomSelectionPolicy(seed=0)
+        with pytest.raises(ValueError):
+            policy.select_cell(np.full((3, 1), np.nan), 0, np.ones(3, dtype=bool))
+
+    def test_deterministic_given_seed(self):
+        observed = np.full((8, 1), np.nan)
+        sensed = np.zeros(8, dtype=bool)
+        a = [RandomSelectionPolicy(seed=7).select_cell(observed, 0, sensed) for _ in range(1)]
+        b = [RandomSelectionPolicy(seed=7).select_cell(observed, 0, sensed) for _ in range(1)]
+        assert a == b
+
+
+class TestQBCPolicy:
+    def _observed(self, n_cells=6, n_cycles=4, seed=0):
+        rng = np.random.default_rng(seed)
+        data = np.cumsum(rng.normal(size=(n_cells, n_cycles)), axis=1) + np.arange(n_cells)[:, None]
+        observed = data.copy()
+        observed[:, -1] = np.nan  # current cycle unobserved
+        return observed
+
+    def test_selects_unsensed_cell(self):
+        policy = QBCSelectionPolicy(seed=0)
+        observed = self._observed()
+        sensed = np.zeros(6, dtype=bool)
+        sensed[0] = True
+        observed[0, -1] = 1.0
+        cell = policy.select_cell(observed, 3, sensed)
+        assert cell != 0
+
+    def test_falls_back_to_random_with_no_observations(self):
+        policy = QBCSelectionPolicy(seed=0)
+        observed = np.full((5, 2), np.nan)
+        sensed = np.zeros(5, dtype=bool)
+        cell = policy.select_cell(observed, 1, sensed)
+        assert 0 <= cell < 5
+
+    def test_picks_highest_disagreement_cell(self):
+        # A committee with two members that are forced to disagree most on a
+        # specific cell by construction: one cell has wildly different history.
+        committee = InferenceCommittee(
+            [SpatialMeanInference(), TemporalInterpolationInference()]
+        )
+        policy = QBCSelectionPolicy(committee=committee, seed=0)
+        observed = np.array(
+            [
+                [1.0, 1.0, 1.0, np.nan],
+                [1.0, 1.0, 1.0, np.nan],
+                [1.0, 100.0, 200.0, np.nan],  # temporal trend wildly different
+                [1.0, 1.0, 1.0, 1.0],
+            ]
+        )
+        sensed = np.array([False, False, False, True])
+        disagreement = committee.cycle_disagreement(observed, 3)
+        expected = int(np.argmax(np.where(sensed, -np.inf, disagreement)))
+        assert policy.select_cell(observed, 3, sensed) == expected
+
+    def test_all_sensed_raises(self):
+        policy = QBCSelectionPolicy(seed=0)
+        with pytest.raises(ValueError):
+            policy.select_cell(np.zeros((3, 2)), 1, np.ones(3, dtype=bool))
+
+    def test_history_window_limits_lookback(self):
+        policy = QBCSelectionPolicy(seed=0, history_window=2)
+        observed = self._observed(n_cycles=10)
+        sensed = np.zeros(6, dtype=bool)
+        cell = policy.select_cell(observed, 9, sensed)
+        assert 0 <= cell < 6
+
+    def test_default_committee_built_with_coordinates(self):
+        coordinates = np.random.default_rng(0).random((6, 2))
+        policy = QBCSelectionPolicy(coordinates=coordinates, seed=0)
+        assert len(policy.committee) >= 3

@@ -1,0 +1,104 @@
+"""Tests for repro.mcs.task and repro.mcs.results."""
+
+import numpy as np
+import pytest
+
+from repro.inference.compressive import CompressiveSensingInference
+from repro.mcs.results import CampaignResult, CycleRecord
+from repro.mcs.task import SensingTask
+from repro.quality.epsilon_p import QualityRequirement
+from repro.quality.loo_bayesian import LeaveOneOutBayesianAssessor
+
+
+class TestSensingTask:
+    def test_defaults_filled_in(self, tiny_temperature_dataset):
+        task = SensingTask(
+            dataset=tiny_temperature_dataset,
+            requirement=QualityRequirement(epsilon=0.5),
+        )
+        assert isinstance(task.inference, CompressiveSensingInference)
+        assert isinstance(task.assessor, LeaveOneOutBayesianAssessor)
+        assert task.n_cells == tiny_temperature_dataset.n_cells
+        assert task.n_cycles == tiny_temperature_dataset.n_cycles
+
+    def test_with_dataset_swaps_dataset_only(self, tiny_temperature_dataset):
+        task = SensingTask.default_temperature_task(tiny_temperature_dataset)
+        train, test = tiny_temperature_dataset.train_test_split(0.5)
+        new_task = task.with_dataset(test)
+        assert new_task.dataset is test
+        assert new_task.requirement is task.requirement
+        assert new_task.inference is task.inference
+
+    def test_default_temperature_task_parameters(self, tiny_temperature_dataset):
+        task = SensingTask.default_temperature_task(tiny_temperature_dataset, p=0.95)
+        assert task.requirement.epsilon == pytest.approx(0.3)
+        assert task.requirement.p == 0.95
+        assert task.requirement.metric == "mae"
+
+    def test_default_pm25_task_parameters(self, tiny_pm25_dataset):
+        task = SensingTask.default_pm25_task(tiny_pm25_dataset)
+        assert task.requirement.epsilon == pytest.approx(0.25)
+        assert task.requirement.metric == "classification"
+
+
+class TestCycleRecord:
+    def test_n_selected(self):
+        record = CycleRecord(cycle=0, selected_cells=(1, 4, 2), true_error=0.1, assessed_satisfied=True)
+        assert record.n_selected == 3
+
+
+class TestCampaignResult:
+    def _result(self):
+        requirement = QualityRequirement(epsilon=1.0, p=0.5)
+        result = CampaignResult(policy_name="TEST", requirement=requirement, n_cells=5)
+        result.add_record(CycleRecord(0, (0, 1), 0.5, True))
+        result.add_record(CycleRecord(1, (2, 3, 4), 2.0, False))
+        return result
+
+    def test_aggregates(self):
+        result = self._result()
+        assert result.n_cycles == 2
+        assert result.total_selected == 5
+        assert result.mean_selected_per_cycle == pytest.approx(2.5)
+        assert result.selected_per_cycle.tolist() == [2, 3]
+
+    def test_quality_statistics(self):
+        result = self._result()
+        assert result.quality_satisfied_fraction == pytest.approx(0.5)
+        assert result.satisfies_quality  # p = 0.5 and exactly half the cycles pass
+
+    def test_selection_matrix(self):
+        matrix = self._result().selection_matrix()
+        assert matrix.shape == (5, 2)
+        assert matrix[:, 0].tolist() == [1, 1, 0, 0, 0]
+        assert matrix[:, 1].tolist() == [0, 0, 1, 1, 1]
+        assert matrix.sum() == 5
+
+    def test_records_must_be_in_order(self):
+        result = CampaignResult("TEST", QualityRequirement(epsilon=1.0), n_cells=3)
+        with pytest.raises(ValueError):
+            result.add_record(CycleRecord(5, (0,), 0.1, True))
+
+    def test_empty_result_statistics(self):
+        result = CampaignResult("TEST", QualityRequirement(epsilon=1.0), n_cells=3)
+        assert np.isnan(result.mean_selected_per_cycle)
+        assert np.isnan(result.quality_satisfied_fraction)
+        assert not result.satisfies_quality
+
+    def test_nan_errors_ignored_in_quality(self):
+        result = CampaignResult("TEST", QualityRequirement(epsilon=1.0, p=0.9), n_cells=3)
+        result.add_record(CycleRecord(0, (0,), float("nan"), False))
+        result.add_record(CycleRecord(1, (1,), 0.2, True))
+        assert result.quality_satisfied_fraction == pytest.approx(1.0)
+
+    def test_summary_keys(self):
+        summary = self._result().summary()
+        for key in (
+            "policy",
+            "requirement",
+            "cycles",
+            "mean_selected_per_cycle",
+            "total_selected",
+            "quality_satisfied_fraction",
+        ):
+            assert key in summary

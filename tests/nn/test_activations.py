@@ -1,0 +1,84 @@
+"""Tests for repro.nn.activations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.nn.activations import Identity, ReLU, Sigmoid, Tanh, get_activation, sigmoid
+
+
+class TestForwardValues:
+    def test_identity_passes_through(self):
+        x = np.array([-2.0, 0.0, 3.5])
+        assert np.allclose(Identity().forward(x), x)
+
+    def test_relu_clips_negatives(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        assert np.allclose(ReLU().forward(x), [0.0, 0.0, 2.0])
+
+    def test_sigmoid_at_zero_is_half(self):
+        assert Sigmoid().forward(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_sigmoid_is_bounded(self):
+        x = np.array([-1000.0, -10.0, 0.0, 10.0, 1000.0])
+        out = Sigmoid().forward(x)
+        assert np.all(out >= 0.0) and np.all(out <= 1.0)
+        assert not np.isnan(out).any()
+
+    def test_tanh_matches_numpy(self):
+        x = np.linspace(-3, 3, 11)
+        assert np.allclose(Tanh().forward(x), np.tanh(x))
+
+    def test_stable_sigmoid_matches_naive_formula(self):
+        x = np.linspace(-20, 20, 41)
+        naive = 1.0 / (1.0 + np.exp(-x))
+        assert np.allclose(sigmoid(x), naive, atol=1e-12)
+
+
+class TestDerivatives:
+    @pytest.mark.parametrize("activation_cls", [Identity, ReLU, Sigmoid, Tanh])
+    def test_derivative_matches_finite_difference(self, activation_cls):
+        activation = activation_cls()
+        # Avoid the ReLU kink at exactly zero.
+        x = np.array([-1.7, -0.4, 0.3, 1.1, 2.6])
+        eps = 1e-6
+        numeric = (activation.forward(x + eps) - activation.forward(x - eps)) / (2 * eps)
+        assert np.allclose(activation.derivative(x), numeric, atol=1e-5)
+
+    def test_relu_derivative_is_zero_for_negatives(self):
+        x = np.array([-5.0, -0.1])
+        assert np.allclose(ReLU().derivative(x), 0.0)
+
+    def test_sigmoid_derivative_peaks_at_zero(self):
+        d = Sigmoid().derivative(np.array([0.0]))[0]
+        assert d == pytest.approx(0.25)
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert isinstance(get_activation("relu"), ReLU)
+        assert isinstance(get_activation("TANH"), Tanh)
+        assert isinstance(get_activation("linear"), Identity)
+
+    def test_instance_passes_through(self):
+        act = ReLU()
+        assert get_activation(act) is act
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown activation"):
+            get_activation("softplus")
+
+
+class TestProperties:
+    @given(st.lists(st.floats(-50, 50), min_size=1, max_size=20))
+    def test_sigmoid_monotone(self, values):
+        x = np.sort(np.asarray(values, dtype=float))
+        out = sigmoid(x)
+        assert np.all(np.diff(out) >= -1e-12)
+
+    @given(st.floats(-30, 30))
+    def test_tanh_is_odd(self, value):
+        t = Tanh()
+        assert t.forward(np.array([value]))[0] == pytest.approx(
+            -t.forward(np.array([-value]))[0], abs=1e-12
+        )

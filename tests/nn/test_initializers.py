@@ -1,0 +1,72 @@
+"""Tests for repro.nn.initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.initializers import (
+    get_initializer,
+    glorot_uniform,
+    he_uniform,
+    initialize,
+    orthogonal,
+    zeros_init,
+)
+
+
+class TestZeros:
+    def test_shape_and_value(self):
+        rng = np.random.default_rng(0)
+        out = zeros_init((3, 4), rng)
+        assert out.shape == (3, 4)
+        assert np.all(out == 0.0)
+
+
+class TestGlorot:
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        out = glorot_uniform((100, 50), rng)
+        limit = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(out) <= limit)
+
+    def test_deterministic_for_seed(self):
+        a = glorot_uniform((5, 5), np.random.default_rng(42))
+        b = glorot_uniform((5, 5), np.random.default_rng(42))
+        assert np.array_equal(a, b)
+
+
+class TestHe:
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        out = he_uniform((64, 32), rng)
+        limit = np.sqrt(6.0 / 64)
+        assert np.all(np.abs(out) <= limit)
+
+
+class TestOrthogonal:
+    def test_square_matrix_is_orthogonal(self):
+        rng = np.random.default_rng(0)
+        q = orthogonal((6, 6), rng)
+        assert np.allclose(q.T @ q, np.eye(6), atol=1e-10)
+
+    def test_rectangular_has_orthonormal_columns(self):
+        rng = np.random.default_rng(0)
+        q = orthogonal((8, 4), rng)
+        assert np.allclose(q.T @ q, np.eye(4), atol=1e-10)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            orthogonal((3,), np.random.default_rng(0))
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_initializer("zeros") is zeros_init
+        assert get_initializer("orthogonal") is orthogonal
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown initializer"):
+            get_initializer("lecun")
+
+    def test_initialize_convenience(self):
+        out = initialize("glorot_uniform", (4, 3), seed=1)
+        assert out.shape == (4, 3)

@@ -1,0 +1,239 @@
+"""Tests for repro.nn.layers, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.gradcheck import numerical_gradient, relative_error
+from repro.nn.layers import Dense, Dropout, LSTM
+
+
+class TestDenseForward:
+    def test_output_shape(self):
+        layer = Dense(4, 3, seed=0)
+        out = layer.forward(np.ones((5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_1d_input_promoted_to_batch(self):
+        layer = Dense(4, 3, seed=0)
+        out = layer.forward(np.ones(4))
+        assert out.shape == (1, 3)
+
+    def test_wrong_input_dim_raises(self):
+        layer = Dense(4, 3, seed=0)
+        with pytest.raises(ValueError, match="expected input dim"):
+            layer.forward(np.ones((2, 5)))
+
+    def test_linear_layer_is_affine(self):
+        layer = Dense(3, 2, activation="identity", seed=0)
+        x = np.random.default_rng(0).normal(size=(4, 3))
+        expected = x @ layer.params["W"] + layer.params["b"]
+        assert np.allclose(layer.forward(x), expected)
+
+    def test_relu_activation_applied(self):
+        layer = Dense(3, 2, activation="relu", seed=0)
+        x = np.random.default_rng(0).normal(size=(6, 3))
+        assert np.all(layer.forward(x) >= 0.0)
+
+    def test_parameter_count(self):
+        layer = Dense(10, 7, seed=0)
+        assert layer.parameter_count == 10 * 7 + 7
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ValueError):
+            Dense(0, 3)
+        with pytest.raises(ValueError):
+            Dense(3, -1)
+
+
+class TestDenseBackward:
+    def test_backward_before_forward_raises(self):
+        layer = Dense(3, 2, seed=0)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 2)))
+
+    def test_weight_gradient_matches_numerical(self):
+        rng = np.random.default_rng(3)
+        layer = Dense(4, 3, activation="tanh", seed=1)
+        x = rng.normal(size=(5, 4))
+        target = rng.normal(size=(5, 3))
+
+        def loss_fn(weights):
+            original = layer.params["W"]
+            layer.params["W"] = weights
+            out = layer.forward(x)
+            layer.params["W"] = original
+            return 0.5 * float(np.sum((out - target) ** 2))
+
+        out = layer.forward(x)
+        layer.backward(out - target)
+        numeric = numerical_gradient(loss_fn, layer.params["W"].copy())
+        assert relative_error(layer.grads["W"], numeric) < 1e-5
+
+    def test_input_gradient_matches_numerical(self):
+        rng = np.random.default_rng(4)
+        layer = Dense(3, 2, activation="sigmoid", seed=2)
+        x = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 2))
+
+        def loss_fn(inputs):
+            out = layer.forward(inputs)
+            return 0.5 * float(np.sum((out - target) ** 2))
+
+        out = layer.forward(x)
+        grad_x = layer.backward(out - target)
+        numeric = numerical_gradient(loss_fn, x.copy())
+        assert relative_error(grad_x, numeric) < 1e-5
+
+    def test_bias_gradient_sums_over_batch(self):
+        layer = Dense(2, 2, activation="identity", seed=0)
+        x = np.ones((3, 2))
+        layer.forward(x)
+        layer.backward(np.ones((3, 2)))
+        assert np.allclose(layer.grads["b"], [3.0, 3.0])
+
+
+class TestDropout:
+    def test_inference_mode_is_identity(self):
+        layer = Dropout(0.5, seed=0)
+        x = np.random.default_rng(0).normal(size=(10, 10))
+        assert np.array_equal(layer.forward(x, training=False), x)
+
+    def test_training_mode_zeroes_some_entries(self):
+        layer = Dropout(0.5, seed=0)
+        x = np.ones((50, 50))
+        out = layer.forward(x, training=True)
+        zero_fraction = np.mean(out == 0.0)
+        assert 0.3 < zero_fraction < 0.7
+
+    def test_scaling_preserves_expectation(self):
+        layer = Dropout(0.25, seed=1)
+        x = np.ones((200, 200))
+        out = layer.forward(x, training=True)
+        assert out.mean() == pytest.approx(1.0, rel=0.05)
+
+    def test_backward_uses_same_mask(self):
+        layer = Dropout(0.5, seed=2)
+        x = np.ones((20, 20))
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones_like(x))
+        assert np.array_equal(grad == 0.0, out == 0.0)
+
+    def test_rate_one_rejected(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestLSTMForward:
+    def test_last_hidden_shape(self):
+        layer = LSTM(5, 7, seed=0)
+        out = layer.forward(np.zeros((3, 4, 5)))
+        assert out.shape == (3, 7)
+
+    def test_return_sequences_shape(self):
+        layer = LSTM(5, 7, return_sequences=True, seed=0)
+        out = layer.forward(np.zeros((3, 4, 5)))
+        assert out.shape == (3, 4, 7)
+
+    def test_2d_input_treated_as_single_sequence(self):
+        layer = LSTM(5, 4, seed=0)
+        out = layer.forward(np.zeros((6, 5)))
+        assert out.shape == (1, 4)
+
+    def test_wrong_feature_dim_raises(self):
+        layer = LSTM(5, 4, seed=0)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((2, 3, 6)))
+
+    def test_zero_input_gives_bounded_output(self):
+        layer = LSTM(3, 4, seed=0)
+        out = layer.forward(np.zeros((2, 5, 3)))
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_output_depends_on_sequence_order(self):
+        layer = LSTM(2, 3, seed=0)
+        rng = np.random.default_rng(0)
+        seq = rng.normal(size=(1, 4, 2))
+        reversed_seq = seq[:, ::-1, :].copy()
+        assert not np.allclose(layer.forward(seq), layer.forward(reversed_seq))
+
+    def test_forget_bias_initialised_to_one(self):
+        layer = LSTM(2, 3, forget_bias=1.0, seed=0)
+        assert np.allclose(layer.params["b"][3:6], 1.0)
+        assert np.allclose(layer.params["b"][:3], 0.0)
+
+    def test_parameter_count(self):
+        layer = LSTM(4, 6, seed=0)
+        expected = 4 * 4 * 6 + 6 * 4 * 6 + 4 * 6
+        assert layer.parameter_count == expected
+
+
+class TestLSTMBackward:
+    def _loss_through_param(self, layer, name, x, target):
+        def loss_fn(param_value):
+            original = layer.params[name]
+            layer.params[name] = param_value
+            out = layer.forward(x)
+            layer.params[name] = original
+            return 0.5 * float(np.sum((out - target) ** 2))
+
+        return loss_fn
+
+    @pytest.mark.parametrize("param_name", ["Wx", "Wh", "b"])
+    def test_parameter_gradients_match_numerical(self, param_name):
+        rng = np.random.default_rng(7)
+        layer = LSTM(3, 4, seed=5)
+        x = rng.normal(size=(2, 4, 3))
+        target = rng.normal(size=(2, 4))
+
+        out = layer.forward(x)
+        layer.backward(out - target)
+        numeric = numerical_gradient(
+            self._loss_through_param(layer, param_name, x, target),
+            layer.params[param_name].copy(),
+        )
+        assert relative_error(layer.grads[param_name], numeric) < 1e-4
+
+    def test_input_gradient_matches_numerical(self):
+        rng = np.random.default_rng(8)
+        layer = LSTM(3, 4, seed=6)
+        x = rng.normal(size=(2, 3, 3))
+        target = rng.normal(size=(2, 4))
+
+        def loss_fn(inputs):
+            out = layer.forward(inputs)
+            return 0.5 * float(np.sum((out - target) ** 2))
+
+        out = layer.forward(x)
+        grad_x = layer.backward(out - target)
+        numeric = numerical_gradient(loss_fn, x.copy())
+        assert relative_error(grad_x, numeric) < 1e-4
+
+    def test_return_sequences_gradients_match_numerical(self):
+        rng = np.random.default_rng(9)
+        layer = LSTM(2, 3, return_sequences=True, seed=7)
+        x = rng.normal(size=(2, 3, 2))
+        target = rng.normal(size=(2, 3, 3))
+
+        out = layer.forward(x)
+        layer.backward(out - target)
+        numeric = numerical_gradient(
+            self._loss_through_param(layer, "Wx", x, target), layer.params["Wx"].copy()
+        )
+        assert relative_error(layer.grads["Wx"], numeric) < 1e-4
+
+    def test_backward_before_forward_raises(self):
+        layer = LSTM(3, 4, seed=0)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 4)))
+
+    def test_wrong_grad_shape_raises(self):
+        layer = LSTM(3, 4, seed=0)
+        layer.forward(np.zeros((2, 3, 3)))
+        with pytest.raises(ValueError):
+            layer.backward(np.ones((2, 5)))
+
+    def test_initial_state_shape(self):
+        layer = LSTM(3, 4, seed=0)
+        h, c = layer.initial_state(batch=5)
+        assert h.shape == (5, 4) and c.shape == (5, 4)
+        assert np.all(h == 0.0) and np.all(c == 0.0)

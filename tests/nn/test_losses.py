@@ -1,0 +1,99 @@
+"""Tests for repro.nn.losses."""
+
+import numpy as np
+import pytest
+
+from repro.nn.gradcheck import numerical_gradient, relative_error
+from repro.nn.losses import HuberLoss, MeanSquaredError, get_loss
+
+
+class TestMeanSquaredError:
+    def test_zero_for_perfect_prediction(self):
+        loss = MeanSquaredError()
+        predictions = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert loss.value(predictions, predictions) == 0.0
+
+    def test_known_value(self):
+        loss = MeanSquaredError()
+        assert loss.value(np.array([[2.0]]), np.array([[0.0]])) == pytest.approx(4.0)
+
+    def test_weights_restrict_to_selected_entries(self):
+        loss = MeanSquaredError()
+        predictions = np.array([[1.0, 100.0]])
+        targets = np.array([[0.0, 0.0]])
+        weights = np.array([[1.0, 0.0]])
+        assert loss.value(predictions, targets, weights) == pytest.approx(1.0)
+
+    def test_gradient_matches_numerical(self):
+        loss = MeanSquaredError()
+        rng = np.random.default_rng(0)
+        predictions = rng.normal(size=(3, 4))
+        targets = rng.normal(size=(3, 4))
+        analytic = loss.gradient(predictions, targets)
+        numeric = numerical_gradient(lambda p: loss.value(p, targets), predictions.copy())
+        assert relative_error(analytic, numeric) < 1e-6
+
+    def test_shape_mismatch_raises(self):
+        loss = MeanSquaredError()
+        with pytest.raises(ValueError):
+            loss.value(np.zeros((2, 2)), np.zeros((2, 3)))
+
+
+class TestHuberLoss:
+    def test_quadratic_region_matches_half_mse(self):
+        loss = HuberLoss(delta=1.0)
+        predictions = np.array([[0.5]])
+        targets = np.array([[0.0]])
+        assert loss.value(predictions, targets) == pytest.approx(0.5 * 0.25)
+
+    def test_linear_region_grows_linearly(self):
+        loss = HuberLoss(delta=1.0)
+        v3 = loss.value(np.array([[3.0]]), np.array([[0.0]]))
+        v4 = loss.value(np.array([[4.0]]), np.array([[0.0]]))
+        assert v4 - v3 == pytest.approx(1.0)
+
+    def test_gradient_clipped_at_delta(self):
+        loss = HuberLoss(delta=1.0)
+        grad = loss.gradient(np.array([[10.0]]), np.array([[0.0]]))
+        assert grad[0, 0] == pytest.approx(1.0)
+
+    def test_gradient_matches_numerical(self):
+        loss = HuberLoss(delta=1.0)
+        rng = np.random.default_rng(1)
+        predictions = rng.normal(scale=2.0, size=(3, 3))
+        targets = rng.normal(scale=2.0, size=(3, 3))
+        analytic = loss.gradient(predictions, targets)
+        numeric = numerical_gradient(lambda p: loss.value(p, targets), predictions.copy())
+        assert relative_error(analytic, numeric) < 1e-4
+
+    def test_invalid_delta_raises(self):
+        with pytest.raises(ValueError):
+            HuberLoss(delta=0.0)
+
+
+class TestWeighting:
+    def test_all_zero_weights_do_not_divide_by_zero(self):
+        loss = MeanSquaredError()
+        predictions = np.ones((2, 2))
+        targets = np.zeros((2, 2))
+        weights = np.zeros((2, 2))
+        assert loss.value(predictions, targets, weights) == 0.0
+
+    def test_weight_shape_mismatch_raises(self):
+        loss = MeanSquaredError()
+        with pytest.raises(ValueError):
+            loss.value(np.zeros((2, 2)), np.zeros((2, 2)), np.zeros((2, 3)))
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert isinstance(get_loss("mse"), MeanSquaredError)
+        assert isinstance(get_loss("huber"), HuberLoss)
+
+    def test_instance_passes_through(self):
+        loss = HuberLoss(delta=2.0)
+        assert get_loss(loss) is loss
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            get_loss("cross_entropy")

@@ -1,0 +1,138 @@
+"""Tests for repro.nn.network (Sequential and the Q-network architectures)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense
+from repro.nn.network import FeedForwardQNetwork, RecurrentQNetwork, Sequential
+
+
+def random_states(batch, window, cells, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2, size=(batch, window, cells)).astype(float)
+
+
+class TestSequential:
+    def test_requires_at_least_one_layer(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+    def test_forward_chains_layers(self):
+        model = Sequential([Dense(3, 4, seed=0), Dense(4, 2, seed=1)])
+        out = model.forward(np.ones((5, 3)))
+        assert out.shape == (5, 2)
+
+    def test_parameter_count_sums_layers(self):
+        model = Sequential([Dense(3, 4, seed=0), Dense(4, 2, seed=1)])
+        assert model.parameter_count == (3 * 4 + 4) + (4 * 2 + 2)
+
+    def test_get_set_weights_roundtrip(self):
+        model = Sequential([Dense(3, 4, seed=0), Dense(4, 2, seed=1)])
+        weights = model.get_weights()
+        other = Sequential([Dense(3, 4, seed=9), Dense(4, 2, seed=10)])
+        other.set_weights(weights)
+        x = np.random.default_rng(0).normal(size=(3, 3))
+        assert np.allclose(model.forward(x, training=False), other.forward(x, training=False))
+
+    def test_set_weights_wrong_layer_count_raises(self):
+        model = Sequential([Dense(3, 4, seed=0)])
+        with pytest.raises(ValueError):
+            model.set_weights([{}, {}])
+
+    def test_set_weights_wrong_shape_raises(self):
+        model = Sequential([Dense(3, 4, seed=0)])
+        bad = [{"W": np.zeros((2, 2)), "b": np.zeros(4)}]
+        with pytest.raises(ValueError):
+            model.set_weights(bad)
+
+    def test_get_weights_returns_copies(self):
+        model = Sequential([Dense(2, 2, seed=0)])
+        weights = model.get_weights()
+        weights[0]["W"][:] = 999.0
+        assert not np.allclose(model.layers[0].params["W"], 999.0)
+
+
+class TestFeedForwardQNetwork:
+    def test_prediction_shape(self):
+        net = FeedForwardQNetwork(6, 2, hidden_dims=(8,), seed=0)
+        q = net.predict(random_states(4, 2, 6))
+        assert q.shape == (4, 6)
+
+    def test_single_state_helper(self):
+        net = FeedForwardQNetwork(6, 2, hidden_dims=(8,), seed=0)
+        q = net.q_values(random_states(1, 2, 6)[0])
+        assert q.shape == (6,)
+
+    def test_rejects_wrong_window(self):
+        net = FeedForwardQNetwork(6, 2, seed=0)
+        with pytest.raises(ValueError):
+            net.predict(random_states(2, 3, 6))
+
+    def test_train_step_reduces_td_error(self):
+        net = FeedForwardQNetwork(4, 2, hidden_dims=(16,), learning_rate=0.05, seed=0)
+        states = random_states(8, 2, 4, seed=1)
+        actions = np.arange(8) % 4
+        targets = np.linspace(-1, 1, 8)
+        first_loss = net.train_step(states, actions, targets)
+        for _ in range(50):
+            last_loss = net.train_step(states, actions, targets)
+        assert last_loss < first_loss
+
+    def test_train_step_only_moves_selected_actions(self):
+        net = FeedForwardQNetwork(4, 1, hidden_dims=(8,), learning_rate=0.1, seed=0)
+        state = random_states(1, 1, 4, seed=2)
+        before = net.predict(state)[0]
+        net.train_step(state, np.array([2]), np.array([before[2] + 5.0]))
+        after = net.predict(state)[0]
+        # The trained action moves substantially more than the others.
+        moved = np.abs(after - before)
+        assert moved[2] > 0
+        assert moved[2] >= moved.max() * 0.99
+
+    def test_invalid_action_index_raises(self):
+        net = FeedForwardQNetwork(4, 1, seed=0)
+        with pytest.raises(ValueError):
+            net.train_step(random_states(1, 1, 4), np.array([7]), np.array([0.0]))
+
+
+class TestRecurrentQNetwork:
+    def test_prediction_shape(self):
+        net = RecurrentQNetwork(5, 3, lstm_hidden=8, dense_hidden=(8,), seed=0)
+        q = net.predict(random_states(4, 3, 5))
+        assert q.shape == (4, 5)
+
+    def test_window_mismatch_raises(self):
+        net = RecurrentQNetwork(5, 3, seed=0)
+        with pytest.raises(ValueError):
+            net.predict(random_states(1, 2, 5))
+
+    def test_train_step_reduces_td_error(self):
+        net = RecurrentQNetwork(4, 2, lstm_hidden=8, dense_hidden=(8,), learning_rate=0.05, seed=0)
+        states = random_states(8, 2, 4, seed=3)
+        actions = np.arange(8) % 4
+        targets = np.linspace(-1, 1, 8)
+        first_loss = net.train_step(states, actions, targets)
+        for _ in range(60):
+            last_loss = net.train_step(states, actions, targets)
+        assert last_loss < first_loss
+
+    def test_clone_is_independent(self):
+        net = RecurrentQNetwork(4, 2, lstm_hidden=8, seed=0)
+        clone = net.clone()
+        states = random_states(4, 2, 4, seed=4)
+        net.train_step(states, np.zeros(4, dtype=int), np.ones(4))
+        # The clone kept the original weights.
+        assert not np.allclose(net.predict(states), clone.predict(states))
+
+    def test_copy_weights_from(self):
+        source = RecurrentQNetwork(4, 2, lstm_hidden=8, seed=0)
+        target = RecurrentQNetwork(4, 2, lstm_hidden=8, seed=99)
+        states = random_states(3, 2, 4, seed=5)
+        assert not np.allclose(source.predict(states), target.predict(states))
+        target.copy_weights_from(source)
+        assert np.allclose(source.predict(states), target.predict(states))
+
+    def test_actions_and_targets_length_mismatch_raises(self):
+        net = RecurrentQNetwork(4, 2, seed=0)
+        with pytest.raises(ValueError):
+            net.train_step(random_states(2, 2, 4), np.array([0, 1]), np.array([0.0]))

@@ -1,0 +1,149 @@
+"""Tests for repro.nn.optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.optimizers import SGD, Adam, Momentum, RMSProp, get_optimizer
+
+
+def quadratic_problem(start=5.0):
+    """A single scalar parameter with loss 0.5*x^2 (gradient = x)."""
+    params = {"x": np.array([start])}
+    grads = {"x": np.array([start])}
+    return params, grads
+
+
+class TestSGD:
+    def test_single_step_moves_against_gradient(self):
+        params = {"w": np.array([1.0, -2.0])}
+        grads = {"w": np.array([0.5, -0.5])}
+        SGD(learning_rate=0.1).step([(params, grads)])
+        assert np.allclose(params["w"], [0.95, -1.95])
+
+    def test_converges_on_quadratic(self):
+        params = {"x": np.array([5.0])}
+        optimizer = SGD(learning_rate=0.1)
+        for _ in range(200):
+            grads = {"x": params["x"].copy()}
+            optimizer.step([(params, grads)])
+        assert abs(params["x"][0]) < 1e-3
+
+    def test_shape_mismatch_raises(self):
+        params = {"w": np.zeros(3)}
+        grads = {"w": np.zeros(4)}
+        with pytest.raises(ValueError):
+            SGD().step([(params, grads)])
+
+    def test_missing_gradient_is_skipped(self):
+        params = {"w": np.ones(2)}
+        grads = {}
+        SGD(learning_rate=0.5).step([(params, grads)])
+        assert np.allclose(params["w"], 1.0)
+
+
+class TestMomentum:
+    def test_accumulates_velocity(self):
+        params = {"x": np.array([0.0])}
+        optimizer = Momentum(learning_rate=0.1, momentum=0.9)
+        for _ in range(3):
+            optimizer.step([({"x": params["x"]}, {"x": np.array([1.0])})])
+        # Pure SGD would have moved 0.3; momentum moves further.
+        assert params["x"][0] < -0.3
+
+    def test_invalid_momentum_raises(self):
+        with pytest.raises(ValueError):
+            Momentum(momentum=1.0)
+
+    def test_reset_clears_velocity(self):
+        optimizer = Momentum(learning_rate=0.1, momentum=0.9)
+        params = {"x": np.array([0.0])}
+        optimizer.step([(params, {"x": np.array([1.0])})])
+        optimizer.reset()
+        assert optimizer.iterations == 0
+        assert not optimizer._velocity
+
+
+class TestRMSProp:
+    def test_converges_on_quadratic(self):
+        params = {"x": np.array([5.0])}
+        optimizer = RMSProp(learning_rate=0.05)
+        for _ in range(500):
+            optimizer.step([(params, {"x": params["x"].copy()})])
+        assert abs(params["x"][0]) < 0.05
+
+    def test_invalid_decay_raises(self):
+        with pytest.raises(ValueError):
+            RMSProp(decay=1.5)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        params = {"x": np.array([5.0])}
+        optimizer = Adam(learning_rate=0.1)
+        for _ in range(500):
+            optimizer.step([(params, {"x": params["x"].copy()})])
+        assert abs(params["x"][0]) < 0.05
+
+    def test_first_step_size_close_to_learning_rate(self):
+        params = {"x": np.array([1.0])}
+        Adam(learning_rate=0.01).step([(params, {"x": np.array([100.0])})])
+        # Bias correction makes the first step ≈ learning_rate regardless of
+        # the gradient magnitude.
+        assert abs(1.0 - params["x"][0]) == pytest.approx(0.01, rel=0.01)
+
+    def test_invalid_beta_raises(self):
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam(beta2=-0.1)
+
+    def test_reset_clears_moments(self):
+        optimizer = Adam()
+        params = {"x": np.array([1.0])}
+        optimizer.step([(params, {"x": np.array([1.0])})])
+        optimizer.reset()
+        assert not optimizer._m and not optimizer._v
+
+
+class TestGradientClipping:
+    def test_large_gradient_is_scaled(self):
+        params = {"w": np.array([0.0, 0.0])}
+        grads = {"w": np.array([30.0, 40.0])}  # norm 50
+        SGD(learning_rate=1.0, clip_norm=5.0).step([(params, grads)])
+        assert np.linalg.norm(params["w"]) == pytest.approx(5.0)
+
+    def test_small_gradient_untouched(self):
+        params = {"w": np.array([0.0])}
+        grads = {"w": np.array([0.1])}
+        SGD(learning_rate=1.0, clip_norm=5.0).step([(params, grads)])
+        assert params["w"][0] == pytest.approx(-0.1)
+
+    def test_clipping_is_global_across_groups(self):
+        params_a = {"w": np.array([0.0])}
+        params_b = {"w": np.array([0.0])}
+        grads_a = {"w": np.array([3.0])}
+        grads_b = {"w": np.array([4.0])}
+        SGD(learning_rate=1.0, clip_norm=1.0).step(
+            [(params_a, grads_a), (params_b, grads_b)]
+        )
+        total = np.sqrt(params_a["w"][0] ** 2 + params_b["w"][0] ** 2)
+        assert total == pytest.approx(1.0)
+
+
+class TestRegistry:
+    def test_lookup_with_kwargs(self):
+        optimizer = get_optimizer("adam", learning_rate=0.5)
+        assert isinstance(optimizer, Adam)
+        assert optimizer.learning_rate == 0.5
+
+    def test_instance_passes_through(self):
+        optimizer = SGD()
+        assert get_optimizer(optimizer) is optimizer
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            get_optimizer("adagrad")
+
+    def test_invalid_learning_rate_raises(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0.0)

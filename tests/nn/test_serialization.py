@@ -1,0 +1,62 @@
+"""Tests for repro.nn.serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn.network import RecurrentQNetwork
+from repro.nn.serialization import (
+    load_weights,
+    save_weights,
+    weights_from_dict,
+    weights_to_dict,
+)
+
+
+class TestDictRoundTrip:
+    def test_roundtrip_preserves_values(self):
+        weights = [
+            {"W": np.arange(6, dtype=float).reshape(2, 3), "b": np.zeros(3)},
+            {"Wx": np.ones((3, 4))},
+        ]
+        restored = weights_from_dict(weights_to_dict(weights))
+        assert len(restored) == 2
+        assert np.array_equal(restored[0]["W"], weights[0]["W"])
+        assert np.array_equal(restored[1]["Wx"], weights[1]["Wx"])
+
+    def test_missing_marker_raises(self):
+        with pytest.raises(ValueError, match="__n_layers__"):
+            weights_from_dict({"layer0/W": np.zeros((2, 2))})
+
+    def test_malformed_key_raises(self):
+        flat = weights_to_dict([{"W": np.zeros(2)}])
+        flat["not-a-layer-key"] = np.zeros(1)
+        with pytest.raises(ValueError):
+            weights_from_dict(flat)
+
+    def test_out_of_range_layer_raises(self):
+        flat = weights_to_dict([{"W": np.zeros(2)}])
+        flat["layer5/W"] = np.zeros(2)
+        with pytest.raises(ValueError):
+            weights_from_dict(flat)
+
+
+class TestFileRoundTrip:
+    def test_save_load_roundtrip(self, tmp_path):
+        weights = [{"W": np.random.default_rng(0).normal(size=(3, 3)), "b": np.ones(3)}]
+        path = save_weights(weights, tmp_path / "model")
+        assert path.suffix == ".npz"
+        restored = load_weights(path)
+        assert np.allclose(restored[0]["W"], weights[0]["W"])
+        assert np.allclose(restored[0]["b"], weights[0]["b"])
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_weights(tmp_path / "does-not-exist.npz")
+
+    def test_network_weights_roundtrip_through_file(self, tmp_path):
+        net = RecurrentQNetwork(5, 2, lstm_hidden=6, seed=0)
+        path = save_weights(net.get_weights(), tmp_path / "drqn.npz")
+        other = RecurrentQNetwork(5, 2, lstm_hidden=6, seed=42)
+        other.set_weights(load_weights(path))
+        states = np.random.default_rng(1).integers(0, 2, size=(3, 2, 5)).astype(float)
+        assert np.allclose(net.predict(states), other.predict(states))

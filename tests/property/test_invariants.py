@@ -1,0 +1,166 @@
+"""Property-based tests of cross-module invariants (hypothesis).
+
+These exercise the core data structures — state encoding, inference
+completion, the reward model and the campaign accounting — under randomly
+generated inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.action import ActionSpace
+from repro.core.state import DRCellStateModel
+from repro.inference.compressive import CompressiveSensingInference
+from repro.inference.interpolation import SpatialMeanInference, TemporalInterpolationInference
+from repro.mcs.environment import RewardModel
+from repro.mcs.results import CampaignResult, CycleRecord
+from repro.quality.epsilon_p import QualityRequirement, satisfies_epsilon_p
+
+common_settings = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@st.composite
+def observed_matrices(draw, max_cells=8, max_cycles=10):
+    """A partially observed matrix with at least one observation."""
+    n_cells = draw(st.integers(2, max_cells))
+    n_cycles = draw(st.integers(2, max_cycles))
+    values = draw(
+        hnp.arrays(
+            dtype=float,
+            shape=(n_cells, n_cycles),
+            elements=st.floats(-50, 50, allow_nan=False),
+        )
+    )
+    mask = draw(
+        hnp.arrays(dtype=bool, shape=(n_cells, n_cycles), elements=st.booleans())
+    )
+    if not mask.any():
+        mask[0, 0] = True
+    observed = values.copy()
+    observed[~mask] = np.nan
+    return values, observed
+
+
+class TestInferenceInvariants:
+    @given(observed_matrices())
+    @common_settings
+    def test_spatial_mean_preserves_observations_and_fills_everything(self, data):
+        _, observed = data
+        completed = SpatialMeanInference().complete(observed)
+        mask = ~np.isnan(observed)
+        assert np.allclose(completed[mask], observed[mask])
+        assert not np.isnan(completed).any()
+
+    @given(observed_matrices())
+    @common_settings
+    def test_temporal_interpolation_preserves_observations(self, data):
+        _, observed = data
+        completed = TemporalInterpolationInference().complete(observed)
+        mask = ~np.isnan(observed)
+        assert np.allclose(completed[mask], observed[mask])
+        assert not np.isnan(completed).any()
+
+    @given(observed_matrices(max_cells=6, max_cycles=8))
+    @common_settings
+    def test_compressive_sensing_output_is_finite(self, data):
+        _, observed = data
+        completed = CompressiveSensingInference(rank=2, iterations=5, seed=0).complete(observed)
+        assert np.isfinite(completed).all()
+
+    @given(observed_matrices())
+    @common_settings
+    def test_completion_within_reasonable_range_of_observed_values(self, data):
+        _, observed = data
+        completed = SpatialMeanInference().complete(observed)
+        observed_values = observed[~np.isnan(observed)]
+        # Spatial/temporal means never extrapolate beyond the observed range.
+        assert completed.max() <= observed_values.max() + 1e-9
+        assert completed.min() >= observed_values.min() - 1e-9
+
+
+class TestStateModelInvariants:
+    @given(
+        n_cells=st.integers(2, 10),
+        window=st.integers(1, 4),
+        cycle=st.integers(0, 12),
+        seed=st.integers(0, 1000),
+    )
+    @common_settings
+    def test_state_is_binary_with_correct_shape(self, n_cells, window, cycle, seed):
+        rng = np.random.default_rng(seed)
+        model = DRCellStateModel(n_cells, window)
+        n_columns = max(cycle, 1) + 2
+        observed = rng.normal(size=(n_cells, n_columns))
+        observed[rng.random((n_cells, n_columns)) < 0.5] = np.nan
+        sensed = rng.random(n_cells) < 0.3
+        state = model.from_observations(observed, cycle, sensed)
+        assert state.shape == (window, n_cells)
+        assert set(np.unique(state)).issubset({0.0, 1.0})
+        assert np.array_equal(state[-1], sensed.astype(float))
+
+    @given(n_cells=st.integers(1, 12), sensed_count=st.integers(0, 12))
+    @common_settings
+    def test_action_mask_complements_sensed_set(self, n_cells, sensed_count):
+        sensed_count = min(sensed_count, n_cells)
+        space = ActionSpace(n_cells)
+        sensed = list(range(sensed_count))
+        mask = space.mask_from_sensed(sensed)
+        assert mask.sum() == n_cells - sensed_count
+        for cell in sensed:
+            assert not mask[cell]
+
+
+class TestRewardInvariants:
+    @given(
+        bonus=st.floats(0, 100, allow_nan=False),
+        cost=st.floats(0, 10, allow_nan=False),
+    )
+    @common_settings
+    def test_satisfying_reward_never_smaller_than_not(self, bonus, cost):
+        model = RewardModel(bonus=bonus, cost=cost)
+        assert model.reward(True) >= model.reward(False)
+        assert model.reward(False) == pytest.approx(-cost)
+
+
+class TestQualityInvariants:
+    @given(
+        errors=st.lists(st.floats(0, 5, allow_nan=False), min_size=1, max_size=40),
+        epsilon=st.floats(0.01, 5),
+        p=st.floats(0, 1),
+    )
+    @common_settings
+    def test_satisfaction_matches_direct_count(self, errors, epsilon, p):
+        requirement = QualityRequirement(epsilon=epsilon, p=p)
+        expected = sum(e <= epsilon for e in errors) >= p * len(errors)
+        assert satisfies_epsilon_p(errors, requirement) == expected
+
+
+class TestCampaignAccountingInvariants:
+    @given(
+        selections=st.lists(
+            st.lists(st.integers(0, 9), min_size=1, max_size=10, unique=True),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    @common_settings
+    def test_selection_matrix_consistent_with_totals(self, selections):
+        result = CampaignResult(
+            policy_name="prop",
+            requirement=QualityRequirement(epsilon=1.0, p=0.9),
+            n_cells=10,
+        )
+        for cycle, cells in enumerate(selections):
+            result.add_record(
+                CycleRecord(cycle, tuple(cells), true_error=0.5, assessed_satisfied=True)
+            )
+        matrix = result.selection_matrix()
+        assert matrix.sum() == result.total_selected
+        assert matrix.shape == (10, len(selections))
+        assert result.mean_selected_per_cycle == pytest.approx(
+            result.total_selected / len(selections)
+        )

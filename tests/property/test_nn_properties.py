@@ -1,0 +1,81 @@
+"""Property-based tests of the neural-network substrate.
+
+These check structural invariants that must hold for any input: batch
+consistency (processing a batch equals processing its rows separately),
+shape preservation, and determinism of seeded initialisation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn.layers import Dense, LSTM
+from repro.nn.network import FeedForwardQNetwork, RecurrentQNetwork
+
+common_settings = settings(
+    max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def float_arrays(shape):
+    return hnp.arrays(dtype=float, shape=shape, elements=st.floats(-3, 3, allow_nan=False))
+
+
+class TestDenseProperties:
+    @given(x=float_arrays((4, 5)))
+    @common_settings
+    def test_batch_rows_equal_individual_rows(self, x):
+        layer = Dense(5, 3, activation="tanh", seed=0)
+        batch_out = layer.forward(x, training=False)
+        for row_index in range(x.shape[0]):
+            single = layer.forward(x[row_index : row_index + 1], training=False)
+            assert np.allclose(batch_out[row_index], single[0], atol=1e-12)
+
+    @given(x=float_arrays((3, 4)), scale=st.floats(0.1, 5.0))
+    @common_settings
+    def test_linear_layer_is_homogeneous_up_to_bias(self, x, scale):
+        layer = Dense(4, 2, activation="identity", seed=1)
+        base = layer.forward(x, training=False) - layer.params["b"]
+        scaled = layer.forward(scale * x, training=False) - layer.params["b"]
+        assert np.allclose(scaled, scale * base, atol=1e-9)
+
+
+class TestLSTMProperties:
+    @given(x=float_arrays((3, 4, 5)))
+    @common_settings
+    def test_batch_rows_equal_individual_sequences(self, x):
+        layer = LSTM(5, 6, seed=0)
+        batch_out = layer.forward(x, training=False)
+        for row_index in range(x.shape[0]):
+            single = layer.forward(x[row_index : row_index + 1], training=False)
+            assert np.allclose(batch_out[row_index], single[0], atol=1e-12)
+
+    @given(x=float_arrays((2, 3, 4)))
+    @common_settings
+    def test_hidden_state_bounded_by_one(self, x):
+        layer = LSTM(4, 5, seed=0)
+        out = layer.forward(x, training=False)
+        # h = o * tanh(c) with o in (0, 1) and tanh in (-1, 1).
+        assert np.all(np.abs(out) < 1.0)
+
+
+class TestQNetworkProperties:
+    @given(states=hnp.arrays(dtype=float, shape=(5, 2, 6), elements=st.sampled_from([0.0, 1.0])))
+    @common_settings
+    def test_recurrent_and_feedforward_have_matching_interfaces(self, states):
+        recurrent = RecurrentQNetwork(6, 2, lstm_hidden=8, dense_hidden=(8,), seed=0)
+        feedforward = FeedForwardQNetwork(6, 2, hidden_dims=(8,), seed=0)
+        for network in (recurrent, feedforward):
+            q = network.predict(states)
+            assert q.shape == (5, 6)
+            assert np.isfinite(q).all()
+
+    @given(seed=st.integers(0, 10_000))
+    @common_settings
+    def test_same_seed_same_initial_q_values(self, seed):
+        states = np.zeros((1, 2, 4))
+        states[0, 0, 1] = 1.0
+        a = RecurrentQNetwork(4, 2, lstm_hidden=6, seed=seed).predict(states)
+        b = RecurrentQNetwork(4, 2, lstm_hidden=6, seed=seed).predict(states)
+        assert np.allclose(a, b)

@@ -1,0 +1,101 @@
+"""Tests for repro.quality.epsilon_p."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.quality.epsilon_p import QualityRequirement, QualityTracker, satisfies_epsilon_p
+
+
+class TestQualityRequirement:
+    def test_cycle_satisfied_boundary(self):
+        requirement = QualityRequirement(epsilon=0.3, p=0.9)
+        assert requirement.cycle_satisfied(0.3)
+        assert requirement.cycle_satisfied(0.29)
+        assert not requirement.cycle_satisfied(0.31)
+
+    def test_describe_contains_parameters(self):
+        requirement = QualityRequirement(epsilon=0.3, p=0.95, metric="mae")
+        text = requirement.describe()
+        assert "0.3" in text and "0.95" in text and "mae" in text
+
+    def test_invalid_epsilon_raises(self):
+        with pytest.raises(ValueError):
+            QualityRequirement(epsilon=-1.0)
+
+    def test_invalid_p_raises(self):
+        with pytest.raises(ValueError):
+            QualityRequirement(epsilon=0.3, p=1.5)
+
+    def test_invalid_metric_raises(self):
+        with pytest.raises(ValueError):
+            QualityRequirement(epsilon=0.3, metric="not-a-metric")
+
+    def test_frozen(self):
+        requirement = QualityRequirement(epsilon=0.3)
+        with pytest.raises(Exception):
+            requirement.epsilon = 0.5
+
+
+class TestSatisfiesEpsilonP:
+    def test_all_within_bound(self):
+        requirement = QualityRequirement(epsilon=1.0, p=0.9)
+        assert satisfies_epsilon_p([0.5, 0.2, 0.9], requirement)
+
+    def test_exact_fraction_satisfies(self):
+        requirement = QualityRequirement(epsilon=1.0, p=0.5)
+        assert satisfies_epsilon_p([0.5, 2.0], requirement)
+
+    def test_below_fraction_fails(self):
+        requirement = QualityRequirement(epsilon=1.0, p=0.9)
+        assert not satisfies_epsilon_p([0.5, 2.0, 2.0, 0.5], requirement)
+
+    def test_empty_errors_raise(self):
+        with pytest.raises(ValueError):
+            satisfies_epsilon_p([], QualityRequirement(epsilon=1.0))
+
+    @given(st.lists(st.floats(0, 10), min_size=1, max_size=50), st.floats(0, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_p_zero_always_satisfied(self, errors, epsilon):
+        requirement = QualityRequirement(epsilon=epsilon, p=0.0)
+        assert satisfies_epsilon_p(errors, requirement)
+
+    @given(st.lists(st.floats(0, 10), min_size=1, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_epsilon(self, errors):
+        loose = QualityRequirement(epsilon=5.0, p=0.8)
+        tight = QualityRequirement(epsilon=1.0, p=0.8)
+        if satisfies_epsilon_p(errors, tight):
+            assert satisfies_epsilon_p(errors, loose)
+
+
+class TestQualityTracker:
+    def test_record_returns_cycle_verdict(self):
+        tracker = QualityTracker(QualityRequirement(epsilon=1.0, p=0.9))
+        assert tracker.record(0.5) is True
+        assert tracker.record(2.0) is False
+
+    def test_satisfied_fraction(self):
+        tracker = QualityTracker(QualityRequirement(epsilon=1.0, p=0.5))
+        tracker.record(0.5)
+        tracker.record(2.0)
+        assert tracker.satisfied_fraction == pytest.approx(0.5)
+        assert tracker.satisfied
+
+    def test_empty_tracker_not_satisfied(self):
+        tracker = QualityTracker(QualityRequirement(epsilon=1.0))
+        assert not tracker.satisfied
+        assert tracker.satisfied_fraction == 0.0
+        assert np.isnan(tracker.mean_error())
+
+    def test_negative_error_rejected(self):
+        tracker = QualityTracker(QualityRequirement(epsilon=1.0))
+        with pytest.raises(ValueError):
+            tracker.record(-0.1)
+
+    def test_mean_error(self):
+        tracker = QualityTracker(QualityRequirement(epsilon=1.0))
+        tracker.record(0.2)
+        tracker.record(0.4)
+        assert tracker.mean_error() == pytest.approx(0.3)
+        assert tracker.n_cycles == 2

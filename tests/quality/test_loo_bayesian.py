@@ -1,0 +1,150 @@
+"""Tests for repro.quality.loo_bayesian."""
+
+import numpy as np
+import pytest
+
+from repro.inference.compressive import CompressiveSensingInference
+from repro.inference.interpolation import SpatialMeanInference
+from repro.quality.epsilon_p import QualityRequirement
+from repro.quality.loo_bayesian import LeaveOneOutBayesianAssessor, OracleAssessor
+
+
+def smooth_matrix(n_cells=10, n_cycles=8, noise=0.01, seed=0):
+    """A very smooth (easy to infer) cells × cycles matrix."""
+    rng = np.random.default_rng(seed)
+    base = np.linspace(0, 1, n_cells)[:, None] + np.linspace(0, 0.5, n_cycles)[None, :]
+    return base + noise * rng.normal(size=(n_cells, n_cycles))
+
+
+def observe(matrix, cycle, sensed_cells):
+    """Full history observed, current cycle only at ``sensed_cells``."""
+    observed = matrix.copy()
+    observed[:, cycle:] = np.nan
+    observed = observed[:, : cycle + 1]
+    observed[sensed_cells, cycle] = matrix[sensed_cells, cycle]
+    return observed
+
+
+class TestLOOBayesianAssessor:
+    def test_too_few_observations_never_satisfied(self):
+        matrix = smooth_matrix()
+        observed = observe(matrix, 4, [0, 1])
+        assessor = LeaveOneOutBayesianAssessor(min_observations=3)
+        requirement = QualityRequirement(epsilon=100.0, p=0.5)
+        assert not assessor.assess(observed, 4, requirement, SpatialMeanInference())
+
+    def test_fully_sensed_cycle_is_satisfied(self):
+        matrix = smooth_matrix()
+        observed = observe(matrix, 4, list(range(matrix.shape[0])))
+        assessor = LeaveOneOutBayesianAssessor()
+        requirement = QualityRequirement(epsilon=1e-6, p=0.99)
+        assert assessor.assess(observed, 4, requirement, SpatialMeanInference())
+
+    def test_easy_data_with_loose_bound_is_satisfied(self):
+        matrix = smooth_matrix(noise=0.001)
+        observed = observe(matrix, 5, [0, 2, 4, 6, 8])
+        assessor = LeaveOneOutBayesianAssessor(min_observations=3)
+        requirement = QualityRequirement(epsilon=5.0, p=0.9)
+        assert assessor.assess(
+            observed, 5, requirement, CompressiveSensingInference(iterations=8, seed=0)
+        )
+
+    def test_tight_bound_not_satisfied_on_noisy_data(self):
+        rng = np.random.default_rng(1)
+        matrix = 10.0 * rng.normal(size=(10, 8))
+        observed = observe(matrix, 5, [0, 2, 4, 6])
+        assessor = LeaveOneOutBayesianAssessor(min_observations=3)
+        requirement = QualityRequirement(epsilon=1e-4, p=0.9)
+        assert not assessor.assess(observed, 5, requirement, SpatialMeanInference())
+
+    def test_probability_monotone_in_epsilon(self):
+        matrix = smooth_matrix(noise=0.1)
+        observed = observe(matrix, 5, [0, 2, 4, 6, 8])
+        assessor = LeaveOneOutBayesianAssessor(min_observations=3)
+        inference = SpatialMeanInference()
+        loose = assessor.probability_error_below(
+            observed, 5, QualityRequirement(epsilon=2.0, p=0.9), inference
+        )
+        tight = assessor.probability_error_below(
+            observed, 5, QualityRequirement(epsilon=0.01, p=0.9), inference
+        )
+        assert loose >= tight
+
+    def test_probability_between_zero_and_one(self):
+        matrix = smooth_matrix(noise=0.3, seed=2)
+        observed = observe(matrix, 4, [1, 3, 5, 7])
+        assessor = LeaveOneOutBayesianAssessor(min_observations=3)
+        probability = assessor.probability_error_below(
+            observed, 4, QualityRequirement(epsilon=0.5, p=0.9), SpatialMeanInference()
+        )
+        assert 0.0 <= probability <= 1.0
+
+    def test_classification_metric_uses_beta_posterior(self):
+        matrix = smooth_matrix(noise=0.01) * 10.0 + 60.0
+        observed = observe(matrix, 4, [0, 2, 4, 6, 8])
+        assessor = LeaveOneOutBayesianAssessor(min_observations=3)
+        requirement = QualityRequirement(epsilon=0.5, p=0.5, metric="classification")
+        probability = assessor.probability_error_below(
+            observed, 4, requirement, SpatialMeanInference()
+        )
+        assert 0.0 <= probability <= 1.0
+
+    def test_out_of_range_cycle_raises(self):
+        assessor = LeaveOneOutBayesianAssessor()
+        with pytest.raises(IndexError):
+            assessor.assess(
+                np.zeros((3, 3)), 10, QualityRequirement(epsilon=1.0), SpatialMeanInference()
+            )
+
+    def test_max_loo_cells_caps_work(self):
+        matrix = smooth_matrix(n_cells=20)
+        observed = observe(matrix, 5, list(range(15)))
+        assessor = LeaveOneOutBayesianAssessor(min_observations=3, max_loo_cells=4)
+        probability = assessor.probability_error_below(
+            observed, 5, QualityRequirement(epsilon=1.0, p=0.9), SpatialMeanInference()
+        )
+        assert 0.0 <= probability <= 1.0
+
+
+class TestOracleAssessor:
+    def test_exact_error_used(self):
+        matrix = smooth_matrix(noise=0.0)
+        oracle = OracleAssessor(matrix)
+        observed = observe(matrix, 4, [0, 5])
+        requirement = QualityRequirement(epsilon=10.0, p=0.9)
+        error = oracle.cycle_error(observed, 4, requirement, SpatialMeanInference())
+        assert np.isfinite(error)
+        assert oracle.assess(observed, 4, requirement, SpatialMeanInference())
+
+    def test_no_observations_gives_infinite_error(self):
+        matrix = smooth_matrix()
+        oracle = OracleAssessor(matrix)
+        observed = np.full((matrix.shape[0], 5), np.nan)
+        error = oracle.cycle_error(
+            observed, 4, QualityRequirement(epsilon=1.0), SpatialMeanInference()
+        )
+        assert error == float("inf")
+
+    def test_fully_observed_history_is_zero_error(self):
+        matrix = smooth_matrix()
+        oracle = OracleAssessor(matrix)
+        observed = matrix[:, :5].copy()
+        error = oracle.cycle_error(
+            observed, 4, QualityRequirement(epsilon=1.0), SpatialMeanInference()
+        )
+        assert error == 0.0
+
+    def test_cell_count_mismatch_raises(self):
+        oracle = OracleAssessor(smooth_matrix(n_cells=5))
+        with pytest.raises(ValueError):
+            oracle.cycle_error(
+                np.zeros((7, 3)), 2, QualityRequirement(epsilon=1.0), SpatialMeanInference()
+            )
+
+    def test_tight_bound_fails_on_sparse_noisy_data(self):
+        rng = np.random.default_rng(3)
+        matrix = rng.normal(scale=5.0, size=(10, 8))
+        oracle = OracleAssessor(matrix)
+        observed = observe(matrix, 5, [0])
+        requirement = QualityRequirement(epsilon=1e-6, p=0.9)
+        assert not oracle.assess(observed, 5, requirement, SpatialMeanInference())

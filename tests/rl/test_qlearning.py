@@ -1,0 +1,174 @@
+"""Tests for repro.rl.qlearning (tabular Q-learning)."""
+
+import numpy as np
+import pytest
+
+from repro.rl.environment import Environment
+from repro.rl.qlearning import TabularQLearner, TabularQLearningConfig, state_key
+from repro.rl.schedules import ConstantSchedule
+
+
+class ChainEnvironment(Environment):
+    """A tiny deterministic chain: move right to reach the goal at position N."""
+
+    def __init__(self, length=4):
+        self.length = length
+        self.position = 0
+
+    @property
+    def n_actions(self):
+        return 2  # 0 = left, 1 = right
+
+    def reset(self):
+        self.position = 0
+        return self._obs()
+
+    def step(self, action):
+        if action == 1:
+            self.position = min(self.length, self.position + 1)
+        else:
+            self.position = max(0, self.position - 1)
+        done = self.position == self.length
+        reward = 1.0 if done else -0.01
+        return self._obs(), reward, done, {}
+
+    def _obs(self):
+        obs = np.zeros(self.length + 1)
+        obs[self.position] = 1.0
+        return obs
+
+
+class TestConfig:
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError):
+            TabularQLearningConfig(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            TabularQLearningConfig(learning_rate=1.5)
+
+    def test_invalid_discount(self):
+        with pytest.raises(ValueError):
+            TabularQLearningConfig(discount=1.2)
+
+
+class TestStateKey:
+    def test_equal_states_share_key(self):
+        a = np.array([[1.0, 0.0], [0.0, 1.0]])
+        b = a.copy()
+        assert state_key(a) == state_key(b)
+
+    def test_different_states_differ(self):
+        a = np.array([1.0, 0.0])
+        b = np.array([0.0, 1.0])
+        assert state_key(a) != state_key(b)
+
+
+class TestUpdate:
+    def test_update_follows_paper_equation(self):
+        # With alpha=1, gamma=1: Q[S, A] = R + max_a' Q[S', a'] (paper Figure 5).
+        learner = TabularQLearner(
+            5, TabularQLearningConfig(learning_rate=1.0, discount=1.0), seed=0
+        )
+        s0 = np.array([0.0, 0.0])
+        s1 = np.array([1.0, 0.0])
+        new_q = learner.update(s0, 2, -1.0, s1)
+        assert new_q == pytest.approx(-1.0)
+
+    def test_update_uses_next_state_max(self):
+        learner = TabularQLearner(
+            3, TabularQLearningConfig(learning_rate=1.0, discount=1.0), seed=0
+        )
+        s1 = np.array([1.0])
+        s2 = np.array([2.0])
+        learner.update(s1, 0, 4.0, s2)  # Q[s1, 0] = 4
+        s0 = np.array([0.0])
+        new_q = learner.update(s0, 1, -1.0, s1)
+        assert new_q == pytest.approx(3.0)
+
+    def test_done_ignores_future(self):
+        learner = TabularQLearner(
+            3, TabularQLearningConfig(learning_rate=1.0, discount=1.0), seed=0
+        )
+        s1 = np.array([1.0])
+        learner.update(s1, 0, 10.0, s1)
+        new_q = learner.update(np.array([0.0]), 0, 1.0, s1, done=True)
+        assert new_q == pytest.approx(1.0)
+
+    def test_learning_rate_blends_old_and_new(self):
+        learner = TabularQLearner(
+            2, TabularQLearningConfig(learning_rate=0.5, discount=0.0), seed=0
+        )
+        s = np.array([0.0])
+        learner.update(s, 0, 2.0, s)  # Q = 1.0
+        q = learner.update(s, 0, 2.0, s)  # Q = 0.5 + 1.0
+        assert q == pytest.approx(1.5)
+
+    def test_invalid_action_raises(self):
+        learner = TabularQLearner(2, seed=0)
+        with pytest.raises(ValueError):
+            learner.update(np.array([0.0]), 5, 0.0, np.array([1.0]))
+
+    def test_next_mask_restricts_future_value(self):
+        learner = TabularQLearner(
+            2, TabularQLearningConfig(learning_rate=1.0, discount=1.0), seed=0
+        )
+        s1 = np.array([1.0])
+        learner.update(s1, 0, 10.0, s1)  # Q[s1, 0] = 10, Q[s1, 1] = 0
+        q = learner.update(
+            np.array([0.0]), 1, 0.0, s1, next_mask=np.array([False, True])
+        )
+        assert q == pytest.approx(0.0)
+
+
+class TestSelection:
+    def test_greedy_picks_max(self):
+        learner = TabularQLearner(3, exploration=ConstantSchedule(0.0), seed=0)
+        s = np.array([0.0])
+        learner.update(s, 1, 5.0, s, done=True)
+        assert learner.select_action(s, greedy=True) == 1
+
+    def test_mask_excludes_actions(self):
+        learner = TabularQLearner(3, exploration=ConstantSchedule(0.0), seed=0)
+        s = np.array([0.0])
+        learner.update(s, 1, 5.0, s, done=True)
+        mask = np.array([True, False, True])
+        assert learner.select_action(s, mask=mask, greedy=True) != 1
+
+    def test_all_masked_raises(self):
+        learner = TabularQLearner(2, seed=0)
+        with pytest.raises(ValueError):
+            learner.select_action(np.array([0.0]), mask=np.array([False, False]))
+
+    def test_exploration_visits_non_greedy_actions(self):
+        learner = TabularQLearner(4, exploration=ConstantSchedule(1.0), seed=0)
+        s = np.array([0.0])
+        learner.update(s, 0, 100.0, s, done=True)
+        chosen = {learner.select_action(s) for _ in range(100)}
+        assert len(chosen) > 1
+
+    def test_wrong_mask_shape_raises(self):
+        learner = TabularQLearner(3, seed=0)
+        with pytest.raises(ValueError):
+            learner.select_action(np.array([0.0]), mask=np.array([True, False]))
+
+
+class TestEndToEnd:
+    def test_learns_chain_environment(self):
+        env = ChainEnvironment(length=4)
+        learner = TabularQLearner(
+            2,
+            TabularQLearningConfig(learning_rate=0.5, discount=0.95),
+            exploration=ConstantSchedule(0.2),
+            seed=0,
+        )
+        for _ in range(150):
+            learner.train_episode(env, max_steps=60)
+        # After training, the greedy policy should reach the goal quickly.
+        state = env.reset()
+        steps = 0
+        done = False
+        while not done and steps < 10:
+            action = learner.select_action(state, greedy=True)
+            state, _, done, _ = env.step(action)
+            steps += 1
+        assert done
+        assert learner.n_states_seen >= env.length

@@ -1,0 +1,121 @@
+"""Tests for repro.rl.replay."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rl.environment import Transition
+from repro.rl.replay import ReplayBuffer
+
+
+def make_transition(index, done=False):
+    state = np.full((2, 3), float(index))
+    return Transition(state, index % 3, float(index), state + 1, done, info={"i": index})
+
+
+class TestAdd:
+    def test_length_grows_until_capacity(self):
+        buffer = ReplayBuffer(5, seed=0)
+        for i in range(8):
+            buffer.add(make_transition(i))
+        assert len(buffer) == 5
+        assert buffer.is_full
+
+    def test_oldest_evicted_first(self):
+        buffer = ReplayBuffer(3, seed=0)
+        for i in range(5):
+            buffer.add(make_transition(i))
+        stored = {t.info["i"] for t in buffer}
+        assert stored == {2, 3, 4}
+
+    def test_rejects_non_transition(self):
+        buffer = ReplayBuffer(3, seed=0)
+        with pytest.raises(TypeError):
+            buffer.add((np.zeros(2), 0, 0.0, np.zeros(2), False))
+
+    def test_extend(self):
+        buffer = ReplayBuffer(10, seed=0)
+        buffer.extend([make_transition(i) for i in range(4)])
+        assert len(buffer) == 4
+
+    def test_invalid_capacity_raises(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer(0)
+
+
+class TestSample:
+    def test_sample_size_respected(self):
+        buffer = ReplayBuffer(10, seed=0)
+        buffer.extend([make_transition(i) for i in range(10)])
+        assert len(buffer.sample(4)) == 4
+
+    def test_sample_without_duplicates(self):
+        buffer = ReplayBuffer(10, seed=0)
+        buffer.extend([make_transition(i) for i in range(10)])
+        sampled = buffer.sample(10)
+        indices = [t.info["i"] for t in sampled]
+        assert sorted(indices) == list(range(10))
+
+    def test_sampling_more_than_stored_raises(self):
+        buffer = ReplayBuffer(10, seed=0)
+        buffer.add(make_transition(0))
+        with pytest.raises(ValueError):
+            buffer.sample(2)
+
+    def test_sample_arrays_shapes(self):
+        buffer = ReplayBuffer(10, seed=0)
+        buffer.extend([make_transition(i, done=(i % 2 == 0)) for i in range(6)])
+        states, actions, rewards, next_states, dones = buffer.sample_arrays(4)
+        assert states.shape == (4, 2, 3)
+        assert next_states.shape == (4, 2, 3)
+        assert actions.shape == (4,) and actions.dtype == int
+        assert rewards.shape == (4,)
+        assert dones.dtype == bool
+
+    def test_sampling_is_seed_deterministic(self):
+        def collect(seed):
+            buffer = ReplayBuffer(20, seed=seed)
+            buffer.extend([make_transition(i) for i in range(20)])
+            return [t.info["i"] for t in buffer.sample(5)]
+
+        assert collect(3) == collect(3)
+
+
+class TestClear:
+    def test_clear_empties_buffer(self):
+        buffer = ReplayBuffer(5, seed=0)
+        buffer.extend([make_transition(i) for i in range(5)])
+        buffer.clear()
+        assert len(buffer) == 0
+        buffer.add(make_transition(99))
+        assert len(buffer) == 1
+
+
+class TestTransition:
+    def test_state_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Transition(np.zeros((2, 2)), 0, 0.0, np.zeros((2, 3)), False)
+
+    def test_states_coerced_to_float(self):
+        t = Transition(np.zeros((2, 2), dtype=int), 0, 0.0, np.ones((2, 2), dtype=int), False)
+        assert t.state.dtype == float and t.next_state.dtype == float
+
+
+class TestProperty:
+    @given(capacity=st.integers(1, 30), inserts=st.integers(0, 80))
+    @settings(max_examples=30, deadline=None)
+    def test_length_never_exceeds_capacity(self, capacity, inserts):
+        buffer = ReplayBuffer(capacity, seed=0)
+        for i in range(inserts):
+            buffer.add(make_transition(i))
+        assert len(buffer) == min(capacity, inserts)
+
+    @given(capacity=st.integers(1, 20), inserts=st.integers(1, 60))
+    @settings(max_examples=30, deadline=None)
+    def test_buffer_keeps_most_recent_transitions(self, capacity, inserts):
+        buffer = ReplayBuffer(capacity, seed=0)
+        for i in range(inserts):
+            buffer.add(make_transition(i))
+        kept = sorted(t.info["i"] for t in buffer)
+        expected = list(range(max(0, inserts - capacity), inserts))
+        assert kept == expected

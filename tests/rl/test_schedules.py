@@ -1,0 +1,70 @@
+"""Tests for repro.rl.schedules."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rl.schedules import ConstantSchedule, ExponentialDecaySchedule, LinearDecaySchedule
+
+
+class TestConstant:
+    def test_value_is_constant(self):
+        schedule = ConstantSchedule(0.3)
+        assert schedule(0) == 0.3
+        assert schedule(10_000) == 0.3
+
+    def test_invalid_probability_raises(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule(1.5)
+
+
+class TestLinearDecay:
+    def test_starts_at_start(self):
+        schedule = LinearDecaySchedule(1.0, 0.1, 100)
+        assert schedule(0) == pytest.approx(1.0)
+
+    def test_ends_at_end(self):
+        schedule = LinearDecaySchedule(1.0, 0.1, 100)
+        assert schedule(100) == pytest.approx(0.1)
+        assert schedule(10_000) == pytest.approx(0.1)
+
+    def test_midpoint(self):
+        schedule = LinearDecaySchedule(1.0, 0.0, 100)
+        assert schedule(50) == pytest.approx(0.5)
+
+    def test_negative_step_raises(self):
+        schedule = LinearDecaySchedule(1.0, 0.1, 100)
+        with pytest.raises(ValueError):
+            schedule(-1)
+
+    @given(step=st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_always_within_bounds(self, step):
+        schedule = LinearDecaySchedule(0.9, 0.05, 500)
+        assert 0.05 <= schedule(step) <= 0.9
+
+    @given(a=st.integers(0, 5_000), b=st.integers(0, 5_000))
+    @settings(max_examples=50, deadline=None)
+    def test_monotonically_non_increasing(self, a, b):
+        schedule = LinearDecaySchedule(1.0, 0.0, 1_000)
+        low, high = min(a, b), max(a, b)
+        assert schedule(low) >= schedule(high)
+
+
+class TestExponentialDecay:
+    def test_starts_at_start(self):
+        schedule = ExponentialDecaySchedule(1.0, 0.1, tau=100)
+        assert schedule(0) == pytest.approx(1.0)
+
+    def test_approaches_end(self):
+        schedule = ExponentialDecaySchedule(1.0, 0.1, tau=10)
+        assert schedule(1_000) == pytest.approx(0.1, abs=1e-6)
+
+    def test_zero_tau_rejected(self):
+        with pytest.raises(ValueError):
+            ExponentialDecaySchedule(tau=0.0)
+
+    @given(step=st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_always_within_bounds(self, step):
+        schedule = ExponentialDecaySchedule(0.8, 0.02, tau=300)
+        assert 0.02 <= schedule(step) <= 0.8

@@ -1,0 +1,135 @@
+"""Tests for repro.utils (seeding, validation, logging)."""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.utils.logging import enable_console_logging, get_logger
+from repro.utils.seeding import SeedSequenceFactory, as_rng, derive_rng
+from repro.utils.validation import (
+    check_fraction,
+    check_matrix,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestSeeding:
+    def test_as_rng_accepts_int_none_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+        assert isinstance(as_rng(3), np.random.Generator)
+        generator = np.random.default_rng(0)
+        assert as_rng(generator) is generator
+
+    def test_as_rng_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            as_rng("seed")
+
+    def test_int_seed_is_deterministic(self):
+        assert as_rng(5).random() == as_rng(5).random()
+
+    def test_derive_rng_streams_are_independent(self):
+        a = derive_rng(7, 0).random()
+        b = derive_rng(7, 1).random()
+        assert a != b
+
+    def test_derive_rng_deterministic(self):
+        assert derive_rng(7, 3).random() == derive_rng(7, 3).random()
+
+    def test_derive_rng_negative_stream_raises(self):
+        with pytest.raises(ValueError):
+            derive_rng(0, -1)
+
+    def test_factory_same_name_same_stream(self):
+        assert (
+            SeedSequenceFactory(1).generator("a").random()
+            == SeedSequenceFactory(1).generator("a").random()
+        )
+
+    def test_factory_order_independent(self):
+        f1 = SeedSequenceFactory(1)
+        f1.generator("x")
+        value_after_other_requests = f1.generator("y").random()
+        f2 = SeedSequenceFactory(1)
+        assert f2.generator("y").random() == value_after_other_requests
+
+    def test_factory_fresh_streams_differ(self):
+        factory = SeedSequenceFactory(0)
+        assert factory.fresh().random() != factory.fresh().random()
+
+    def test_factory_records_seed(self):
+        assert SeedSequenceFactory(11).seed == 11
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive(2.5, "x") == 2.5
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                check_positive(bad, "x")
+
+    def test_check_non_negative(self):
+        assert check_non_negative(0.0, "x") == 0.0
+        with pytest.raises(ValueError):
+            check_non_negative(-0.1, "x")
+
+    def test_check_positive_int(self):
+        assert check_positive_int(3, "x") == 3
+        with pytest.raises(ValueError):
+            check_positive_int(0, "x")
+        with pytest.raises(TypeError):
+            check_positive_int(2.5, "x")
+        with pytest.raises(TypeError):
+            check_positive_int(True, "x")
+
+    def test_check_probability(self):
+        assert check_probability(0.5, "p") == 0.5
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+        with pytest.raises(ValueError):
+            check_probability(1.01, "p")
+
+    def test_check_fraction(self):
+        assert check_fraction(1.0, "f") == 1.0
+        with pytest.raises(ValueError):
+            check_fraction(0.0, "f")
+
+    def test_check_matrix_shape_constraints(self):
+        matrix = np.zeros((3, 4))
+        assert check_matrix(matrix, "m").shape == (3, 4)
+        assert check_matrix(matrix, "m", shape=(3, None)).shape == (3, 4)
+        with pytest.raises(ValueError):
+            check_matrix(matrix, "m", shape=(5, None))
+        with pytest.raises(ValueError):
+            check_matrix(np.zeros(3), "m")
+
+    def test_check_matrix_nan_and_inf(self):
+        matrix = np.zeros((2, 2))
+        matrix[0, 0] = np.nan
+        assert np.isnan(check_matrix(matrix, "m")[0, 0])
+        with pytest.raises(ValueError):
+            check_matrix(matrix, "m", allow_nan=False)
+        matrix[0, 0] = np.inf
+        with pytest.raises(ValueError):
+            check_matrix(matrix, "m")
+
+
+class TestLogging:
+    def test_logger_is_namespaced(self):
+        assert get_logger("repro.foo").name == "repro.foo"
+        assert get_logger("something.else").name == "repro.something.else"
+
+    def test_enable_console_logging_idempotent(self):
+        enable_console_logging(logging.WARNING)
+        enable_console_logging(logging.WARNING)
+        root = logging.getLogger("repro")
+        console_handlers = [
+            handler
+            for handler in root.handlers
+            if isinstance(handler, logging.StreamHandler)
+            and not isinstance(handler, logging.NullHandler)
+        ]
+        assert len(console_handlers) == 1
