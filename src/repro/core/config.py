@@ -51,6 +51,13 @@ class DRCellConfig:
     max_episode_cycles:
         Optional cap on cycles per episode (episodes start at random
         offsets), which shortens episodes for large training sets.
+    vector_envs:
+        Number of training environments stepped in lockstep by the
+        vectorized engine.  The default 1 preserves the paper's exact
+        sequential protocol (and its seeded behaviour bit for bit); values
+        above 1 batch action selection and the quality-check inference
+        across K environments for throughput, at the cost of bit-exactness
+        of the inference (see ``CompressiveSensingInference.complete_batch``).
     dqn:
         Inner deep-Q-learning loop configuration (replay, batch size, target
         update interval, discount).
@@ -72,6 +79,7 @@ class DRCellConfig:
     min_cells_before_check: int = 2
     history_window: int = 12
     max_episode_cycles: Optional[int] = None
+    vector_envs: int = 1
     dqn: DQNConfig = field(default_factory=DQNConfig)
     seed: Optional[int] = 0
 
@@ -91,6 +99,7 @@ class DRCellConfig:
         check_positive_int(self.history_window, "history_window")
         if self.max_episode_cycles is not None:
             check_positive_int(self.max_episode_cycles, "max_episode_cycles")
+        check_positive_int(self.vector_envs, "vector_envs")
         if not 0.0 <= self.exploration_end <= self.exploration_start <= 1.0:
             raise ValueError(
                 "exploration schedule must satisfy 0 <= end <= start <= 1, got "

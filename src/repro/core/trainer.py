@@ -20,6 +20,7 @@ from repro.core.drcell import DRCellAgent
 from repro.datasets.base import SensingDataset
 from repro.inference.base import InferenceAlgorithm
 from repro.mcs.environment import RewardModel, SparseMCSEnvironment
+from repro.mcs.vector import BatchedSparseMCSVectorEnv
 from repro.quality.epsilon_p import QualityRequirement
 from repro.rl.dqn import EpisodeStats
 from repro.utils.logging import get_logger
@@ -78,9 +79,19 @@ class DRCellTrainer:
         self.inference = inference
 
     def build_environment(
-        self, dataset: SensingDataset, requirement: QualityRequirement
+        self,
+        dataset: SensingDataset,
+        requirement: QualityRequirement,
+        *,
+        variant: int = 0,
     ) -> SparseMCSEnvironment:
-        """The training-stage environment for ``dataset`` under ``requirement``."""
+        """The training-stage environment for ``dataset`` under ``requirement``.
+
+        ``variant`` derives a distinct episode-offset seed per environment so
+        that the K lockstep environments of the vectorized engine explore
+        different episode windows; variant 0 is the (unchanged) sequential
+        environment.
+        """
         return SparseMCSEnvironment(
             dataset,
             requirement,
@@ -93,7 +104,7 @@ class DRCellTrainer:
             min_cells_before_check=self.config.min_cells_before_check,
             history_window=self.config.history_window,
             max_episode_cycles=self.config.max_episode_cycles,
-            seed=derive_rng(self.config.seed, 11),
+            seed=derive_rng(self.config.seed, 11 + variant),
         )
 
     def train(
@@ -133,22 +144,46 @@ class DRCellTrainer:
                 f"agent was built for {agent.n_cells} cells but the dataset has {dataset.n_cells}"
             )
 
-        environment = self.build_environment(dataset, requirement)
         episode_rewards: List[float] = []
         episode_selections: List[float] = []
         start = time.perf_counter()
-        for episode in range(episodes):
-            stats: EpisodeStats = agent.agent.train_episode(environment)
-            episode_rewards.append(stats.total_reward)
-            cycles = max(1, environment._episode_cycles)
-            episode_selections.append(stats.steps / cycles)
-            logger.info(
-                "DR-Cell training episode %d/%d: reward=%.1f selections/cycle=%.2f",
-                episode + 1,
-                episodes,
-                stats.total_reward,
-                stats.steps / cycles,
+        if self.config.vector_envs > 1:
+            n_envs = min(self.config.vector_envs, episodes)
+            environments = [
+                self.build_environment(dataset, requirement, variant=index)
+                for index in range(n_envs)
+            ]
+            vector_env = BatchedSparseMCSVectorEnv(environments)
+            history = agent.agent.train_episodes_vectorized(
+                vector_env, episodes, log_every=0
             )
+            for position, stats in enumerate(history):
+                episode_rewards.append(stats.total_reward)
+                cycles = max(1, int(stats.extra.get("episode_cycles", 1)))
+                episode_selections.append(stats.steps / cycles)
+                logger.info(
+                    "DR-Cell training episode %d/%d (env %d): reward=%.1f "
+                    "selections/cycle=%.2f",
+                    position + 1,
+                    episodes,
+                    int(stats.extra.get("env_index", 0)),
+                    stats.total_reward,
+                    stats.steps / cycles,
+                )
+        else:
+            environment = self.build_environment(dataset, requirement)
+            for episode in range(episodes):
+                stats: EpisodeStats = agent.agent.train_episode(environment)
+                episode_rewards.append(stats.total_reward)
+                cycles = max(1, environment.episode_cycles)
+                episode_selections.append(stats.steps / cycles)
+                logger.info(
+                    "DR-Cell training episode %d/%d: reward=%.1f selections/cycle=%.2f",
+                    episode + 1,
+                    episodes,
+                    stats.total_reward,
+                    stats.steps / cycles,
+                )
         elapsed = time.perf_counter() - start
 
         report = TrainingReport(

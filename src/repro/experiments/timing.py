@@ -10,7 +10,7 @@ that make it easy to extrapolate to larger scales.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Optional
 
 from repro.core.trainer import DRCellTrainer
@@ -28,6 +28,7 @@ class TimingResult:
     episodes: int
     total_steps: int
     wall_clock_seconds: float
+    vector_envs: int = 1
 
     @property
     def seconds_per_episode(self) -> float:
@@ -48,6 +49,7 @@ class TimingResult:
             "training_cycles": self.training_cycles,
             "episodes": self.episodes,
             "total_steps": self.total_steps,
+            "vector_envs": self.vector_envs,
             "wall_clock_seconds": round(self.wall_clock_seconds, 2),
             "seconds_per_episode": round(self.seconds_per_episode, 2),
             "steps_per_second": round(self.steps_per_second, 1),
@@ -60,13 +62,32 @@ def run_timing(
     epsilon: float = 0.5,
     p: float = 0.9,
     seed: int = 0,
+    vector_envs: int = 1,
+    episodes: Optional[int] = None,
 ) -> TimingResult:
-    """Measure DR-Cell training wall-clock time on the temperature task."""
+    """Measure DR-Cell training wall-clock time on the temperature task.
+
+    Parameters
+    ----------
+    vector_envs:
+        Number of lockstep training environments (see
+        ``DRCellConfig.vector_envs``).  The default 1 measures the paper's
+        sequential protocol.
+    episodes:
+        Training-episode override.  Defaults to the scale's episode budget,
+        raised to ``vector_envs`` when vectorized so every environment has
+        at least one episode of work.
+    """
     scale = scale or SMALL_SCALE
     dataset = scale.sensorscope_dataset("temperature", seed=seed)
     train_set, _ = dataset.train_test_split(scale.training_days)
     requirement = QualityRequirement(epsilon=epsilon, p=p, metric="mae")
-    trainer = DRCellTrainer(scale.drcell_config(seed=seed), inference=scale.inference(seed=seed))
+    config = scale.drcell_config(seed=seed)
+    if episodes is None:
+        episodes = max(scale.episodes, vector_envs) if vector_envs > 1 else scale.episodes
+    if vector_envs != 1 or episodes != config.episodes:
+        config = replace(config, vector_envs=vector_envs, episodes=episodes)
+    trainer = DRCellTrainer(config, inference=scale.inference(seed=seed))
     _, report = trainer.train(train_set, requirement)
     return TimingResult(
         scale=scale.name,
@@ -75,4 +96,5 @@ def run_timing(
         episodes=report.episodes,
         total_steps=report.total_steps,
         wall_clock_seconds=report.wall_clock_seconds,
+        vector_envs=vector_envs,
     )

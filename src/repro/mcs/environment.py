@@ -195,6 +195,8 @@ class SparseMCSEnvironment(Environment):
         self._observed = np.full((dataset.n_cells, dataset.n_cycles), np.nan)
         self._current = np.zeros(dataset.n_cells, dtype=float)
         self._done = True
+        self._pending: Optional[Tuple[int, int, int]] = None
+        self._pending_quality: Optional[Tuple[bool, float]] = None
 
     # -- Environment protocol ------------------------------------------------
 
@@ -206,6 +208,11 @@ class SparseMCSEnvironment(Environment):
     def n_cells(self) -> int:
         """Alias for the action count; one action per cell."""
         return self.dataset.n_cells
+
+    @property
+    def episode_cycles(self) -> int:
+        """Number of sensing cycles in the current episode."""
+        return self._episode_cycles
 
     def reset(self) -> np.ndarray:
         n_cycles = self.dataset.n_cycles
@@ -222,11 +229,47 @@ class SparseMCSEnvironment(Environment):
         self._observed = np.full((self.n_cells, n_cycles), np.nan)
         self._current = np.zeros(self.n_cells, dtype=float)
         self._done = False
+        self._pending = None
+        self._pending_quality = None
         return self._state()
 
     def step(self, action: int) -> Tuple[np.ndarray, float, bool, Dict[str, Any]]:
+        window = self.begin_step(action)
+        try:
+            completed = self.inference.complete(window) if window is not None else None
+        except Exception:
+            # Keep the env steppable after an inference failure (the
+            # submission stays recorded, as it always was).
+            self.abort_step()
+            raise
+        return self.finish_step(completed)
+
+    def abort_step(self) -> None:
+        """Discard a pending :meth:`begin_step` so the environment stays usable.
+
+        The recorded submission itself is kept (the observation was made);
+        only the unfinished step bookkeeping is cleared.  Used by callers
+        whose quality-check inference failed between ``begin_step`` and
+        ``finish_step``.
+        """
+        self._pending = None
+        self._pending_quality = None
+
+    def begin_step(self, action: int) -> Optional[np.ndarray]:
+        """Record a submission and return the inference window, if one is needed.
+
+        This is the first half of :meth:`step`, split out so that a vector
+        environment can collect the quality-check inference inputs of K
+        environments and complete them in one batched call.  Returns ``None``
+        when the quality check is already decided (every cell sensed, or
+        fewer than ``min_cells_before_check`` submissions); otherwise returns
+        the partially observed history window whose completed form
+        :meth:`finish_step` expects.
+        """
         if self._done:
             raise RuntimeError("step() called on a finished episode; call reset() first")
+        if self._pending is not None:
+            raise RuntimeError("begin_step() called twice without finish_step()")
         action = int(action)
         if not 0 <= action < self.n_cells:
             raise ValueError(f"action {action} out of range [0, {self.n_cells})")
@@ -238,7 +281,49 @@ class SparseMCSEnvironment(Environment):
         self._observed[action, cycle] = self.dataset.data[action, cycle]
 
         n_selected = int(self._current.sum())
-        satisfied, error = self._check_quality(cycle, n_selected)
+        self._pending = (action, cycle, n_selected)
+        if n_selected >= self.n_cells:
+            self._pending_quality = (True, 0.0)
+            return None
+        if n_selected < self.min_cells_before_check:
+            self._pending_quality = (False, float("inf"))
+            return None
+        self._pending_quality = None
+        start = max(0, cycle + 1 - self.history_window)
+        return self._observed[:, start : cycle + 1]
+
+    def finish_step(
+        self, completed_window: Optional[np.ndarray] = None
+    ) -> Tuple[np.ndarray, float, bool, Dict[str, Any]]:
+        """Apply the quality verdict and complete the step begun by :meth:`begin_step`.
+
+        ``completed_window`` must be the inference completion of the window
+        returned by :meth:`begin_step` (or ``None`` when that returned
+        ``None``).
+        """
+        if self._pending is None:
+            raise RuntimeError("finish_step() called without begin_step()")
+        action, cycle, n_selected = self._pending
+        if self._pending_quality is not None:
+            satisfied, error = self._pending_quality
+        else:
+            if completed_window is None:
+                # Leave the pending submission intact so the caller can retry
+                # with a proper completion; clearing it here would silently
+                # half-apply the step.
+                raise ValueError("a completed window is required to finish this step")
+            current = completed_window.shape[1] - 1
+            sensed = self._current >= 1.0
+            error = cycle_error(
+                self.dataset.data[:, cycle],
+                completed_window[:, current],
+                metric=self.requirement.metric,
+                exclude=sensed,
+            )
+            satisfied, error = bool(error <= self.requirement.epsilon), float(error)
+        self._pending = None
+        self._pending_quality = None
+
         reward = self.reward_model.reward(satisfied, cell=action)
         info: Dict[str, Any] = {
             "cycle": cycle,
@@ -273,22 +358,3 @@ class SparseMCSEnvironment(Environment):
     def _state(self) -> np.ndarray:
         cycle = self._absolute_cycle()
         return self.encoder.encode(self._selection_matrix, cycle, self._current)
-
-    def _check_quality(self, cycle: int, n_selected: int) -> Tuple[bool, float]:
-        """Exact-error quality check for the current cycle (training stage)."""
-        if n_selected >= self.n_cells:
-            return True, 0.0
-        if n_selected < self.min_cells_before_check:
-            return False, float("inf")
-        start = max(0, cycle + 1 - self.history_window)
-        window = self._observed[:, start : cycle + 1]
-        current = window.shape[1] - 1
-        completed = self.inference.complete(window)
-        sensed = self._current >= 1.0
-        error = cycle_error(
-            self.dataset.data[:, cycle],
-            completed[:, current],
-            metric=self.requirement.metric,
-            exclude=sensed,
-        )
-        return bool(error <= self.requirement.epsilon), float(error)

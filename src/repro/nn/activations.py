@@ -82,14 +82,17 @@ class Tanh(Activation):
 
 
 def sigmoid(x: np.ndarray) -> np.ndarray:
-    """Numerically stable sigmoid used by both the activation and the LSTM."""
+    """Numerically stable sigmoid used by both the activation and the LSTM.
+
+    A single ``exp(-|x|)`` feeds both the positive branch ``1/(1+z)`` and the
+    negative branch ``z/(1+z)``; ``where`` selects per element.  This is
+    element-for-element identical to the classic two-branch form, never
+    overflows, and avoids the boolean gather/scatter that dominated the small
+    hot-path arrays.
+    """
     x = np.asarray(x, dtype=float)
-    out = np.empty_like(x)
-    positive = x >= 0
-    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
-    exp_x = np.exp(x[~positive])
-    out[~positive] = exp_x / (1.0 + exp_x)
-    return out
+    z = np.exp(-np.abs(x))
+    return np.where(x >= 0, 1.0 / (1.0 + z), z / (1.0 + z))
 
 
 _REGISTRY: Dict[str, Type[Activation]] = {

@@ -42,9 +42,34 @@ class Layer:
         raise NotImplementedError
 
     def zero_grads(self) -> None:
-        """Reset accumulated gradients to zero."""
+        """Reset accumulated gradients to zero.
+
+        Existing gradient buffers are zeroed in place (no reallocation on the
+        training hot path); buffers are only (re)allocated when a parameter
+        appears or changes shape.
+        """
         for name, value in self.params.items():
-            self.grads[name] = np.zeros_like(value)
+            grad = self.grads.get(name)
+            if grad is not None and grad.shape == value.shape:
+                grad.fill(0.0)
+            else:
+                self.grads[name] = np.zeros_like(value)
+
+    def _grad_buffer(self, name: str, *, zero: bool = False) -> np.ndarray:
+        """Return the reusable gradient buffer for parameter ``name``.
+
+        ``backward`` implementations write into these buffers instead of
+        allocating fresh arrays every step.  ``zero=True`` clears the buffer
+        for accumulation-style backward passes.
+        """
+        param = self.params[name]
+        grad = self.grads.get(name)
+        if grad is None or grad.shape != param.shape:
+            grad = self.grads[name] = np.zeros_like(param)
+            return grad
+        if zero:
+            grad.fill(0.0)
+        return grad
 
     @property
     def parameter_count(self) -> int:
@@ -115,8 +140,8 @@ class Dense(Layer):
         if grad_output.ndim == 1:
             grad_output = grad_output[None, :]
         grad_pre = grad_output * self.activation.derivative(self._cache_pre)
-        self.grads["W"] = self._cache_x.T @ grad_pre
-        self.grads["b"] = grad_pre.sum(axis=0)
+        np.matmul(self._cache_x.T, grad_pre, out=self._grad_buffer("W"))
+        np.sum(grad_pre, axis=0, out=self._grad_buffer("b"))
         return grad_pre @ self.params["W"].T
 
 
@@ -216,48 +241,45 @@ class LSTM(Layer):
         h = np.zeros((batch, hidden), dtype=float)
         c = np.zeros((batch, hidden), dtype=float)
 
-        gate_i = np.zeros((steps, batch, hidden), dtype=float)
-        gate_f = np.zeros_like(gate_i)
-        gate_g = np.zeros_like(gate_i)
-        gate_o = np.zeros_like(gate_i)
-        cells = np.zeros_like(gate_i)
-        hiddens = np.zeros_like(gate_i)
-        prev_cells = np.zeros_like(gate_i)
-        prev_hiddens = np.zeros_like(gate_i)
+        # All four gates of every timestep live in one (steps, batch, 4H)
+        # slab; per-step activations are applied to fused column slices
+        # instead of four separate temporaries.
+        gates = np.empty((steps, batch, 4 * hidden), dtype=float)
+        cells = np.empty((steps, batch, hidden), dtype=float)
+        hiddens = np.empty((steps, batch, hidden), dtype=float)
+        scratch = np.empty((batch, 4 * hidden), dtype=float)
+        scratch_h = np.empty((batch, hidden), dtype=float)
 
         Wx, Wh, b = self.params["Wx"], self.params["Wh"], self.params["b"]
         for t in range(steps):
-            prev_hiddens[t] = h
-            prev_cells[t] = c
-            z = x[:, t, :] @ Wx + h @ Wh + b
-            i = sigmoid(z[:, :hidden])
-            f = sigmoid(z[:, hidden : 2 * hidden])
-            g = np.tanh(z[:, 2 * hidden : 3 * hidden])
-            o = sigmoid(z[:, 3 * hidden :])
-            c = f * c + i * g
-            h = o * np.tanh(c)
-            gate_i[t], gate_f[t], gate_g[t], gate_o[t] = i, f, g, o
-            cells[t] = c
-            hiddens[t] = h
+            z = gates[t]
+            np.matmul(x[:, t, :], Wx, out=z)
+            np.matmul(h, Wh, out=scratch)
+            z += scratch
+            z += b
+            z[:, : 2 * hidden] = sigmoid(z[:, : 2 * hidden])
+            z[:, 2 * hidden : 3 * hidden] = np.tanh(z[:, 2 * hidden : 3 * hidden])
+            z[:, 3 * hidden :] = sigmoid(z[:, 3 * hidden :])
+            i = z[:, :hidden]
+            f = z[:, hidden : 2 * hidden]
+            g = z[:, 2 * hidden : 3 * hidden]
+            o = z[:, 3 * hidden :]
+            np.multiply(f, c, out=cells[t])
+            np.multiply(i, g, out=scratch_h)
+            cells[t] += scratch_h
+            c = cells[t]
+            np.tanh(c, out=scratch_h)
+            np.multiply(o, scratch_h, out=hiddens[t])
+            h = hiddens[t]
 
         if training:
-            self._cache = {
-                "x": x,
-                "i": gate_i,
-                "f": gate_f,
-                "g": gate_g,
-                "o": gate_o,
-                "c": cells,
-                "h": hiddens,
-                "c_prev": prev_cells,
-                "h_prev": prev_hiddens,
-            }
+            self._cache = {"x": x, "gates": gates, "c": cells, "h": hiddens}
         else:
             self._cache = None
 
         if self.return_sequences:
-            return hiddens.transpose(1, 0, 2)
-        return h
+            return hiddens.transpose(1, 0, 2).copy()
+        return h.copy()
 
     # -- backward ----------------------------------------------------------
 
@@ -289,19 +311,32 @@ class LSTM(Layer):
             grad_h_seq[-1] = grad_output
 
         Wx, Wh = self.params["Wx"], self.params["Wh"]
-        grad_Wx = np.zeros_like(Wx)
-        grad_Wh = np.zeros_like(Wh)
-        grad_b = np.zeros_like(self.params["b"])
+        grad_Wx = self._grad_buffer("Wx", zero=True)
+        grad_Wh = self._grad_buffer("Wh", zero=True)
+        grad_b = self._grad_buffer("b", zero=True)
         grad_x = np.zeros_like(x)
 
         grad_h_next = np.zeros((batch, hidden), dtype=float)
         grad_c_next = np.zeros((batch, hidden), dtype=float)
 
+        gates = cache["gates"]
+        cells = cache["c"]
+        hiddens = cache["h"]
+        zeros_bh = np.zeros((batch, hidden), dtype=float)
+        # Pre-activation gradients for all four gates of one timestep are
+        # assembled in a single reused (batch, 4H) buffer.
+        dz = np.empty((batch, 4 * hidden), dtype=float)
+
         for t in reversed(range(steps)):
             grad_h = grad_h_seq[t] + grad_h_next
-            i, f, g, o = cache["i"][t], cache["f"][t], cache["g"][t], cache["o"][t]
-            c, c_prev = cache["c"][t], cache["c_prev"][t]
-            h_prev = cache["h_prev"][t]
+            gate = gates[t]
+            i = gate[:, :hidden]
+            f = gate[:, hidden : 2 * hidden]
+            g = gate[:, 2 * hidden : 3 * hidden]
+            o = gate[:, 3 * hidden :]
+            c = cells[t]
+            c_prev = cells[t - 1] if t > 0 else zeros_bh
+            h_prev = hiddens[t - 1] if t > 0 else zeros_bh
             tanh_c = np.tanh(c)
 
             grad_o = grad_h * tanh_c
@@ -311,16 +346,10 @@ class LSTM(Layer):
             grad_g = grad_c * i
             grad_c_next = grad_c * f
 
-            # Pre-activation gradients for the stacked gate vector z.
-            dz = np.concatenate(
-                [
-                    grad_i * i * (1.0 - i),
-                    grad_f * f * (1.0 - f),
-                    grad_g * (1.0 - g * g),
-                    grad_o * o * (1.0 - o),
-                ],
-                axis=1,
-            )
+            dz[:, :hidden] = grad_i * i * (1.0 - i)
+            dz[:, hidden : 2 * hidden] = grad_f * f * (1.0 - f)
+            dz[:, 2 * hidden : 3 * hidden] = grad_g * (1.0 - g * g)
+            dz[:, 3 * hidden :] = grad_o * o * (1.0 - o)
 
             grad_Wx += x[:, t, :].T @ dz
             grad_Wh += h_prev.T @ dz
@@ -328,9 +357,6 @@ class LSTM(Layer):
             grad_x[:, t, :] = dz @ Wx.T
             grad_h_next = dz @ Wh.T
 
-        self.grads["Wx"] = grad_Wx
-        self.grads["Wh"] = grad_Wh
-        self.grads["b"] = grad_b
         return grad_x
 
     def initial_state(self, batch: int = 1) -> Tuple[np.ndarray, np.ndarray]:

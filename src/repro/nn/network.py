@@ -178,6 +178,65 @@ class QNetworkBase:
         self.optimizer.step(self.model.parameter_groups())
         return loss_value
 
+    def train_on_batch(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        next_states: np.ndarray,
+        dones: np.ndarray,
+        *,
+        target_network: Optional["QNetworkBase"] = None,
+        discount: float = 0.95,
+    ) -> float:
+        """Fused TD pipeline: targets, masked loss and the update in one pass.
+
+        Computes the TD targets ``r + γ·max_a' Q_target(s', a')`` with a
+        single target-network forward, then runs the masked gradient step
+        directly on the selected ``(row, action)`` entries — no full
+        ``(batch, n_actions)`` target-matrix copy and no dense weight mask.
+        The resulting parameter update is identical to
+        ``train_step(states, actions, targets)``; only the scalar loss is
+        reduced over the selected entries instead of the padded matrix.
+
+        Parameters
+        ----------
+        states, actions, rewards, next_states, dones:
+            A replay minibatch in array form (see
+            :meth:`~repro.rl.replay.ArrayReplayBuffer.sample_arrays`).
+        target_network:
+            Network evaluated on ``next_states`` (defaults to ``self``).
+        discount:
+            γ used in the TD target.
+        """
+        target_network = target_network or self
+        actions = np.asarray(actions, dtype=int)
+        rewards = np.asarray(rewards, dtype=float)
+        dones = np.asarray(dones, dtype=bool)
+        if actions.ndim != 1 or rewards.shape != actions.shape or dones.shape != actions.shape:
+            raise ValueError("actions, rewards and dones must be 1-D arrays of equal length")
+        if np.any(actions < 0) or np.any(actions >= self.n_actions):
+            raise ValueError("action index out of range")
+
+        next_q = target_network.predict(next_states)
+        max_next = next_q.max(axis=1)
+        targets = rewards + discount * max_next * (~dones)
+
+        batch = self._prepare_states(states)
+        self.model.zero_grads()
+        predictions = self.model.forward(batch, training=True)
+        if predictions.shape[0] != len(actions):
+            raise ValueError("batch size mismatch between states and actions")
+
+        rows = np.arange(len(actions))
+        selected = predictions[rows, actions]
+        loss_value = self.loss.value(selected, targets)
+        grad = np.zeros_like(predictions)
+        grad[rows, actions] = self.loss.gradient(selected, targets)
+        self.model.backward(grad)
+        self.optimizer.step(self.model.parameter_groups())
+        return loss_value
+
     # -- weights -----------------------------------------------------------
 
     def get_weights(self) -> List[Dict[str, np.ndarray]]:
@@ -190,9 +249,19 @@ class QNetworkBase:
         """Copy another network's weights into this one (used for fixed Q-targets)."""
         self.set_weights(other.get_weights())
 
-    def clone(self) -> "QNetworkBase":
-        """Return a deep copy of this network (architecture, weights, optimizer state)."""
-        return copy.deepcopy(self)
+    def clone(self, *, with_optimizer: bool = False) -> "QNetworkBase":
+        """Return a deep copy of this network.
+
+        By default the clone's optimizer state (Adam moments, iteration
+        counter) is reset: target networks never take gradient steps, so
+        carrying the online network's dead moments around is pure waste.
+        Pass ``with_optimizer=True`` to preserve the optimizer state, e.g.
+        when forking a network to continue training it.
+        """
+        clone = copy.deepcopy(self)
+        if not with_optimizer:
+            clone.optimizer.reset()
+        return clone
 
     # -- hooks -------------------------------------------------------------
 

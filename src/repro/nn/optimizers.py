@@ -150,14 +150,18 @@ class Adam(Optimizer):
 
     def _update(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
         m = self._m.get(key)
-        v = self._v.get(key)
         if m is None:
-            m = np.zeros_like(param)
-            v = np.zeros_like(param)
-        m = self.beta1 * m + (1.0 - self.beta1) * grad
-        v = self.beta2 * v + (1.0 - self.beta2) * grad * grad
-        self._m[key] = m
-        self._v[key] = v
+            m = self._m[key] = np.zeros_like(param)
+            v = self._v[key] = np.zeros_like(param)
+        else:
+            v = self._v[key]
+        # Moments are updated in place: β·m and β·v are computed into the
+        # stored buffers, avoiding two fresh allocations per parameter per
+        # step while keeping the arithmetic identical.
+        np.multiply(m, self.beta1, out=m)
+        m += (1.0 - self.beta1) * grad
+        np.multiply(v, self.beta2, out=v)
+        v += (1.0 - self.beta2) * grad * grad
         m_hat = m / (1.0 - self.beta1**self.iterations)
         v_hat = v / (1.0 - self.beta2**self.iterations)
         param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

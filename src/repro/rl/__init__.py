@@ -2,7 +2,11 @@
 
 Implements the general-purpose machinery DR-Cell builds on:
 
-* :class:`~repro.rl.replay.ReplayBuffer` — experience replay (paper §4.3).
+* :class:`~repro.rl.replay.ArrayReplayBuffer` — array-backed experience
+  replay (paper §4.3); :class:`~repro.rl.replay.ReplayBuffer` is its
+  backward-compatible alias.
+* :class:`~repro.rl.vector_env.VectorEnv` — K independent environments
+  stepped in lockstep for the vectorized training engine.
 * :mod:`~repro.rl.schedules` — δ-greedy exploration schedules (the paper's
   "δ-greedy algorithm" with a decaying δ).
 * :class:`~repro.rl.qlearning.TabularQLearner` — Algorithm 1's Q-table
@@ -16,7 +20,8 @@ Implements the general-purpose machinery DR-Cell builds on:
 """
 
 from repro.rl.environment import Environment, Transition
-from repro.rl.replay import ReplayBuffer
+from repro.rl.replay import ArrayReplayBuffer, ReplayBuffer
+from repro.rl.vector_env import VectorEnv
 from repro.rl.schedules import ConstantSchedule, ExponentialDecaySchedule, LinearDecaySchedule, Schedule
 from repro.rl.qlearning import TabularQLearner, TabularQLearningConfig
 from repro.rl.dqn import DQNAgent, DQNConfig
@@ -25,7 +30,9 @@ from repro.rl.drqn import build_drqn_agent, build_dqn_agent
 __all__ = [
     "Environment",
     "Transition",
+    "ArrayReplayBuffer",
     "ReplayBuffer",
+    "VectorEnv",
     "Schedule",
     "ConstantSchedule",
     "LinearDecaySchedule",

@@ -14,8 +14,9 @@ import numpy as np
 
 from repro.nn.network import QNetworkBase
 from repro.rl.environment import Environment, Transition
-from repro.rl.replay import ReplayBuffer
+from repro.rl.replay import ArrayReplayBuffer
 from repro.rl.schedules import LinearDecaySchedule, Schedule
+from repro.rl.vector_env import VectorEnv
 from repro.utils.logging import get_logger
 from repro.utils.seeding import RngLike, as_rng
 from repro.utils.validation import check_positive_int, check_probability
@@ -113,7 +114,7 @@ class DQNAgent:
         self.config = config or DQNConfig()
         self.exploration = exploration or LinearDecaySchedule(1.0, 0.05, 5_000)
         self._rng = as_rng(seed)
-        self.replay = ReplayBuffer(self.config.replay_capacity, seed=self._rng)
+        self.replay = ArrayReplayBuffer(self.config.replay_capacity, seed=self._rng)
         self.total_steps = 0
         self.learn_steps = 0
 
@@ -138,7 +139,10 @@ class DQNAgent:
         delta = 0.0 if greedy else self.exploration(self.total_steps)
         if self._rng.random() < delta:
             return int(self._rng.choice(valid))
-        q = self.online.q_values(state)
+        return self._greedy_from_q(self.online.q_values(state), mask)
+
+    def _greedy_from_q(self, q: np.ndarray, mask: np.ndarray) -> int:
+        """Masked argmax with uniform random tie-breaking over the best actions."""
         masked = np.where(mask, q, -np.inf)
         best = float(masked.max())
         candidates = np.flatnonzero(masked == best)
@@ -152,7 +156,33 @@ class DQNAgent:
 
     def observe(self, transition: Transition) -> Optional[float]:
         """Record a transition; learn when due.  Returns the loss if a step ran."""
-        self.replay.add(transition)
+        if not isinstance(transition, Transition):
+            raise TypeError(f"expected Transition, got {type(transition).__name__}")
+        return self.observe_step(
+            transition.state,
+            transition.action,
+            transition.reward,
+            transition.next_state,
+            transition.done,
+            info=transition.info,
+        )
+
+    def observe_step(
+        self,
+        state: np.ndarray,
+        action: int,
+        reward: float,
+        next_state: np.ndarray,
+        done: bool,
+        *,
+        info: Optional[Dict] = None,
+    ) -> Optional[float]:
+        """Record one step without a :class:`Transition` object; learn when due.
+
+        This is the hot-path twin of :meth:`observe`: the arrays go straight
+        into the array-backed replay ring.
+        """
+        self.replay.add_step(state, action, reward, next_state, done, info=info)
         self.total_steps += 1
         if len(self.replay) < self.config.min_replay_size:
             return None
@@ -165,10 +195,15 @@ class DQNAgent:
         states, actions, rewards, next_states, dones = self.replay.sample_arrays(
             self.config.batch_size
         )
-        next_q = self.target.predict(next_states)
-        max_next = next_q.max(axis=1)
-        targets = rewards + self.config.discount * max_next * (~dones)
-        loss = self.online.train_step(states, actions, targets)
+        loss = self.online.train_on_batch(
+            states,
+            actions,
+            rewards,
+            next_states,
+            dones,
+            target_network=self.target,
+            discount=self.config.discount,
+        )
         self.learn_steps += 1
         if self.learn_steps % self.config.target_update_interval == 0:
             self.target.copy_weights_from(self.online)
@@ -185,9 +220,7 @@ class DQNAgent:
             mask = env.valid_action_mask()
             action = self.select_action(state, mask=mask)
             next_state, reward, done, info = env.step(action)
-            loss = self.observe(
-                Transition(state, action, reward, next_state, done, info=dict(info))
-            )
+            loss = self.observe_step(state, action, reward, next_state, done, info=info)
             if loss is not None:
                 losses.append(loss)
             total_reward += reward
@@ -228,6 +261,137 @@ class DQNAgent:
                     stats.mean_loss,
                     stats.final_delta,
                 )
+        return history
+
+    def train_episodes_vectorized(
+        self,
+        envs,
+        episodes: int,
+        *,
+        max_steps_per_episode: int = 10_000,
+        log_every: int = 10,
+    ) -> List[EpisodeStats]:
+        """Train for ``episodes`` episodes across K environments in lockstep.
+
+        Every global step selects actions for all active environments with a
+        single batched forward pass of the online network, steps each
+        environment, and feeds the transitions to the learner in environment
+        order.  When an environment finishes an episode it is reset and keeps
+        collecting as long as episodes remain to start, so K environments
+        stay busy until the budget runs out.
+
+        With a single environment this consumes the exploration/replay RNG
+        stream in exactly the order of :meth:`train`, so K=1 reproduces the
+        sequential path bit for bit.
+
+        Parameters
+        ----------
+        envs:
+            A :class:`~repro.rl.vector_env.VectorEnv` or a sequence of
+            environments (wrapped automatically).  The environments may
+            differ in seeds, datasets or quality requirements as long as they
+            share the action space and state shape.
+        episodes:
+            Total number of episodes to run across all environments.
+        max_steps_per_episode:
+            Per-episode step cap, as in :meth:`train_episode`.
+        log_every:
+            Episodes between progress log lines (0 disables logging).
+        """
+        episodes = check_positive_int(episodes, "episodes")
+        max_steps_per_episode = check_positive_int(max_steps_per_episode, "max_steps_per_episode")
+        vec = envs if isinstance(envs, VectorEnv) else VectorEnv(envs)
+
+        n_envs = min(vec.n_envs, episodes)
+        states: List[Optional[np.ndarray]] = [None] * vec.n_envs
+        rewards = [0.0] * vec.n_envs
+        steps = [0] * vec.n_envs
+        losses: List[List[float]] = [[] for _ in range(vec.n_envs)]
+        active: List[int] = []
+        episodes_started = 0
+        for index in range(n_envs):
+            states[index] = vec.reset_one(index)
+            active.append(index)
+            episodes_started += 1
+
+        history: List[EpisodeStats] = []
+        while active:
+            # Resolve the δ-greedy draws first: exploring rows never need a
+            # forward pass, so the batched prediction below covers only the
+            # exploiting rows.  The forward consumes no randomness, so with a
+            # single environment the RNG stream is identical to the
+            # sequential loop's draw-then-forward order.
+            masks = [
+                self._validate_mask(vec.valid_action_mask(index)) for index in active
+            ]
+            actions: List[Optional[int]] = [None] * len(active)
+            exploit_rows: List[int] = []
+            for row, index in enumerate(active):
+                valid = np.flatnonzero(masks[row])
+                if valid.size == 0:
+                    raise ValueError("no valid actions available")
+                delta = self.exploration(self.total_steps)
+                if self._rng.random() < delta:
+                    actions[row] = int(self._rng.choice(valid))
+                else:
+                    exploit_rows.append(row)
+            if exploit_rows:
+                q_batch = self.online.predict(
+                    np.stack([states[active[row]] for row in exploit_rows])
+                )
+                for position, row in enumerate(exploit_rows):
+                    actions[row] = self._greedy_from_q(q_batch[position], masks[row])
+
+            results = vec.step_many(list(zip(active, actions)))
+
+            finished: List[int] = []
+            for row, index in enumerate(active):
+                next_state, reward, done, info = results[row]
+                loss = self.observe_step(
+                    states[index], actions[row], reward, next_state, done, info=info
+                )
+                if loss is not None:
+                    losses[index].append(loss)
+                rewards[index] += reward
+                steps[index] += 1
+                states[index] = next_state
+                if done or steps[index] >= max_steps_per_episode:
+                    episode_index = getattr(self, "_episode_counter", 0)
+                    self._episode_counter = episode_index + 1
+                    extra: Dict[str, float] = {"env_index": float(index)}
+                    episode_cycles = getattr(vec.envs[index], "episode_cycles", None)
+                    if episode_cycles is not None:
+                        extra["episode_cycles"] = float(episode_cycles)
+                    stats = EpisodeStats(
+                        episode=episode_index,
+                        total_reward=rewards[index],
+                        steps=steps[index],
+                        mean_loss=float(np.mean(losses[index])) if losses[index] else float("nan"),
+                        final_delta=self.exploration(self.total_steps),
+                        extra=extra,
+                    )
+                    history.append(stats)
+                    if log_every and len(history) % log_every == 0:
+                        logger.info(
+                            "episode %d/%d (env %d) reward=%.2f steps=%d loss=%.4f delta=%.3f",
+                            len(history),
+                            episodes,
+                            index,
+                            stats.total_reward,
+                            stats.steps,
+                            stats.mean_loss,
+                            stats.final_delta,
+                        )
+                    rewards[index] = 0.0
+                    steps[index] = 0
+                    losses[index] = []
+                    if episodes_started < episodes:
+                        states[index] = vec.reset_one(index)
+                        episodes_started += 1
+                    else:
+                        finished.append(index)
+            for index in finished:
+                active.remove(index)
         return history
 
     # -- weights -----------------------------------------------------------

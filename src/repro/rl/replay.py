@@ -1,13 +1,23 @@
-"""Experience replay buffer (paper §4.3).
+"""Experience replay buffers (paper §4.3).
 
-The buffer stores :class:`~repro.rl.environment.Transition` records in a
-fixed-capacity ring and samples uniformly at random, which decorrelates the
-gradient updates of the Q-network.
+Two implementations share one API:
+
+* :class:`ArrayReplayBuffer` — the storage engine.  Transitions live in
+  preallocated contiguous arrays (``(capacity, *state_shape)`` for states,
+  flat arrays for actions/rewards/dones), insertion writes into the ring
+  slot in place, and :meth:`ArrayReplayBuffer.sample_arrays` is a single
+  fancy-index gather with no per-sample stacking or Python-object traffic.
+* :class:`ReplayBuffer` — a thin backward-compatible alias kept so existing
+  callers and tests continue to work unchanged.
+
+Sampling draws indices with ``rng.choice(size, batch, replace=False)`` —
+the exact call the original list-backed buffer made — so seeded runs
+reproduce the historical sampling stream bit for bit.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -16,66 +26,155 @@ from repro.utils.seeding import RngLike, as_rng
 from repro.utils.validation import check_positive_int
 
 
-class ReplayBuffer:
-    """Fixed-capacity uniform experience replay.
+class ArrayReplayBuffer:
+    """Fixed-capacity uniform experience replay over preallocated arrays.
 
     Parameters
     ----------
     capacity:
         Maximum number of transitions kept; the oldest are evicted first.
+    state_shape:
+        Shape of a single state.  May be omitted, in which case the storage
+        is allocated lazily from the first transition added.
     seed:
         Seed or generator for the sampling stream.
     """
 
-    def __init__(self, capacity: int, *, seed: RngLike = None) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        state_shape: Optional[Tuple[int, ...]] = None,
+        seed: RngLike = None,
+    ) -> None:
         self.capacity = check_positive_int(capacity, "capacity")
-        self._storage: List[Transition] = []
-        self._next_index = 0
         self._rng = as_rng(seed)
+        self._size = 0
+        self._next_index = 0
+        self._states: Optional[np.ndarray] = None
+        self._next_states: Optional[np.ndarray] = None
+        self._actions = np.zeros(self.capacity, dtype=int)
+        self._rewards = np.zeros(self.capacity, dtype=float)
+        self._dones = np.zeros(self.capacity, dtype=bool)
+        self._infos: List[Dict[str, Any]] = [{} for _ in range(self.capacity)]
+        if state_shape is not None:
+            self._allocate(tuple(int(d) for d in state_shape))
+
+    # -- storage -----------------------------------------------------------
+
+    @property
+    def state_shape(self) -> Optional[Tuple[int, ...]]:
+        """Shape of a stored state, or None before the first insertion."""
+        if self._states is None:
+            return None
+        return self._states.shape[1:]
+
+    def _allocate(self, state_shape: Tuple[int, ...]) -> None:
+        self._states = np.zeros((self.capacity, *state_shape), dtype=float)
+        self._next_states = np.zeros((self.capacity, *state_shape), dtype=float)
 
     def __len__(self) -> int:
-        return len(self._storage)
+        return self._size
 
     def __iter__(self) -> Iterator[Transition]:
-        return iter(list(self._storage))
+        return iter([self._transition_at(i) for i in range(self._size)])
 
     @property
     def is_full(self) -> bool:
         """True once the buffer has reached its capacity."""
-        return len(self._storage) == self.capacity
+        return self._size == self.capacity
+
+    def _transition_at(self, index: int) -> Transition:
+        return Transition(
+            self._states[index].copy(),
+            int(self._actions[index]),
+            float(self._rewards[index]),
+            self._next_states[index].copy(),
+            bool(self._dones[index]),
+            info=self._infos[index],
+        )
+
+    # -- insertion ---------------------------------------------------------
 
     def add(self, transition: Transition) -> None:
         """Insert one transition, evicting the oldest when at capacity."""
         if not isinstance(transition, Transition):
             raise TypeError(f"expected Transition, got {type(transition).__name__}")
-        if len(self._storage) < self.capacity:
-            self._storage.append(transition)
-        else:
-            self._storage[self._next_index] = transition
-        self._next_index = (self._next_index + 1) % self.capacity
+        self.add_step(
+            transition.state,
+            transition.action,
+            transition.reward,
+            transition.next_state,
+            transition.done,
+            info=transition.info,
+        )
+
+    def add_step(
+        self,
+        state: np.ndarray,
+        action: int,
+        reward: float,
+        next_state: np.ndarray,
+        done: bool,
+        *,
+        info: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Insert one step without constructing a :class:`Transition` object.
+
+        This is the hot-path entry used by the vectorized rollout engine: the
+        state arrays are copied straight into the ring slot.
+        """
+        state = np.asarray(state, dtype=float)
+        next_state = np.asarray(next_state, dtype=float)
+        if state.shape != next_state.shape:
+            raise ValueError(
+                f"state shape {state.shape} != next_state shape {next_state.shape}"
+            )
+        if self._states is None:
+            self._allocate(state.shape)
+        elif state.shape != self._states.shape[1:]:
+            raise ValueError(
+                f"state shape {state.shape} does not match buffer state shape "
+                f"{self._states.shape[1:]}"
+            )
+        slot = self._next_index
+        self._states[slot] = state
+        self._next_states[slot] = next_state
+        self._actions[slot] = int(action)
+        self._rewards[slot] = float(reward)
+        self._dones[slot] = bool(done)
+        self._infos[slot] = dict(info) if info else {}
+        self._next_index = (slot + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
 
     def extend(self, transitions: Sequence[Transition]) -> None:
         """Insert several transitions in order."""
         for transition in transitions:
             self.add(transition)
 
+    # -- sampling ----------------------------------------------------------
+
+    def sample_indices(self, batch_size: int) -> np.ndarray:
+        """Draw ``batch_size`` distinct storage indices uniformly at random."""
+        batch_size = check_positive_int(batch_size, "batch_size")
+        if batch_size > self._size:
+            raise ValueError(
+                f"cannot sample {batch_size} transitions from a buffer of size "
+                f"{self._size}"
+            )
+        return self._rng.choice(self._size, size=batch_size, replace=False)
+
     def sample(self, batch_size: int) -> List[Transition]:
-        """Sample ``batch_size`` transitions uniformly with replacement-free draws.
+        """Sample ``batch_size`` transitions uniformly without replacement.
 
         Raises if the buffer holds fewer than ``batch_size`` transitions, so
         callers are forced to warm up the buffer before learning starts.
         """
-        batch_size = check_positive_int(batch_size, "batch_size")
-        if batch_size > len(self._storage):
-            raise ValueError(
-                f"cannot sample {batch_size} transitions from a buffer of size "
-                f"{len(self._storage)}"
-            )
-        indices = self._rng.choice(len(self._storage), size=batch_size, replace=False)
-        return [self._storage[int(i)] for i in indices]
+        indices = self.sample_indices(batch_size)
+        return [self._transition_at(int(i)) for i in indices]
 
     def sample_arrays(self, batch_size: int):
-        """Sample a batch and stack it into arrays ready for the Q-network.
+        """Sample a batch as stacked arrays ready for the Q-network.
 
         Returns
         -------
@@ -83,15 +182,29 @@ class ReplayBuffer:
             ``(states, actions, rewards, next_states, dones)`` with shapes
             ``(B, …)``, ``(B,)``, ``(B,)``, ``(B, …)``, ``(B,)``.
         """
-        batch = self.sample(batch_size)
-        states = np.stack([t.state for t in batch])
-        actions = np.asarray([t.action for t in batch], dtype=int)
-        rewards = np.asarray([t.reward for t in batch], dtype=float)
-        next_states = np.stack([t.next_state for t in batch])
-        dones = np.asarray([t.done for t in batch], dtype=bool)
-        return states, actions, rewards, next_states, dones
+        indices = self.sample_indices(batch_size)
+        return (
+            self._states[indices],
+            self._actions[indices],
+            self._rewards[indices],
+            self._next_states[indices],
+            self._dones[indices],
+        )
 
     def clear(self) -> None:
-        """Drop all stored transitions."""
-        self._storage.clear()
+        """Drop all stored transitions (storage stays allocated)."""
+        self._size = 0
         self._next_index = 0
+        self._infos = [{} for _ in range(self.capacity)]
+
+
+class ReplayBuffer(ArrayReplayBuffer):
+    """Backward-compatible name for the array-backed replay buffer.
+
+    The original list-of-:class:`Transition` implementation was replaced by
+    :class:`ArrayReplayBuffer`; this subclass keeps the old constructor
+    signature and behaviour for existing callers.
+    """
+
+    def __init__(self, capacity: int, *, seed: RngLike = None) -> None:
+        super().__init__(capacity, seed=seed)

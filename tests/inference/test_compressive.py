@@ -114,3 +114,67 @@ class TestParameters:
     def test_infer_cycle_out_of_range_raises(self, low_rank_matrix):
         with pytest.raises(IndexError):
             CompressiveSensingInference(seed=0).infer_cycle(low_rank_matrix, 999)
+
+
+class TestCompleteBatch:
+    """The vectorized batch solver used by the lockstep training engine."""
+
+    def _masked_stack(self, rng, count=4, shape=(10, 8), missing=0.4):
+        matrices = []
+        for _ in range(count):
+            base = rng.normal(size=(shape[0], 1)) @ rng.normal(size=(1, shape[1]))
+            base = base + 0.05 * rng.normal(size=shape)
+            matrices.append(mask_entries(base, missing, rng))
+        return matrices
+
+    def test_batch_close_to_sequential(self, rng):
+        inference = CompressiveSensingInference(rank=2, iterations=10, seed=0)
+        matrices = self._masked_stack(rng)
+        batch = inference.complete_batch(matrices)
+        for matrix, completed in zip(matrices, batch):
+            reference = inference.complete(matrix)
+            scale = max(1e-9, float(np.abs(reference).mean()))
+            assert np.abs(completed - reference).mean() / scale < 0.2
+
+    def test_observed_entries_preserved(self, rng):
+        inference = CompressiveSensingInference(rank=2, iterations=5, seed=0)
+        matrices = self._masked_stack(rng)
+        for matrix, completed in zip(matrices, inference.complete_batch(matrices)):
+            mask = ~np.isnan(matrix)
+            assert np.allclose(completed[mask], matrix[mask])
+            assert not np.isnan(completed).any()
+
+    def test_mixed_shapes_grouped_and_aligned(self, rng):
+        inference = CompressiveSensingInference(rank=2, iterations=5, seed=0)
+        small = self._masked_stack(rng, count=2, shape=(6, 5))
+        large = self._masked_stack(rng, count=2, shape=(10, 8))
+        mixed = [small[0], large[0], small[1], large[1]]
+        completed = inference.complete_batch(mixed)
+        for matrix, out in zip(mixed, completed):
+            assert out.shape == matrix.shape
+
+    def test_single_matrix_batch(self, rng):
+        inference = CompressiveSensingInference(rank=2, iterations=5, seed=0)
+        (matrix,) = self._masked_stack(rng, count=1)
+        (completed,) = inference.complete_batch([matrix])
+        assert completed.shape == matrix.shape
+
+    def test_all_missing_matrix_raises(self):
+        inference = CompressiveSensingInference(seed=0)
+        with pytest.raises(ValueError):
+            inference.complete_batch([np.full((3, 3), np.nan)])
+
+    def test_constant_matrix_completed_with_constant(self):
+        inference = CompressiveSensingInference(seed=0)
+        matrix = np.full((5, 6), 7.0)
+        matrix[2, 3] = np.nan
+        (completed,) = inference.complete_batch([matrix])
+        assert completed[2, 3] == pytest.approx(7.0)
+
+    def test_batch_deterministic(self, rng):
+        inference = CompressiveSensingInference(rank=2, iterations=5, seed=3)
+        matrices = self._masked_stack(rng, count=3)
+        first = inference.complete_batch(matrices)
+        second = inference.complete_batch(matrices)
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)

@@ -185,3 +185,62 @@ class TestSparseMCSEnvironment:
         env = self._environment(tiny_temperature_dataset)
         env.reset()
         assert "cycle" in env.render()
+
+    def test_episode_cycles_property_is_public(self, tiny_temperature_dataset):
+        env = self._environment(tiny_temperature_dataset)
+        env.reset()
+        assert env.episode_cycles == tiny_temperature_dataset.n_cycles
+        capped = self._environment(
+            tiny_temperature_dataset, epsilon=1e6, max_episode_cycles=2
+        )
+        capped.reset()
+        assert capped.episode_cycles == 2
+
+
+class TestSplitStep:
+    def _environment(self, dataset, epsilon=1.0, min_cells_before_check=2):
+        return SparseMCSEnvironment(
+            dataset,
+            QualityRequirement(epsilon=epsilon, p=0.9, metric=dataset.metric),
+            window=2,
+            inference=SpatialMeanInference(),
+            min_cells_before_check=min_cells_before_check,
+            history_window=6,
+            seed=0,
+        )
+
+    def test_begin_finish_equivalent_to_step(self, tiny_temperature_dataset):
+        whole = self._environment(tiny_temperature_dataset)
+        split = self._environment(tiny_temperature_dataset)
+        whole.reset()
+        split.reset()
+        for action in range(4):
+            expected = whole.step(action)
+            window = split.begin_step(action)
+            completed = split.inference.complete(window) if window is not None else None
+            got = split.finish_step(completed)
+            assert np.array_equal(expected[0], got[0])
+            assert expected[1] == got[1]
+            assert expected[2] == got[2]
+            assert expected[3] == got[3]
+
+    def test_begin_twice_raises(self, tiny_temperature_dataset):
+        env = self._environment(tiny_temperature_dataset)
+        env.reset()
+        env.begin_step(0)
+        with pytest.raises(RuntimeError):
+            env.begin_step(1)
+
+    def test_finish_without_begin_raises(self, tiny_temperature_dataset):
+        env = self._environment(tiny_temperature_dataset)
+        env.reset()
+        with pytest.raises(RuntimeError):
+            env.finish_step(None)
+
+    def test_finish_requires_completed_window_when_pending(self, tiny_temperature_dataset):
+        env = self._environment(tiny_temperature_dataset, min_cells_before_check=1)
+        env.reset()
+        window = env.begin_step(0)
+        assert window is not None
+        with pytest.raises(ValueError):
+            env.finish_step(None)

@@ -136,3 +136,83 @@ class TestRecurrentQNetwork:
         net = RecurrentQNetwork(4, 2, seed=0)
         with pytest.raises(ValueError):
             net.train_step(random_states(2, 2, 4), np.array([0, 1]), np.array([0.0]))
+
+
+class TestTrainOnBatch:
+    """The fused TD pipeline must match the explicit two-step update."""
+
+    def _batch(self, seed=0):
+        rng = np.random.default_rng(seed)
+        states = random_states(8, 2, 4, seed=seed)
+        next_states = random_states(8, 2, 4, seed=seed + 1)
+        actions = rng.integers(0, 4, 8)
+        rewards = rng.standard_normal(8)
+        dones = rng.random(8) < 0.25
+        return states, actions, rewards, next_states, dones
+
+    def test_fused_update_matches_manual_two_step(self):
+        fused = RecurrentQNetwork(4, 2, lstm_hidden=8, dense_hidden=(8,), seed=0)
+        manual = fused.clone(with_optimizer=True)
+        target = RecurrentQNetwork(4, 2, lstm_hidden=8, dense_hidden=(8,), seed=99)
+        states, actions, rewards, next_states, dones = self._batch()
+
+        fused.train_on_batch(
+            states, actions, rewards, next_states, dones,
+            target_network=target, discount=0.9,
+        )
+
+        next_q = target.predict(next_states)
+        targets = rewards + 0.9 * next_q.max(axis=1) * (~dones)
+        manual.train_step(states, actions, targets)
+
+        for layer_fused, layer_manual in zip(fused.get_weights(), manual.get_weights()):
+            for name in layer_fused:
+                assert np.array_equal(layer_fused[name], layer_manual[name])
+
+    def test_defaults_to_self_as_target(self):
+        net = FeedForwardQNetwork(3, 2, hidden_dims=(8,), seed=0)
+        states, actions, rewards, next_states, dones = self._batch()
+        states = states[:, :, :3]
+        next_states = next_states[:, :, :3]
+        actions = np.clip(actions, 0, 2)
+        loss = net.train_on_batch(states, actions, rewards, next_states, dones)
+        assert np.isfinite(loss)
+
+    def test_invalid_action_raises(self):
+        net = FeedForwardQNetwork(3, 2, hidden_dims=(8,), seed=0)
+        states, actions, rewards, next_states, dones = self._batch()
+        with pytest.raises(ValueError):
+            net.train_on_batch(
+                states[:, :, :3], np.full(8, 5), rewards, next_states[:, :, :3], dones
+            )
+
+    def test_mismatched_lengths_raise(self):
+        net = FeedForwardQNetwork(3, 2, hidden_dims=(8,), seed=0)
+        states, actions, rewards, next_states, dones = self._batch()
+        with pytest.raises(ValueError):
+            net.train_on_batch(
+                states[:, :, :3], actions[:4], rewards, next_states[:, :, :3], dones
+            )
+
+
+class TestClone:
+    def test_clone_drops_optimizer_state_by_default(self):
+        net = RecurrentQNetwork(4, 2, lstm_hidden=8, seed=0)
+        states = random_states(4, 2, 4, seed=4)
+        net.train_step(states, np.zeros(4, dtype=int), np.ones(4))
+        assert net.optimizer.iterations > 0
+        assert net.optimizer._m  # Adam moments populated
+
+        clone = net.clone()
+        assert clone.optimizer.iterations == 0
+        assert not clone.optimizer._m
+        # Weights themselves are preserved.
+        assert np.allclose(net.predict(states), clone.predict(states))
+
+    def test_clone_with_optimizer_preserves_state(self):
+        net = RecurrentQNetwork(4, 2, lstm_hidden=8, seed=0)
+        states = random_states(4, 2, 4, seed=4)
+        net.train_step(states, np.zeros(4, dtype=int), np.ones(4))
+        clone = net.clone(with_optimizer=True)
+        assert clone.optimizer.iterations == net.optimizer.iterations
+        assert set(clone.optimizer._m) == set(net.optimizer._m)

@@ -161,6 +161,64 @@ class TestLearning:
         assert all(stats.steps == 5 for stats in history)
 
 
+class TestVectorizedTraining:
+    def _fresh_agent(self, seed=0):
+        return build_dqn_agent(
+            2,
+            1,
+            hidden_dims=(8,),
+            config=tiny_config(),
+            exploration=ConstantSchedule(0.3),
+            seed=seed,
+        )
+
+    def test_k1_matches_sequential_bitwise(self):
+        sequential = self._fresh_agent()
+        history_seq = sequential.train(
+            TwoArmBandit(episode_length=12), episodes=6, log_every=0
+        )
+        vectorized = self._fresh_agent()
+        from repro.rl.vector_env import VectorEnv
+
+        history_vec = vectorized.train_episodes_vectorized(
+            VectorEnv([TwoArmBandit(episode_length=12)]), episodes=6, log_every=0
+        )
+        assert [s.total_reward for s in history_seq] == [s.total_reward for s in history_vec]
+        assert [s.steps for s in history_seq] == [s.steps for s in history_vec]
+        for layer_seq, layer_vec in zip(sequential.get_weights(), vectorized.get_weights()):
+            for name in layer_seq:
+                assert np.array_equal(layer_seq[name], layer_vec[name])
+
+    def test_k3_runs_requested_episode_budget(self):
+        agent = self._fresh_agent()
+        envs = [TwoArmBandit(episode_length=10) for _ in range(3)]
+        history = agent.train_episodes_vectorized(envs, episodes=7, log_every=0)
+        assert len(history) == 7
+        assert all(stats.steps == 10 for stats in history)
+        assert sorted(stats.episode for stats in history) == list(range(7))
+
+    def test_more_envs_than_episodes(self):
+        agent = self._fresh_agent()
+        envs = [TwoArmBandit(episode_length=5) for _ in range(4)]
+        history = agent.train_episodes_vectorized(envs, episodes=2, log_every=0)
+        assert len(history) == 2
+
+    def test_vectorized_agent_learns_bandit(self):
+        agent = build_dqn_agent(
+            2,
+            1,
+            hidden_dims=(16,),
+            learning_rate=0.02,
+            config=tiny_config(),
+            exploration=ConstantSchedule(0.3),
+            seed=0,
+        )
+        envs = [TwoArmBandit(window=1, cells=2) for _ in range(4)]
+        agent.train_episodes_vectorized(envs, episodes=16, log_every=0)
+        q = agent.q_values(np.zeros((1, 2)))
+        assert q[1] > q[0]
+
+
 class TestWeights:
     def test_set_weights_syncs_online_and_target(self):
         agent_a = build_drqn_agent(3, 2, lstm_hidden=6, dense_hidden=(6,), seed=0)

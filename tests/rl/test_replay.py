@@ -5,7 +5,35 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.rl.environment import Transition
-from repro.rl.replay import ReplayBuffer
+from repro.rl.replay import ArrayReplayBuffer, ReplayBuffer
+from repro.utils.seeding import as_rng
+
+
+class _LegacyReplayBuffer:
+    """The original list-of-Transition implementation, kept as a test oracle."""
+
+    def __init__(self, capacity, *, seed=None):
+        self.capacity = capacity
+        self._storage = []
+        self._next_index = 0
+        self._rng = as_rng(seed)
+
+    def add(self, transition):
+        if len(self._storage) < self.capacity:
+            self._storage.append(transition)
+        else:
+            self._storage[self._next_index] = transition
+        self._next_index = (self._next_index + 1) % self.capacity
+
+    def sample_arrays(self, batch_size):
+        indices = self._rng.choice(len(self._storage), size=batch_size, replace=False)
+        batch = [self._storage[int(i)] for i in indices]
+        states = np.stack([t.state for t in batch])
+        actions = np.asarray([t.action for t in batch], dtype=int)
+        rewards = np.asarray([t.reward for t in batch], dtype=float)
+        next_states = np.stack([t.next_state for t in batch])
+        dones = np.asarray([t.done for t in batch], dtype=bool)
+        return states, actions, rewards, next_states, dones
 
 
 def make_transition(index, done=False):
@@ -99,6 +127,99 @@ class TestTransition:
     def test_states_coerced_to_float(self):
         t = Transition(np.zeros((2, 2), dtype=int), 0, 0.0, np.ones((2, 2), dtype=int), False)
         assert t.state.dtype == float and t.next_state.dtype == float
+
+
+class TestRingEviction:
+    def test_wraparound_overwrites_in_ring_order(self):
+        buffer = ArrayReplayBuffer(4, seed=0)
+        for i in range(11):  # wraps the ring twice, ends mid-ring
+            buffer.add(make_transition(i))
+        kept = sorted(t.info["i"] for t in buffer)
+        assert kept == [7, 8, 9, 10]
+        # The slot contents follow ring order: index 11 lands in slot 3 next.
+        buffer.add(make_transition(11))
+        assert sorted(t.info["i"] for t in buffer) == [8, 9, 10, 11]
+
+    def test_states_survive_wraparound_intact(self):
+        buffer = ArrayReplayBuffer(3, seed=0)
+        for i in range(7):
+            buffer.add(make_transition(i))
+        for transition in buffer:
+            assert np.all(transition.state == float(transition.info["i"]))
+            assert np.all(transition.next_state == float(transition.info["i"]) + 1)
+
+
+class TestSampleDeterminism:
+    def test_sample_arrays_is_seed_deterministic(self):
+        def collect(seed):
+            buffer = ArrayReplayBuffer(20, seed=seed)
+            buffer.extend([make_transition(i) for i in range(20)])
+            return buffer.sample_arrays(6)
+
+        first = collect(7)
+        second = collect(7)
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        def actions(seed):
+            buffer = ArrayReplayBuffer(50, seed=seed)
+            buffer.extend([make_transition(i) for i in range(50)])
+            return buffer.sample_arrays(10)[1].tolist()
+
+        assert actions(1) != actions(2)
+
+
+class TestLegacyParity:
+    """The array-backed buffer must reproduce the original list-backed buffer."""
+
+    def test_sample_arrays_identical_to_legacy(self):
+        transitions = [make_transition(i, done=(i % 3 == 0)) for i in range(25)]
+        new = ArrayReplayBuffer(16, seed=123)
+        old = _LegacyReplayBuffer(16, seed=123)
+        for t in transitions:  # both wrap: 25 inserts into capacity 16
+            new.add(t)
+            old.add(t)
+        for _ in range(5):  # consume several draws from both streams
+            got = new.sample_arrays(8)
+            expected = old.sample_arrays(8)
+            for a, b in zip(got, expected):
+                assert a.dtype == b.dtype
+                assert np.array_equal(a, b)
+
+    def test_sample_transitions_identical_to_legacy(self):
+        new = ArrayReplayBuffer(10, seed=9)
+        old = _LegacyReplayBuffer(10, seed=9)
+        for i in range(10):
+            new.add(make_transition(i))
+            old.add(make_transition(i))
+        sampled = new.sample(10)
+        indices = [t.info["i"] for t in sampled]
+        legacy_indices = [t.info["i"] for t in [old._storage[int(j)] for j in old._rng.choice(10, size=10, replace=False)]]
+        assert indices == legacy_indices
+
+
+class TestAddStep:
+    def test_add_step_equivalent_to_add(self):
+        via_add = ArrayReplayBuffer(8, seed=0)
+        via_step = ArrayReplayBuffer(8, seed=0)
+        for i in range(8):
+            t = make_transition(i, done=(i == 7))
+            via_add.add(t)
+            via_step.add_step(t.state, t.action, t.reward, t.next_state, t.done, info=t.info)
+        for a, b in zip(via_add.sample_arrays(8), via_step.sample_arrays(8)):
+            assert np.array_equal(a, b)
+
+    def test_state_shape_mismatch_raises(self):
+        buffer = ArrayReplayBuffer(4, state_shape=(2, 3), seed=0)
+        with pytest.raises(ValueError):
+            buffer.add_step(np.zeros((3, 3)), 0, 0.0, np.zeros((3, 3)), False)
+
+    def test_preallocated_state_shape(self):
+        buffer = ArrayReplayBuffer(4, state_shape=(2, 3), seed=0)
+        assert buffer.state_shape == (2, 3)
+        buffer.add(make_transition(0))
+        assert len(buffer) == 1
 
 
 class TestProperty:
