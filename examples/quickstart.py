@@ -75,7 +75,11 @@ def main() -> None:
         inference=inference,
         assessor=LeaveOneOutBayesianAssessor(min_observations=3, max_loo_cells=6, history_window=8),
     )
-    runner = CampaignRunner(task, CampaignConfig(min_cells_per_cycle=3, assess_every=2))
+    # history_window matches the assessor's so the assessed error and the
+    # recorded true error are computed over the same history.
+    runner = CampaignRunner(
+        task, CampaignConfig(min_cells_per_cycle=3, assess_every=2, history_window=8)
+    )
 
     for policy in (DRCellPolicy(agent), RandomSelectionPolicy(seed=1)):
         result = runner.run(policy, n_cycles=test_set.n_cycles)

@@ -11,9 +11,13 @@ from typing import Sequence, Union
 
 import numpy as np
 
+from repro.inference.metrics import DEFAULT_CLASSIFICATION_BREAKPOINTS
+
 #: Upper bounds of the first five AQI categories (µg/m³); readings above the
-#: last bound fall into the sixth ("Hazardous") category.
-AQI_BREAKPOINTS: tuple[float, ...] = (50.0, 100.0, 150.0, 200.0, 300.0)
+#: last bound fall into the sixth ("Hazardous") category.  Aliases the
+#: metric-layer constant so the categoriser and the classification-error
+#: metric can never drift apart.
+AQI_BREAKPOINTS: tuple[float, ...] = DEFAULT_CLASSIFICATION_BREAKPOINTS
 
 #: Human-readable category names, index-aligned with the digitised categories.
 AQI_CATEGORY_NAMES: tuple[str, ...] = (

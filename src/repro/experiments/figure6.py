@@ -20,7 +20,7 @@ from repro.core.drcell import DRCellPolicy
 from repro.core.trainer import DRCellTrainer
 from repro.experiments.config import ExperimentScale, SMALL_SCALE
 from repro.experiments.reporting import relative_reduction
-from repro.mcs.campaign import CampaignRunner
+from repro.mcs.campaign import BatchedCampaignRunner
 from repro.mcs.policies import CellSelectionPolicy
 from repro.mcs.qbc import QBCSelectionPolicy
 from repro.mcs.random_policy import RandomSelectionPolicy
@@ -133,12 +133,15 @@ def run_figure6(
         for p in p_values:
             requirement = QualityRequirement(epsilon=epsilons[task_name], p=p, metric=metric)
             test_task = scale.task(test_set, requirement, seed=seed)
-            campaign = CampaignRunner(test_task, scale.campaign_config())
-            for policy_name in policies:
-                policy = _build_policy(
-                    policy_name, scale, train_set, test_task, requirement, seed
-                )
-                outcome = campaign.run(policy, n_cycles=scale.max_test_cycles)
+            # All policies share the task, so the lockstep runner pools their
+            # per-submission assessments into one batched ALS solve each.
+            campaign = BatchedCampaignRunner(test_task, scale.campaign_config())
+            policy_objects = [
+                _build_policy(policy_name, scale, train_set, test_task, requirement, seed)
+                for policy_name in policies
+            ]
+            outcomes = campaign.run(policy_objects, n_cycles=scale.max_test_cycles)
+            for policy_name, outcome in zip(policies, outcomes):
                 result.rows.append(_to_row(task_name, p, policy_name, outcome))
                 logger.info(
                     "figure6 %s p=%.2f %s: %.2f cells/cycle",

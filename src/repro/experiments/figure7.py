@@ -25,7 +25,7 @@ from repro.core.trainer import DRCellTrainer
 from repro.core.transfer import transfer_train
 from repro.experiments.config import ExperimentScale, SMALL_SCALE
 from repro.experiments.reporting import relative_reduction
-from repro.mcs.campaign import CampaignRunner
+from repro.mcs.campaign import BatchedCampaignRunner
 from repro.mcs.random_policy import RandomSelectionPolicy
 from repro.mcs.results import CampaignResult
 from repro.quality.epsilon_p import QualityRequirement
@@ -170,11 +170,12 @@ def _run_direction(
     source_agent, _ = trainer.train(source_train, source_requirement)
 
     test_task = scale.task(target_test, target_requirement, seed=seed)
-    campaign = CampaignRunner(test_task, scale.campaign_config())
+    # The strategies share the target task; run them in lockstep so their
+    # per-submission assessments batch into shared completions.
+    campaign = BatchedCampaignRunner(test_task, scale.campaign_config())
 
-    rows: List[Figure7Row] = []
-    for strategy in strategies:
-        policy = _strategy_policy(
+    policies = [
+        _strategy_policy(
             strategy,
             source_agent,
             target_train_small,
@@ -183,7 +184,12 @@ def _run_direction(
             fine_tune_episodes,
             seed,
         )
-        outcome = campaign.run(policy, n_cycles=scale.max_test_cycles)
+        for strategy in strategies
+    ]
+    outcomes = campaign.run(policies, n_cycles=scale.max_test_cycles)
+
+    rows: List[Figure7Row] = []
+    for strategy, outcome in zip(strategies, outcomes):
         rows.append(
             Figure7Row(
                 target_task=target_name,

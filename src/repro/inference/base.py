@@ -9,7 +9,7 @@ entries are preserved exactly (Sparse MCS never overwrites sensed data).
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -52,6 +52,30 @@ class InferenceAlgorithm(abc.ABC):
             fallback = float(np.nanmean(matrix))
             completed = np.where(np.isnan(completed), fallback, completed)
         return completed
+
+    @property
+    def supports_batch_completion(self) -> bool:
+        """True when :meth:`complete_batch` is a real vectorized implementation.
+
+        The base class provides a sequential ``complete_batch`` so every
+        algorithm can be called through the batched interface; callers that
+        want to know whether batching actually pays off (e.g. to group many
+        independent completions into one call) probe this instead of
+        ``hasattr``.
+        """
+        return type(self).complete_batch is not InferenceAlgorithm.complete_batch
+
+    def complete_batch(self, matrices: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Complete several partially observed matrices.
+
+        The default implementation simply calls :meth:`complete` on each
+        matrix in turn, so it is bit-exact with the sequential path.
+        Algorithms with a vectorized solver (e.g.
+        :class:`~repro.inference.compressive.CompressiveSensingInference`)
+        override this with a genuinely batched implementation and advertise
+        it via :attr:`supports_batch_completion`.
+        """
+        return [self.complete(matrix) for matrix in matrices]
 
     def infer_cycle(self, matrix: np.ndarray, cycle: int) -> np.ndarray:
         """Convenience: complete the matrix and return column ``cycle``."""

@@ -12,6 +12,17 @@ from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 
+#: Upper bounds of the first five AQI PM2.5 categories (µg/m³); readings
+#: above the last bound fall into the sixth ("Hazardous") category.  This is
+#: the single source of truth for the default category edges: the
+#: classification metric, the AQI helpers and the quality assessors all
+#: derive their breakpoints from here (or from an explicit
+#: ``QualityRequirement.breakpoints`` override).
+DEFAULT_CLASSIFICATION_BREAKPOINTS: tuple = (50.0, 100.0, 150.0, 200.0, 300.0)
+
+#: Metric names that categorise values instead of measuring a distance.
+CLASSIFICATION_METRICS = frozenset({"classification", "classification_error"})
+
 
 def _prepare(truth: np.ndarray, estimate: np.ndarray, mask: Optional[np.ndarray]):
     truth = np.asarray(truth, dtype=float)
@@ -61,8 +72,7 @@ def classification_error(
     """
     truth, estimate, mask = _prepare(truth, estimate, mask)
     if breakpoints is None:
-        # Category upper bounds; > last bound falls into the final category.
-        breakpoints = (50.0, 100.0, 150.0, 200.0, 300.0)
+        breakpoints = DEFAULT_CLASSIFICATION_BREAKPOINTS
     edges = np.asarray(breakpoints, dtype=float)
     if edges.ndim != 1 or edges.size == 0 or np.any(np.diff(edges) <= 0):
         raise ValueError("breakpoints must be a strictly increasing 1-D sequence")
@@ -94,6 +104,7 @@ def cycle_error(
     metric: str = "mae",
     *,
     exclude: Optional[np.ndarray] = None,
+    breakpoints: Optional[Sequence[float]] = None,
 ) -> float:
     """Error of one cycle's inferred column against the ground truth column.
 
@@ -108,11 +119,21 @@ def cycle_error(
         whose values are exact by construction).  When excluding everything
         the error is defined as 0 — a fully sensed cycle has no inference
         error.
+    breakpoints:
+        Optional category edges for the classification metrics (``None``
+        keeps :data:`DEFAULT_CLASSIFICATION_BREAKPOINTS`).  Passing
+        breakpoints with a non-classification metric is an error — it would
+        be silently ignored otherwise, which is exactly the kind of
+        requirement/metric mismatch this parameter exists to prevent.
     """
     truth_column = np.asarray(truth_column, dtype=float)
     estimate_column = np.asarray(estimate_column, dtype=float)
     if truth_column.ndim != 1 or truth_column.shape != estimate_column.shape:
         raise ValueError("cycle_error expects two equal-length 1-D vectors")
+    if breakpoints is not None and metric.lower() not in CLASSIFICATION_METRICS:
+        raise ValueError(
+            f"breakpoints are only meaningful for classification metrics, not {metric!r}"
+        )
     if exclude is not None:
         exclude = np.asarray(exclude, dtype=bool)
         if exclude.shape != truth_column.shape:
@@ -122,4 +143,6 @@ def cycle_error(
             return 0.0
     else:
         keep = np.ones(truth_column.shape, dtype=bool)
+    if breakpoints is not None:
+        return get_metric(metric)(truth_column, estimate_column, keep, breakpoints=breakpoints)
     return get_metric(metric)(truth_column, estimate_column, keep)

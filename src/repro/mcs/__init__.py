@@ -10,6 +10,9 @@ evaluates DR-Cell inside:
   :class:`~repro.mcs.qbc.QBCSelectionPolicy` are the paper's baselines.
 * :class:`~repro.mcs.campaign.CampaignRunner` — the cycle loop: select cells
   one by one until the quality assessor is satisfied, then infer the rest.
+* :class:`~repro.mcs.campaign.BatchedCampaignRunner` — the same loop for P
+  policies / requirement settings in lockstep, with the per-submission
+  assessments and end-of-cycle completions batched.
 * :class:`~repro.mcs.environment.SparseMCSEnvironment` — the reinforcement-
   learning view of the same loop, used to train DR-Cell.
 * :class:`~repro.mcs.results.CampaignResult` — per-cycle records and
@@ -20,7 +23,7 @@ from repro.mcs.task import SensingTask
 from repro.mcs.policies import CellSelectionPolicy
 from repro.mcs.random_policy import RandomSelectionPolicy
 from repro.mcs.qbc import QBCSelectionPolicy
-from repro.mcs.campaign import CampaignConfig, CampaignRunner
+from repro.mcs.campaign import BatchedCampaignRunner, CampaignConfig, CampaignRunner
 from repro.mcs.environment import SparseMCSEnvironment, StateEncoder
 from repro.mcs.results import CampaignResult, CycleRecord
 
@@ -29,6 +32,7 @@ __all__ = [
     "CellSelectionPolicy",
     "RandomSelectionPolicy",
     "QBCSelectionPolicy",
+    "BatchedCampaignRunner",
     "CampaignConfig",
     "CampaignRunner",
     "SparseMCSEnvironment",

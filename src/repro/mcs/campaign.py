@@ -12,12 +12,11 @@ met.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.inference.metrics import cycle_error
 from repro.mcs.policies import CellSelectionPolicy
 from repro.mcs.results import CampaignResult, CycleRecord
 from repro.mcs.task import SensingTask
@@ -25,6 +24,27 @@ from repro.utils.logging import get_logger
 from repro.utils.validation import check_positive_int
 
 logger = get_logger(__name__)
+
+
+def _warn_on_window_mismatch(task: SensingTask, config: "CampaignConfig") -> None:
+    """Warn when the campaign and the assessor window history differently.
+
+    The campaign hands the assessor the full ``observed[:, :cycle+1]`` matrix
+    and each side then windows it independently: the assessor with its own
+    ``history_window``, the campaign's final-error computation with
+    ``config.history_window``.  When the two disagree, the assessed error and
+    the recorded true error are computed over different histories, which can
+    silently bias the (ε, p) evaluation — surface it loudly.
+    """
+    assessor_window = getattr(task.assessor, "history_window", None)
+    if assessor_window is not None and int(assessor_window) != config.history_window:
+        logger.warning(
+            "campaign history_window (%d) differs from the assessor's history_window "
+            "(%d); the assessed error and the recorded true error will be computed "
+            "over different histories",
+            config.history_window,
+            int(assessor_window),
+        )
 
 
 @dataclass
@@ -72,6 +92,7 @@ class CampaignRunner:
     def __init__(self, task: SensingTask, config: Optional[CampaignConfig] = None) -> None:
         self.task = task
         self.config = config or CampaignConfig()
+        _warn_on_window_mismatch(task, self.config)
 
     def run(self, policy: CellSelectionPolicy, *, n_cycles: Optional[int] = None) -> CampaignResult:
         """Execute the campaign and return its :class:`CampaignResult`.
@@ -169,10 +190,227 @@ class CampaignRunner:
         else:
             completed = self.task.inference.complete(window)
             estimate = completed[:, current]
-        error = cycle_error(
-            ground_truth[:, cycle],
-            estimate,
-            metric=self.task.requirement.metric,
-            exclude=sensed_mask,
+        error = self.task.requirement.column_error(
+            ground_truth[:, cycle], estimate, exclude=sensed_mask
         )
         return float(error), estimate
+
+
+@dataclass
+class _CampaignSlot:
+    """Mutable per-(task, policy) state of one lockstep campaign slot."""
+
+    task: SensingTask
+    policy: CellSelectionPolicy
+    observed: np.ndarray
+    inferred: np.ndarray
+    result: CampaignResult
+    sensed_mask: np.ndarray
+    selected_order: List[int] = field(default_factory=list)
+    assessed_satisfied: bool = False
+    active: bool = False
+
+    @property
+    def n_selected(self) -> int:
+        return len(self.selected_order)
+
+
+class BatchedCampaignRunner:
+    """Runs P campaigns over one shared dataset in lockstep, batching inference.
+
+    The testing-stage evaluation (Figure 6 / Figure 7) compares several
+    policies — and often several requirement settings — over the *same*
+    dataset.  Running them one :class:`CampaignRunner` at a time repeats the
+    dominant cost, the per-submission quality assessment, P times over.  This
+    runner instead steps every campaign slot through the cycle loop together:
+
+    * after each lockstep submission round, all due slots are assessed in one
+      :meth:`~repro.quality.loo_bayesian.QualityAssessor.assess_many` call,
+      which pools every slot's LOO completions into a single
+      ``complete_batch`` solve;
+    * at the end of each cycle, the not-fully-sensed slots' final inference
+      windows are completed in one batched call as well.
+
+    Each slot's campaign semantics are unchanged — a slot stops sensing as
+    soon as *its* assessor is satisfied, and records the same per-cycle
+    statistics as :class:`CampaignRunner`.  With an inference algorithm that
+    has no vectorized solver the batched calls degrade to the sequential
+    loop, making the results bit-exact with P separate runners; with a
+    vectorized solver (batched ALS) they agree within the solver's
+    documented tolerance.
+
+    Parameters
+    ----------
+    tasks:
+        One :class:`SensingTask` (shared by every policy) or one task per
+        policy.  All tasks must be bound to the same dataset object —
+        lockstep over different ground truths is a logic error.
+    config:
+        Shared campaign configuration.
+    """
+
+    def __init__(
+        self,
+        tasks: Union[SensingTask, Sequence[SensingTask]],
+        config: Optional[CampaignConfig] = None,
+    ) -> None:
+        if isinstance(tasks, SensingTask):
+            tasks = [tasks]
+        if not tasks:
+            raise ValueError("at least one task is required")
+        self.tasks = list(tasks)
+        self.config = config or CampaignConfig()
+        dataset = self.tasks[0].dataset
+        for index, task in enumerate(self.tasks):
+            if task.dataset is not dataset:
+                raise ValueError(
+                    f"task {index} is bound to a different dataset; lockstep slots "
+                    "must share one dataset"
+                )
+        for task in {id(task): task for task in self.tasks}.values():
+            _warn_on_window_mismatch(task, self.config)
+
+    def run(
+        self,
+        policies: Sequence[CellSelectionPolicy],
+        *,
+        n_cycles: Optional[int] = None,
+    ) -> List[CampaignResult]:
+        """Run every (task, policy) slot to completion; results are policy-aligned.
+
+        With one task and P policies, every policy runs against that task;
+        otherwise ``policies[i]`` runs against ``tasks[i]``.
+        """
+        if not policies:
+            raise ValueError("at least one policy is required")
+        tasks = self.tasks
+        if len(tasks) == 1 and len(policies) > 1:
+            tasks = tasks * len(policies)
+        if len(tasks) != len(policies):
+            raise ValueError(
+                f"{len(policies)} policies for {len(tasks)} tasks; provide one task "
+                "(shared) or exactly one task per policy"
+            )
+
+        dataset = tasks[0].dataset
+        total_cycles = dataset.n_cycles if n_cycles is None else min(
+            check_positive_int(n_cycles, "n_cycles"), dataset.n_cycles
+        )
+        n_cells = dataset.n_cells
+        max_cells = self.config.max_cells_per_cycle or n_cells
+        max_cells = min(max_cells, n_cells)
+        min_cells = min(self.config.min_cells_per_cycle, max_cells)
+        ground_truth = dataset.data
+
+        slots = [
+            _CampaignSlot(
+                task=task,
+                policy=policy,
+                observed=np.full((n_cells, total_cycles), np.nan),
+                inferred=np.full((n_cells, total_cycles), np.nan),
+                result=CampaignResult(
+                    policy_name=policy.name,
+                    requirement=task.requirement,
+                    n_cells=n_cells,
+                    metadata={"dataset": dataset.name, "n_cycles": total_cycles},
+                ),
+                sensed_mask=np.zeros(n_cells, dtype=bool),
+            )
+            for task, policy in zip(tasks, policies)
+        ]
+
+        for cycle in range(total_cycles):
+            for slot in slots:
+                slot.policy.begin_cycle(cycle, slot.observed)
+                slot.sensed_mask = np.zeros(n_cells, dtype=bool)
+                slot.selected_order = []
+                slot.assessed_satisfied = False
+                slot.active = True
+
+            while True:
+                active = [slot for slot in slots if slot.active]
+                if not active:
+                    break
+                for slot in active:
+                    cell = slot.policy.select_cell(slot.observed, cycle, slot.sensed_mask)
+                    cell = CellSelectionPolicy._validate_selection(cell, slot.sensed_mask)
+                    slot.sensed_mask[cell] = True
+                    slot.selected_order.append(cell)
+                    slot.observed[cell, cycle] = ground_truth[cell, cycle]
+                self._assess_due_slots(active, cycle, min_cells)
+                for slot in active:
+                    if slot.active and slot.n_selected >= max_cells:
+                        slot.active = False
+
+            self._finalize_cycle(slots, ground_truth, cycle)
+            for slot in slots:
+                slot.policy.end_cycle(cycle, slot.observed)
+                slot.result.add_record(
+                    CycleRecord(
+                        cycle=cycle,
+                        selected_cells=tuple(slot.selected_order),
+                        true_error=float(
+                            slot.task.requirement.column_error(
+                                ground_truth[:, cycle],
+                                slot.inferred[:, cycle],
+                                exclude=slot.sensed_mask,
+                            )
+                        ),
+                        assessed_satisfied=slot.assessed_satisfied,
+                    )
+                )
+
+        for slot in slots:
+            slot.result.inferred_matrix = slot.inferred
+        return [slot.result for slot in slots]
+
+    # -- internals -------------------------------------------------------------
+
+    def _assess_due_slots(
+        self, active: List[_CampaignSlot], cycle: int, min_cells: int
+    ) -> None:
+        """Batch-assess every active slot that is due after this submission round."""
+        due = [
+            slot
+            for slot in active
+            if slot.n_selected >= min_cells
+            and (slot.n_selected - min_cells) % self.config.assess_every == 0
+        ]
+        # Group by (assessor, inference) identity: slots sharing a task (the
+        # common multi-policy case) are pooled into one assess_many call.
+        groups: dict = {}
+        for slot in due:
+            key = (id(slot.task.assessor), id(slot.task.inference))
+            groups.setdefault(key, []).append(slot)
+        for group in groups.values():
+            verdicts = group[0].task.assessor.assess_many(
+                [slot.observed[:, : cycle + 1] for slot in group],
+                [cycle] * len(group),
+                [slot.task.requirement for slot in group],
+                group[0].task.inference,
+            )
+            for slot, verdict in zip(group, verdicts):
+                if verdict:
+                    slot.assessed_satisfied = True
+                    slot.active = False
+
+    def _finalize_cycle(
+        self, slots: List[_CampaignSlot], ground_truth: np.ndarray, cycle: int
+    ) -> None:
+        """Infer every slot's unsensed cells for ``cycle``, batched per algorithm."""
+        start = max(0, cycle + 1 - self.config.history_window)
+        needs_completion: List[_CampaignSlot] = []
+        for slot in slots:
+            if slot.sensed_mask.all():
+                slot.inferred[:, cycle] = ground_truth[:, cycle]
+            else:
+                needs_completion.append(slot)
+        groups: dict = {}
+        for slot in needs_completion:
+            groups.setdefault(id(slot.task.inference), []).append(slot)
+        for group in groups.values():
+            inference = group[0].task.inference
+            windows = [slot.observed[:, start : cycle + 1] for slot in group]
+            completed_windows = inference.complete_batch(windows)
+            for slot, completed in zip(group, completed_windows):
+                slot.inferred[:, cycle] = completed[:, completed.shape[1] - 1]

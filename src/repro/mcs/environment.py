@@ -28,7 +28,6 @@ import numpy as np
 from repro.datasets.base import SensingDataset
 from repro.inference.base import InferenceAlgorithm
 from repro.inference.compressive import CompressiveSensingInference
-from repro.inference.metrics import cycle_error
 from repro.quality.epsilon_p import QualityRequirement
 from repro.rl.environment import Environment
 from repro.utils.seeding import RngLike, derive_rng
@@ -314,10 +313,9 @@ class SparseMCSEnvironment(Environment):
                 raise ValueError("a completed window is required to finish this step")
             current = completed_window.shape[1] - 1
             sensed = self._current >= 1.0
-            error = cycle_error(
+            error = self.requirement.column_error(
                 self.dataset.data[:, cycle],
                 completed_window[:, current],
-                metric=self.requirement.metric,
                 exclude=sensed,
             )
             satisfied, error = bool(error <= self.requirement.epsilon), float(error)

@@ -38,9 +38,11 @@ class BatchedSparseMCSVectorEnv(VectorEnv):
         quality requirements as long as they share the cell count.
     inference:
         Inference algorithm used for the *batched* quality checks; defaults
-        to the first environment's algorithm.  Must expose
-        ``complete_batch`` — otherwise stepping falls back to the generic
-        per-environment loop.  When no explicit algorithm is given, batching
+        to the first environment's algorithm.  Must advertise a vectorized
+        solver via ``supports_batch_completion`` — otherwise stepping falls
+        back to the generic per-environment loop (the base class's
+        ``complete_batch`` is a sequential loop, so routing through it would
+        batch nothing).  When no explicit algorithm is given, batching
         also requires every environment's algorithm to be equivalently
         configured (same type and solver hyper-parameters); mixing different
         algorithms silently changes rewards, so heterogeneous environments
@@ -61,7 +63,7 @@ class BatchedSparseMCSVectorEnv(VectorEnv):
                 )
         super().__init__(envs)
         self.inference = inference if inference is not None else envs[0].inference
-        self._batched = hasattr(self.inference, "complete_batch")
+        self._batched = getattr(self.inference, "supports_batch_completion", False)
         if self._batched and inference is None:
             self._batched = all(
                 self._equivalent_inference(env.inference, self.inference)

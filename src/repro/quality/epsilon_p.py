@@ -10,11 +10,16 @@ error for PM2.5).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.inference.metrics import get_metric
+from repro.inference.metrics import (
+    CLASSIFICATION_METRICS,
+    DEFAULT_CLASSIFICATION_BREAKPOINTS,
+    cycle_error,
+    get_metric,
+)
 from repro.utils.validation import check_non_negative, check_probability
 
 
@@ -30,16 +35,64 @@ class QualityRequirement:
         The required fraction of cycles whose error must be ≤ ε.
     metric:
         Error-metric name understood by :func:`repro.inference.metrics.get_metric`.
+    breakpoints:
+        Optional category edges for classification metrics.  ``None`` keeps
+        the standard AQI edges.  The requirement is the single source of the
+        edges: the error metric and the quality assessors both read them from
+        here, so an assessor can never judge quality against different
+        category boundaries than the metric it estimates.
     """
 
     epsilon: float
     p: float = 0.9
     metric: str = "mae"
+    breakpoints: Optional[Tuple[float, ...]] = None
 
     def __post_init__(self) -> None:
         check_non_negative(self.epsilon, "epsilon")
         check_probability(self.p, "p")
         get_metric(self.metric)  # validate the metric name eagerly
+        if self.breakpoints is not None:
+            if not self.is_classification:
+                raise ValueError(
+                    "breakpoints are only meaningful for classification metrics, "
+                    f"not {self.metric!r}"
+                )
+            edges = tuple(float(edge) for edge in self.breakpoints)
+            if len(edges) == 0 or np.any(np.diff(edges) <= 0):
+                raise ValueError("breakpoints must be a strictly increasing, non-empty sequence")
+            object.__setattr__(self, "breakpoints", edges)
+
+    @property
+    def is_classification(self) -> bool:
+        """Whether the metric categorises values instead of measuring a distance."""
+        return self.metric.lower() in CLASSIFICATION_METRICS
+
+    def category_edges(self) -> Tuple[float, ...]:
+        """The category edges classification metrics and assessors must share."""
+        return self.breakpoints if self.breakpoints is not None else DEFAULT_CLASSIFICATION_BREAKPOINTS
+
+    def column_error(
+        self,
+        truth_column: np.ndarray,
+        estimate_column: np.ndarray,
+        *,
+        exclude: Optional[np.ndarray] = None,
+    ) -> float:
+        """One cycle's inference error under this requirement's metric settings.
+
+        This is the canonical way to measure a cycle against a requirement:
+        it forwards the metric *and* its breakpoints, so every consumer
+        (campaign runner, training environment, oracle assessor) judges
+        errors over identical category edges.
+        """
+        return cycle_error(
+            truth_column,
+            estimate_column,
+            metric=self.metric,
+            exclude=exclude,
+            breakpoints=self.breakpoints,
+        )
 
     def cycle_satisfied(self, error: float) -> bool:
         """True when one cycle's error meets the bound ε."""

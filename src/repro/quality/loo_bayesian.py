@@ -20,18 +20,27 @@ Two assessors are provided:
   truth column, used for reward computation during Q-function training
   (the paper's footnote 2: during training the organiser is assumed to have
   collected the data of all the cells for a preliminary period).
+
+Assessment is the hot path of every campaign: the assessor is consulted
+after each submission, and each consultation runs up to ``max_loo_cells``
+full matrix completions.  Both assessors therefore route their completions
+through :meth:`InferenceAlgorithm.complete_batch` — the K held-out LOO
+windows of one consultation (and, via :meth:`QualityAssessor.assess_many`,
+the windows of many lockstep campaign slots) are solved in a single batched
+call.  Algorithms without a vectorized solver fall back to the base class's
+sequential ``complete_batch``, which is bit-exact with the old one-at-a-time
+loop.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import stats
 
 from repro.inference.base import InferenceAlgorithm
-from repro.inference.metrics import cycle_error
 from repro.quality.epsilon_p import QualityRequirement
 from repro.utils.validation import check_positive_int
 
@@ -64,6 +73,25 @@ class QualityAssessor(abc.ABC):
             re-inference).
         """
 
+    def assess_many(
+        self,
+        observed_matrices: Sequence[np.ndarray],
+        cycles: Sequence[int],
+        requirements: Sequence[QualityRequirement],
+        inference: InferenceAlgorithm,
+    ) -> List[bool]:
+        """Assess several campaign slots in one call.
+
+        The base implementation loops over :meth:`assess`; the built-in
+        assessors override it to pool every slot's matrix completions into a
+        single :meth:`InferenceAlgorithm.complete_batch` call, which is what
+        makes lockstep multi-policy campaigns cheap.
+        """
+        return [
+            self.assess(observed, cycle, requirement, inference)
+            for observed, cycle, requirement in zip(observed_matrices, cycles, requirements)
+        ]
+
 
 class LeaveOneOutBayesianAssessor(QualityAssessor):
     """Leave-one-out Bayesian estimate of P(cycle error ≤ ε).
@@ -82,6 +110,12 @@ class LeaveOneOutBayesianAssessor(QualityAssessor):
         Number of past cycles included in the matrix handed to the inference
         algorithm.  Bounding the history keeps each assessment's cost flat
         over the campaign.
+    batched:
+        Solve the held-out LOO windows with one
+        :meth:`InferenceAlgorithm.complete_batch` call (the default).  For
+        algorithms with a vectorized solver the batched completions can
+        differ from the sequential ones by the solver's documented tolerance;
+        set ``batched=False`` to force the one-completion-at-a-time protocol.
     """
 
     def __init__(
@@ -90,11 +124,13 @@ class LeaveOneOutBayesianAssessor(QualityAssessor):
         max_loo_cells: int = 12,
         history_window: int = 24,
         *,
+        batched: bool = True,
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         self.min_observations = check_positive_int(min_observations, "min_observations")
         self.max_loo_cells = check_positive_int(max_loo_cells, "max_loo_cells")
         self.history_window = check_positive_int(history_window, "history_window")
+        self.batched = bool(batched)
         self._rng = rng or np.random.default_rng(0)
 
     def assess(
@@ -109,6 +145,21 @@ class LeaveOneOutBayesianAssessor(QualityAssessor):
         )
         return bool(probability >= requirement.p)
 
+    def assess_many(
+        self,
+        observed_matrices: Sequence[np.ndarray],
+        cycles: Sequence[int],
+        requirements: Sequence[QualityRequirement],
+        inference: InferenceAlgorithm,
+    ) -> List[bool]:
+        probabilities = self.probabilities_error_below(
+            observed_matrices, cycles, requirements, inference
+        )
+        return [
+            bool(probability >= requirement.p)
+            for probability, requirement in zip(probabilities, requirements)
+        ]
+
     def probability_error_below(
         self,
         observed_matrix: np.ndarray,
@@ -117,33 +168,98 @@ class LeaveOneOutBayesianAssessor(QualityAssessor):
         inference: InferenceAlgorithm,
     ) -> float:
         """Posterior probability that the current cycle's error is ≤ ε."""
-        observed_matrix = np.asarray(observed_matrix, dtype=float)
-        if not 0 <= cycle < observed_matrix.shape[1]:
-            raise IndexError(
-                f"cycle {cycle} out of range for {observed_matrix.shape[1]} cycles"
-            )
-        window = self._window(observed_matrix, cycle)
-        current = window.shape[1] - 1
-        sensed = np.flatnonzero(~np.isnan(window[:, current]))
-        n_cells = window.shape[0]
-        if sensed.size < self.min_observations:
-            return 0.0
-        if sensed.size == n_cells:
-            # Everything sensed: there is no inference error at all.
-            return 1.0
+        return self.probabilities_error_below(
+            [observed_matrix], [cycle], [requirement], inference
+        )[0]
 
-        true_values, predicted_values = self._leave_one_out_predictions(
-            window, current, sensed, inference
-        )
-        if true_values.size == 0:
-            return 0.0
-        n_unsensed = n_cells - sensed.size
-        if requirement.metric in ("classification", "classification_error"):
-            return self._classification_posterior(
-                true_values, predicted_values, requirement, n_unsensed
+    def probabilities_error_below(
+        self,
+        observed_matrices: Sequence[np.ndarray],
+        cycles: Sequence[int],
+        requirements: Sequence[QualityRequirement],
+        inference: InferenceAlgorithm,
+    ) -> List[float]:
+        """Posterior probabilities for several slots, with pooled completions.
+
+        All undecided slots' held-out LOO windows are collected first and
+        completed in one :meth:`InferenceAlgorithm.complete_batch` call, so P
+        lockstep campaign slots cost one batched solve instead of up to
+        ``P · max_loo_cells`` sequential ones.
+        """
+        n_slots = len(observed_matrices)
+        if not (len(cycles) == len(requirements) == n_slots):
+            raise ValueError("observed_matrices, cycles and requirements must be index-aligned")
+        probabilities: List[Optional[float]] = [None] * n_slots
+        plans: List[Tuple[int, np.ndarray, np.ndarray, int, int]] = []
+        held_out_pool: List[np.ndarray] = []
+
+        for slot, (observed, cycle) in enumerate(zip(observed_matrices, cycles)):
+            observed = np.asarray(observed, dtype=float)
+            if not 0 <= cycle < observed.shape[1]:
+                raise IndexError(
+                    f"cycle {cycle} out of range for {observed.shape[1]} cycles"
+                )
+            window = self._window(observed, cycle)
+            current = window.shape[1] - 1
+            sensed = np.flatnonzero(~np.isnan(window[:, current]))
+            n_cells = window.shape[0]
+            if sensed.size < self.min_observations:
+                probabilities[slot] = 0.0
+                continue
+            if sensed.size == n_cells:
+                # Everything sensed: there is no inference error at all.
+                probabilities[slot] = 1.0
+                continue
+            if sensed.size > self.max_loo_cells:
+                chosen = self._rng.choice(sensed, size=self.max_loo_cells, replace=False)
+            else:
+                chosen = sensed
+            cells, true_values = [], []
+            pool_start = len(held_out_pool)
+            for cell in chosen:
+                held_out = window.copy()
+                true_value = held_out[cell, current]
+                held_out[cell, current] = np.nan
+                if not (~np.isnan(held_out[:, current])).any():
+                    continue
+                held_out_pool.append(held_out)
+                cells.append(int(cell))
+                true_values.append(float(true_value))
+            plans.append(
+                (
+                    slot,
+                    np.asarray(cells, dtype=int),
+                    np.asarray(true_values, dtype=float),
+                    pool_start,
+                    n_cells - sensed.size,
+                )
             )
-        loo_errors = np.abs(predicted_values - true_values)
-        return self._continuous_posterior(loo_errors, requirement, n_unsensed)
+
+        completed_pool = self._complete_pool(held_out_pool, inference)
+
+        for slot, cells, true_values, pool_start, n_unsensed in plans:
+            if true_values.size == 0:
+                probabilities[slot] = 0.0
+                continue
+            current = held_out_pool[pool_start].shape[1] - 1
+            predicted_values = np.asarray(
+                [
+                    float(completed_pool[pool_start + k][cell, current])
+                    for k, cell in enumerate(cells)
+                ],
+                dtype=float,
+            )
+            requirement = requirements[slot]
+            if requirement.is_classification:
+                probabilities[slot] = self._classification_posterior(
+                    true_values, predicted_values, requirement, n_unsensed
+                )
+            else:
+                loo_errors = np.abs(predicted_values - true_values)
+                probabilities[slot] = self._continuous_posterior(
+                    loo_errors, requirement, n_unsensed
+                )
+        return probabilities  # type: ignore[return-value]
 
     # -- internals ---------------------------------------------------------
 
@@ -151,30 +267,20 @@ class LeaveOneOutBayesianAssessor(QualityAssessor):
         start = max(0, cycle + 1 - self.history_window)
         return observed_matrix[:, start : cycle + 1]
 
-    def _leave_one_out_predictions(
-        self,
-        window: np.ndarray,
-        current: int,
-        sensed: np.ndarray,
-        inference: InferenceAlgorithm,
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """LOO (true, re-inferred) value pairs for the sensed cells of the cycle."""
-        if sensed.size > self.max_loo_cells:
-            chosen = self._rng.choice(sensed, size=self.max_loo_cells, replace=False)
-        else:
-            chosen = sensed
-        true_values, predicted_values = [], []
-        for cell in chosen:
-            held_out = window.copy()
-            true_value = held_out[cell, current]
-            held_out[cell, current] = np.nan
-            remaining = ~np.isnan(held_out[:, current])
-            if not remaining.any():
-                continue
-            completed = inference.complete(held_out)
-            true_values.append(float(true_value))
-            predicted_values.append(float(completed[cell, current]))
-        return np.asarray(true_values, dtype=float), np.asarray(predicted_values, dtype=float)
+    def _complete_pool(
+        self, held_out_pool: List[np.ndarray], inference: InferenceAlgorithm
+    ) -> List[np.ndarray]:
+        """Complete every held-out LOO window, batched when the solver can.
+
+        ``complete_batch`` degrades to a bit-exact sequential loop for
+        algorithms without a vectorized solver; ``batched=False`` forces that
+        loop even for algorithms that have one.
+        """
+        if not held_out_pool:
+            return []
+        if self.batched:
+            return inference.complete_batch(held_out_pool)
+        return [inference.complete(held_out) for held_out in held_out_pool]
 
     @staticmethod
     def _continuous_posterior(
@@ -210,18 +316,22 @@ class LeaveOneOutBayesianAssessor(QualityAssessor):
         """Beta–Bernoulli posterior over the misclassification probability.
 
         Each LOO re-inference gives a Bernoulli outcome — does the
-        re-inferred value fall into a different AQI category than the true
+        re-inferred value fall into a different category than the true
         value?  With a Jeffreys Beta(1/2, 1/2) prior the posterior over the
         misclassification probability θ is Beta(1/2 + misses, 1/2 + hits).
         The cycle's classification error is the *mean* of ``n_unsensed``
         Bernoulli(θ) outcomes, so the probability that it is ≤ ε is the
         Beta-Binomial probability of at most ``⌊ε·n_unsensed⌋`` misses among
         the unsensed cells, with θ integrated out over its posterior.
-        """
-        from repro.datasets.aqi import aqi_category
 
-        true_category = aqi_category(np.clip(true_values, 0.0, None))
-        predicted_category = aqi_category(np.clip(predicted_values, 0.0, None))
+        The category edges come from the requirement, categorised exactly the
+        way :func:`repro.inference.metrics.classification_error` categorises
+        (``np.digitize`` with inclusive upper bounds) — the posterior must
+        estimate the same quantity the recorded metric measures.
+        """
+        edges = np.asarray(requirement.category_edges(), dtype=float)
+        true_category = np.digitize(true_values, edges, right=True)
+        predicted_category = np.digitize(predicted_values, edges, right=True)
         misses = int(np.count_nonzero(true_category != predicted_category))
         n = true_values.size
         alpha = 0.5 + misses
@@ -255,6 +365,19 @@ class OracleAssessor(QualityAssessor):
         error = self.cycle_error(observed_matrix, cycle, requirement, inference)
         return bool(error <= requirement.epsilon)
 
+    def assess_many(
+        self,
+        observed_matrices: Sequence[np.ndarray],
+        cycles: Sequence[int],
+        requirements: Sequence[QualityRequirement],
+        inference: InferenceAlgorithm,
+    ) -> List[bool]:
+        errors = self.cycle_errors(observed_matrices, cycles, requirements, inference)
+        return [
+            bool(error <= requirement.epsilon)
+            for error, requirement in zip(errors, requirements)
+        ]
+
     def cycle_error(
         self,
         observed_matrix: np.ndarray,
@@ -263,28 +386,56 @@ class OracleAssessor(QualityAssessor):
         inference: InferenceAlgorithm,
     ) -> float:
         """Exact inference error of the current cycle over its unsensed cells."""
-        observed_matrix = np.asarray(observed_matrix, dtype=float)
-        if observed_matrix.shape[0] != self.ground_truth.shape[0]:
-            raise ValueError("observed matrix and ground truth disagree on cell count")
-        if not 0 <= cycle < observed_matrix.shape[1]:
-            raise IndexError(
-                f"cycle {cycle} out of range for {observed_matrix.shape[1]} cycles"
-            )
-        start = max(0, cycle + 1 - self.history_window)
-        window = observed_matrix[:, start : cycle + 1]
-        current = window.shape[1] - 1
-        sensed = ~np.isnan(window[:, current])
-        if not np.isnan(window).any():
-            return 0.0
-        if not sensed.any():
-            # Nothing sensed yet: the error of inferring from nothing is
-            # effectively unbounded; report infinity so no requirement passes.
-            return float("inf")
-        completed = inference.complete(window)
-        truth_column = self.ground_truth[:, cycle]
-        return cycle_error(
-            truth_column,
-            completed[:, current],
-            metric=requirement.metric,
-            exclude=sensed,
-        )
+        return self.cycle_errors([observed_matrix], [cycle], [requirement], inference)[0]
+
+    def cycle_errors(
+        self,
+        observed_matrices: Sequence[np.ndarray],
+        cycles: Sequence[int],
+        requirements: Sequence[QualityRequirement],
+        inference: InferenceAlgorithm,
+    ) -> List[float]:
+        """Exact per-slot cycle errors, with the completions pooled into one batch."""
+        n_slots = len(observed_matrices)
+        if not (len(cycles) == len(requirements) == n_slots):
+            raise ValueError("observed_matrices, cycles and requirements must be index-aligned")
+        errors: List[Optional[float]] = [None] * n_slots
+        pending: List[Tuple[int, np.ndarray]] = []
+        windows: List[np.ndarray] = []
+
+        for slot, (observed, cycle) in enumerate(zip(observed_matrices, cycles)):
+            observed = np.asarray(observed, dtype=float)
+            if observed.shape[0] != self.ground_truth.shape[0]:
+                raise ValueError("observed matrix and ground truth disagree on cell count")
+            if not 0 <= cycle < observed.shape[1]:
+                raise IndexError(
+                    f"cycle {cycle} out of range for {observed.shape[1]} cycles"
+                )
+            start = max(0, cycle + 1 - self.history_window)
+            window = observed[:, start : cycle + 1]
+            current = window.shape[1] - 1
+            sensed = ~np.isnan(window[:, current])
+            if sensed.all():
+                # The *current column* is fully sensed, so there is nothing to
+                # infer and the error is exactly 0 — no completion needed even
+                # when earlier window columns still contain NaNs.
+                errors[slot] = 0.0
+                continue
+            if not sensed.any():
+                # Nothing sensed yet: the error of inferring from nothing is
+                # effectively unbounded; report infinity so no requirement passes.
+                errors[slot] = float("inf")
+                continue
+            pending.append((slot, sensed))
+            windows.append(window)
+
+        if windows:
+            completed_windows = inference.complete_batch(windows)
+            for (slot, sensed), completed in zip(pending, completed_windows):
+                current = completed.shape[1] - 1
+                errors[slot] = requirements[slot].column_error(
+                    self.ground_truth[:, cycles[slot]],
+                    completed[:, current],
+                    exclude=sensed,
+                )
+        return errors  # type: ignore[return-value]

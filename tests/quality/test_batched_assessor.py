@@ -1,0 +1,274 @@
+"""Tests for the batched quality-assessment path.
+
+Three contracts:
+
+* the batched LOO pass agrees with the sequential one — bit for bit when the
+  inference algorithm has no vectorized solver (the base-class
+  ``complete_batch`` fallback loops ``complete``), and within the documented
+  ``complete_batch`` tolerance for the batched ALS;
+* ``assess_many`` pools several campaign slots without changing any slot's
+  verdict;
+* the oracle assessor's early exits and breakpoint handling are correct.
+"""
+
+import numpy as np
+import pytest
+
+from repro.inference.compressive import CompressiveSensingInference
+from repro.inference.interpolation import SpatialMeanInference
+from repro.inference.metrics import DEFAULT_CLASSIFICATION_BREAKPOINTS
+from repro.quality.epsilon_p import QualityRequirement
+from repro.quality.loo_bayesian import LeaveOneOutBayesianAssessor, OracleAssessor
+
+#: Probabilities through the batched ALS differ from the sequential solver
+#: only via the Jacobi-vs-Gauss–Seidel cycle half-step; the posterior is a
+#: smooth function of the LOO errors, so the disagreement stays far below
+#: this tolerance in practice (observed ~1e-5 on SMALL-scale data).
+BATCHED_PROBABILITY_TOLERANCE = 0.02
+
+
+def smooth_matrix(n_cells=16, n_cycles=12, noise=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    base = np.linspace(0, 3, n_cells)[:, None] + np.sin(np.linspace(0, 5, n_cycles))[None, :]
+    return base + noise * rng.normal(size=(n_cells, n_cycles))
+
+
+def observe(matrix, cycle, sensed_cells):
+    observed = matrix.copy()
+    observed[:, cycle:] = np.nan
+    observed = observed[:, : cycle + 1]
+    observed[sensed_cells, cycle] = matrix[sensed_cells, cycle]
+    return observed
+
+
+class CountingInference(SpatialMeanInference):
+    """Spy wrapper that counts how many completions actually run."""
+
+    def __init__(self):
+        super().__init__()
+        self.complete_calls = 0
+
+    def _complete(self, matrix, mask):
+        self.complete_calls += 1
+        return super()._complete(matrix, mask)
+
+
+def make_assessors(**kwargs):
+    """A (sequential, batched) assessor pair with identical RNG streams."""
+    sequential = LeaveOneOutBayesianAssessor(
+        batched=False, rng=np.random.default_rng(42), **kwargs
+    )
+    batched = LeaveOneOutBayesianAssessor(
+        batched=True, rng=np.random.default_rng(42), **kwargs
+    )
+    return sequential, batched
+
+
+class TestBatchedLOOParity:
+    @pytest.mark.parametrize(
+        "metric, epsilon",
+        [("mae", 0.3), ("classification", 0.25)],
+    )
+    def test_batched_matches_sequential_within_tolerance(self, metric, epsilon):
+        """Batched ALS LOO vs sequential LOO, on both posterior families."""
+        matrix = np.abs(smooth_matrix()) * (40.0 if metric == "classification" else 1.0)
+        observed = observe(matrix, 9, list(range(12)))
+        requirement = QualityRequirement(epsilon=epsilon, p=0.9, metric=metric)
+        inference = CompressiveSensingInference(iterations=8, seed=0)
+        sequential, batched = make_assessors(min_observations=3, max_loo_cells=8)
+
+        p_sequential = sequential.probability_error_below(observed, 9, requirement, inference)
+        p_batched = batched.probability_error_below(observed, 9, requirement, inference)
+        assert abs(p_sequential - p_batched) <= BATCHED_PROBABILITY_TOLERANCE
+
+    def test_fallback_without_vectorized_solver_is_bit_exact(self):
+        """No ``complete_batch`` override → the batched path loops ``complete``."""
+        inference = SpatialMeanInference()
+        assert not inference.supports_batch_completion
+        matrix = smooth_matrix()
+        observed = observe(matrix, 8, [0, 2, 4, 6, 8, 10])
+        requirement = QualityRequirement(epsilon=0.5, p=0.9)
+        sequential, batched = make_assessors(min_observations=3, max_loo_cells=4)
+
+        p_sequential = sequential.probability_error_below(observed, 8, requirement, inference)
+        p_batched = batched.probability_error_below(observed, 8, requirement, inference)
+        assert p_sequential == p_batched  # bit-exact, not merely close
+
+    def test_rng_subsample_stream_is_shared(self):
+        """Sequential and batched assessors subsample the same LOO cells."""
+        matrix = smooth_matrix(n_cells=20)
+        observed = observe(matrix, 9, list(range(18)))
+        requirement = QualityRequirement(epsilon=0.5, p=0.9)
+        inference = SpatialMeanInference()
+        sequential, batched = make_assessors(min_observations=3, max_loo_cells=5)
+        for cycle_call in range(3):  # repeated consultations advance both streams alike
+            p_sequential = sequential.probability_error_below(
+                observed, 9, requirement, inference
+            )
+            p_batched = batched.probability_error_below(observed, 9, requirement, inference)
+            assert p_sequential == p_batched
+
+    def test_assess_many_matches_single_slot_calls(self):
+        matrix = smooth_matrix()
+        slots = [
+            (observe(matrix, 8, [0, 2, 4, 6]), 8),
+            (observe(matrix, 9, [1, 3, 5, 7, 9]), 9),
+            (observe(matrix, 7, [0, 1]), 7),  # below min_observations → decided early
+        ]
+        requirement = QualityRequirement(epsilon=0.5, p=0.9)
+        inference = SpatialMeanInference()
+        assessor = LeaveOneOutBayesianAssessor(min_observations=3, max_loo_cells=12)
+
+        pooled = assessor.probabilities_error_below(
+            [observed for observed, _ in slots],
+            [cycle for _, cycle in slots],
+            [requirement] * len(slots),
+            inference,
+        )
+        single = [
+            assessor.probability_error_below(observed, cycle, requirement, inference)
+            for observed, cycle in slots
+        ]
+        assert pooled == single
+        verdicts = assessor.assess_many(
+            [observed for observed, _ in slots],
+            [cycle for _, cycle in slots],
+            [requirement] * len(slots),
+            inference,
+        )
+        assert verdicts == [p >= requirement.p for p in single]
+
+    def test_assess_many_rejects_misaligned_slots(self):
+        assessor = LeaveOneOutBayesianAssessor()
+        with pytest.raises(ValueError):
+            assessor.probabilities_error_below(
+                [np.zeros((4, 4))], [0, 1], [QualityRequirement(epsilon=1.0)],
+                SpatialMeanInference(),
+            )
+
+
+class TestRequirementBreakpoints:
+    def test_breakpoints_require_classification_metric(self):
+        with pytest.raises(ValueError):
+            QualityRequirement(epsilon=1.0, metric="mae", breakpoints=(1.0, 2.0))
+
+    def test_breakpoints_must_increase(self):
+        with pytest.raises(ValueError):
+            QualityRequirement(
+                epsilon=0.2, metric="classification", breakpoints=(2.0, 1.0)
+            )
+
+    def test_category_edges_default_to_shared_constant(self):
+        requirement = QualityRequirement(epsilon=0.2, metric="classification")
+        assert requirement.category_edges() == DEFAULT_CLASSIFICATION_BREAKPOINTS
+
+    def test_assessor_uses_requirement_breakpoints(self):
+        """Custom category edges change the posterior the way the metric changes."""
+        matrix = np.abs(smooth_matrix(noise=0.3, seed=3)) * 30.0
+        observed = observe(matrix, 9, list(range(10)))
+        inference = SpatialMeanInference()
+        assessor = LeaveOneOutBayesianAssessor(min_observations=3, max_loo_cells=12)
+        # One huge category: re-inference can never change the category, so
+        # the posterior must be at least as confident as under the fine
+        # default edges.
+        coarse = QualityRequirement(
+            epsilon=0.2, p=0.9, metric="classification", breakpoints=(1e9,)
+        )
+        fine = QualityRequirement(
+            epsilon=0.2, p=0.9, metric="classification", breakpoints=(10.0, 20.0, 30.0, 40.0)
+        )
+        p_coarse = assessor.probability_error_below(observed, 9, coarse, inference)
+        p_fine = assessor.probability_error_below(observed, 9, fine, inference)
+        assert p_coarse >= p_fine
+        # With a single unreachable edge every LOO sample is a hit, so the
+        # posterior (Jeffreys prior, zero misses) is highly confident.
+        assert p_coarse > 0.9
+
+    def test_oracle_uses_requirement_breakpoints(self):
+        matrix = np.abs(smooth_matrix(noise=0.5, seed=5)) * 30.0
+        oracle = OracleAssessor(matrix)
+        observed = observe(matrix, 9, [0, 1, 2])
+        inference = SpatialMeanInference()
+        coarse = QualityRequirement(
+            epsilon=0.0, p=0.9, metric="classification", breakpoints=(1e9,)
+        )
+        # Every value falls into the single category → zero classification error.
+        assert oracle.cycle_error(observed, 9, coarse, inference) == 0.0
+
+
+class TestOracleAssessor:
+    def test_fully_sensed_cycle_skips_completion(self):
+        """A fully-sensed current column returns 0 without running ALS, even
+        when earlier window columns still contain NaNs."""
+        matrix = smooth_matrix()
+        observed = matrix[:, :10].copy()
+        observed[3, 2] = np.nan  # hole in the *history*, not the current column
+        inference = CountingInference()
+        oracle = OracleAssessor(matrix)
+        error = oracle.cycle_error(
+            observed, 9, QualityRequirement(epsilon=1.0), inference
+        )
+        assert error == 0.0
+        assert inference.complete_calls == 0
+
+    def test_partially_sensed_cycle_still_completes(self):
+        matrix = smooth_matrix()
+        observed = observe(matrix, 9, [0, 1, 2, 3])
+        inference = CountingInference()
+        oracle = OracleAssessor(matrix)
+        error = oracle.cycle_error(
+            observed, 9, QualityRequirement(epsilon=1.0), inference
+        )
+        assert np.isfinite(error)
+        assert inference.complete_calls == 1
+
+    def test_cycle_errors_match_single_slot_calls(self):
+        matrix = smooth_matrix()
+        oracle = OracleAssessor(matrix)
+        inference = SpatialMeanInference()
+        requirement = QualityRequirement(epsilon=1.0)
+        slots = [
+            (observe(matrix, 8, [0, 1, 2, 3]), 8),
+            (matrix[:, :10].copy(), 9),                      # fully sensed → 0.0
+            (np.full((matrix.shape[0], 6), np.nan), 5),      # nothing sensed → inf
+            (observe(matrix, 9, [4, 5, 6]), 9),
+        ]
+        pooled = oracle.cycle_errors(
+            [observed for observed, _ in slots],
+            [cycle for _, cycle in slots],
+            [requirement] * len(slots),
+            inference,
+        )
+        single = [
+            oracle.cycle_error(observed, cycle, requirement, inference)
+            for observed, cycle in slots
+        ]
+        assert pooled == single
+        assert pooled[1] == 0.0
+        assert pooled[2] == float("inf")
+
+    def test_assess_many_matches_assess(self):
+        matrix = smooth_matrix()
+        oracle = OracleAssessor(matrix)
+        inference = SpatialMeanInference()
+        requirement = QualityRequirement(epsilon=0.5)
+        observed = [observe(matrix, 8, [0, 1, 2, 3]), observe(matrix, 9, [4, 5])]
+        assert oracle.assess_many(observed, [8, 9], [requirement] * 2, inference) == [
+            oracle.assess(observed[0], 8, requirement, inference),
+            oracle.assess(observed[1], 9, requirement, inference),
+        ]
+
+
+class TestDefaultCompleteBatch:
+    def test_default_complete_batch_loops_complete(self):
+        inference = SpatialMeanInference()
+        matrices = [
+            observe(smooth_matrix(seed=s), 8, [0, 2, 4, 6]) for s in range(3)
+        ]
+        batched = inference.complete_batch(matrices)
+        for matrix, completed in zip(matrices, batched):
+            assert np.array_equal(completed, inference.complete(matrix))
+
+    def test_supports_batch_completion_probe(self):
+        assert CompressiveSensingInference().supports_batch_completion
+        assert not SpatialMeanInference().supports_batch_completion
