@@ -1,15 +1,32 @@
 #!/usr/bin/env python
 """Quickstart: a minimal end-to-end Sparse MCS campaign with DR-Cell.
 
-This example walks through the whole pipeline on a small synthetic
-temperature dataset:
+This example runs the whole pipeline — generate a small synthetic
+temperature dataset, split off the 2-day preliminary study, train a DR-Cell
+agent (the paper's DRQN), and evaluate it against the RANDOM baseline under
+the same (ε, p)-quality requirement — through the declarative API: the
+scenario is a single :class:`repro.api.ScenarioSpec` and the
+:class:`repro.api.Session` facade does the rest.
 
-1. generate the dataset and split it into the 2-day preliminary study
-   (training stage) and the testing stage;
-2. train a DR-Cell agent (the paper's DRQN) on the training split;
-3. run the testing-stage campaign with DR-Cell and with the RANDOM baseline
-   under the same (ε, p)-quality requirement;
-4. compare the average number of selected cells per cycle.
+**Programmatic route** (this file)::
+
+    spec = ScenarioSpec(name="quickstart", slots=(...), ...)
+    session = Session.from_spec(spec)
+    session.train()
+    report = session.evaluate()
+
+**Spec-file route** — the same scenario as checked-in JSON (see
+``examples/scenarios/tiny.json`` for a heterogeneous two-slot example)::
+
+    python -m repro.api.cli run examples/scenarios/tiny.json
+
+A spec round-trips losslessly through JSON (``spec.to_json()`` /
+``ScenarioSpec.from_json``), so the two routes are interchangeable.
+
+Both campaign slots share one dataset, so the session evaluates them as one
+lockstep campaign with pooled quality assessments (the scenario's
+``history_window`` is the single source of truth for the campaign *and* the
+assessor — the two can no longer disagree).
 
 Run with::
 
@@ -18,74 +35,93 @@ Run with::
 
 from __future__ import annotations
 
-from repro import (
-    CampaignConfig,
-    CampaignRunner,
-    DRCellConfig,
-    DRCellTrainer,
-    QualityRequirement,
-    RandomSelectionPolicy,
-    SensingTask,
-    generate_sensorscope,
+from repro.api import (
+    AssessorSpec,
+    DatasetSpec,
+    InferenceSpec,
+    PolicySpec,
+    RequirementSpec,
+    ScenarioSpec,
+    Session,
+    SlotSpec,
+    TrainingSpec,
 )
-from repro.core.drcell import DRCellPolicy
-from repro.inference.compressive import CompressiveSensingInference
-from repro.quality.loo_bayesian import LeaveOneOutBayesianAssessor
-from repro.rl.dqn import DQNConfig
 from repro.utils.logging import enable_console_logging
+
+
+def build_spec() -> ScenarioSpec:
+    """The quickstart scenario: 16 cells, hourly cycles, DR-Cell vs RANDOM."""
+    # 1. A small sensing area: 16 cells, hourly cycles, 3 days of data.
+    dataset = DatasetSpec(
+        "sensorscope",
+        {"kind": "temperature", "n_cells": 16, "duration_days": 3.0,
+         "cycle_length_hours": 1.0, "seed": 0},
+    )
+    # 2. The quality requirement: inference error below 0.5 °C in 90% of cycles.
+    requirement = RequirementSpec(epsilon=0.5, p=0.9, metric="mae")
+    # 3. Both policies sense the same dataset under the same requirement.
+    slots = (
+        SlotSpec(name="DR-Cell", dataset=dataset, requirement=requirement,
+                 policy=PolicySpec("drcell")),
+        SlotSpec(name="RANDOM", dataset=dataset, requirement=requirement,
+                 policy=PolicySpec("random", {"seed": 1})),
+    )
+    return ScenarioSpec(
+        name="quickstart",
+        slots=slots,
+        seed=0,
+        history_window=8,
+        training_days=2.0,
+        min_cells_per_cycle=3,
+        assess_every=2,
+        inference=InferenceSpec("als", {"rank": 3, "iterations": 8, "seed": 0}),
+        assessor=AssessorSpec("loo_bayesian", {"min_observations": 3, "max_loo_cells": 6}),
+        training=TrainingSpec(
+            mode="per_slot",
+            drcell={
+                "window": 2,
+                "episodes": 4,
+                "lstm_hidden": 32,
+                "dense_hidden": [32],
+                "exploration_decay_steps": 600,
+                "dqn": {
+                    "batch_size": 16,
+                    "min_replay_size": 32,
+                    "target_update_interval": 50,
+                    "learn_every": 2,
+                },
+            },
+        ),
+    )
 
 
 def main() -> None:
     enable_console_logging()
 
-    # 1. A small sensing area: 16 cells, hourly cycles, 3 days of data.
-    dataset = generate_sensorscope(
-        "temperature", n_cells=16, duration_days=3.0, cycle_length_hours=1.0, seed=0
-    )
-    train_set, test_set = dataset.train_test_split(training_days=2.0)
+    spec = build_spec()
+    session = Session.from_spec(spec)
+
+    dataset = session.slots[0].dataset
     print(f"dataset: {dataset.name}, {dataset.n_cells} cells, {dataset.n_cycles} cycles")
-    print(f"training cycles: {train_set.n_cycles}, testing cycles: {test_set.n_cycles}")
-
-    # 2. The quality requirement: inference error below 0.5 °C in 90% of cycles.
-    requirement = QualityRequirement(epsilon=0.5, p=0.9, metric="mae")
-
-    # 3. Train DR-Cell on the preliminary-study data.
-    config = DRCellConfig(
-        window=2,
-        episodes=4,
-        lstm_hidden=32,
-        dense_hidden=(32,),
-        exploration_decay_steps=600,
-        history_window=8,
-        dqn=DQNConfig(batch_size=16, min_replay_size=32, target_update_interval=50, learn_every=2),
-        seed=0,
-    )
-    inference = CompressiveSensingInference(rank=3, iterations=8, seed=0)
-    trainer = DRCellTrainer(config, inference=inference)
-    agent, report = trainer.train(train_set, requirement)
     print(
-        f"trained DR-Cell in {report.wall_clock_seconds:.1f}s "
-        f"({report.episodes} episodes, {report.total_steps} selections)"
+        f"training cycles: {session.slots[0].train_set.n_cycles}, "
+        f"testing cycles: {session.slots[0].test_set.n_cycles}"
     )
 
-    # 4. Run the testing-stage campaign for DR-Cell and RANDOM.
-    task = SensingTask(
-        dataset=test_set,
-        requirement=requirement,
-        inference=inference,
-        assessor=LeaveOneOutBayesianAssessor(min_observations=3, max_loo_cells=6, history_window=8),
-    )
-    # history_window matches the assessor's so the assessed error and the
-    # recorded true error are computed over the same history.
-    runner = CampaignRunner(
-        task, CampaignConfig(min_cells_per_cycle=3, assess_every=2, history_window=8)
-    )
-
-    for policy in (DRCellPolicy(agent), RandomSelectionPolicy(seed=1)):
-        result = runner.run(policy, n_cycles=test_set.n_cycles)
+    # 4. Train the DR-Cell slot on the preliminary-study split.
+    training = session.train()
+    for row in training.rows:
         print(
-            f"{policy.name:>8}: {result.mean_selected_per_cycle:.2f} cells/cycle, "
-            f"true error ≤ ε in {result.quality_satisfied_fraction:.0%} of cycles"
+            f"trained {', '.join(row.slots)} in {row.wall_clock_seconds:.1f}s "
+            f"({row.episodes} episodes, {row.total_steps} selections)"
+        )
+
+    # 5. Run the testing-stage campaigns in lockstep and compare.
+    evaluation = session.evaluate()
+    for row in evaluation.rows:
+        print(
+            f"{row.policy:>8}: {row.mean_selected_per_cycle:.2f} cells/cycle, "
+            f"true error ≤ ε in {row.quality_satisfied_fraction:.0%} of cycles"
         )
 
 

@@ -19,6 +19,10 @@ organised bottom-up:
   agent, the tabular variant, the trainer and transfer learning.
 * :mod:`repro.experiments` — the harness regenerating every table and
   figure of the paper's evaluation.
+* :mod:`repro.api` — the public declarative layer: component registries,
+  JSON-round-trippable :class:`~repro.api.specs.ScenarioSpec` scenarios, and
+  the :class:`~repro.api.session.Session` facade
+  (``python -m repro.api.cli run scenario.json``).
 
 Quickstart
 ----------
@@ -47,6 +51,10 @@ from repro.mcs import (
 )
 from repro.quality import QualityRequirement
 
+# Imported last: the api layer's session facade builds on every subpackage
+# above (the registries themselves are import-cycle-free).
+from repro.api import ScenarioSpec, Session, run_scenario
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -66,6 +74,9 @@ __all__ = [
     "SensingTask",
     "SparseMCSEnvironment",
     "QualityRequirement",
+    "ScenarioSpec",
+    "Session",
+    "run_scenario",
     "quick_campaign",
     "__version__",
 ]

@@ -1,0 +1,182 @@
+"""Command-line entry point for declarative scenarios.
+
+``python -m repro.api.cli run scenario.json`` loads a
+:class:`~repro.api.specs.ScenarioSpec` from JSON, trains and evaluates it
+through :class:`~repro.api.session.Session`, and prints the structured
+reports.  ``--scale`` constrains the scenario's effort knobs to one of the
+predefined experiment scales (tiny/small/medium/full) for quick runs —
+useful to smoke-test a production-sized scenario file in seconds.
+
+``python -m repro.api.cli validate scenario.json`` parses the file, checks
+every registry key resolves, and verifies the JSON round trip is lossless
+without running anything.
+
+``python -m repro.api.cli components`` lists every registered component key.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.api.registry import ASSESSORS, DATASETS, INFERENCE, POLICIES
+from repro.api.session import Session
+from repro.api.specs import ScenarioSpec
+from repro.experiments.config import ExperimentScale, get_scale
+from repro.experiments.reporting import format_rows
+from repro.utils.logging import enable_console_logging
+
+
+def load_spec(path: Path) -> ScenarioSpec:
+    """Read a scenario spec from a JSON file."""
+    if not path.exists():
+        raise FileNotFoundError(f"no scenario file at {path}")
+    return ScenarioSpec.from_json(path.read_text(encoding="utf-8"))
+
+
+def constrain_to_scale(spec: ScenarioSpec, scale: ExperimentScale) -> ScenarioSpec:
+    """Cap the spec's effort knobs at the given experiment scale's values.
+
+    The scenario's *structure* (slots, datasets, requirements) is untouched;
+    only training episodes, the evaluated cycle count, ALS sweeps and the
+    LOO budget are clamped — at the scenario level *and* in every slot that
+    pins its own inference/assessor — mirroring what the scale means in
+    :mod:`repro.experiments.config`.
+    """
+
+    def clamp_inference(component):
+        if component is None or component.name != "als":
+            return component
+        iterations = int(component.params.get("iterations", scale.als_iterations))
+        return dataclasses.replace(
+            component,
+            params={**component.params, "iterations": min(iterations, scale.als_iterations)},
+        )
+
+    def clamp_assessor(component):
+        if component is None or component.name != "loo_bayesian":
+            return component
+        loo = int(component.params.get("max_loo_cells", scale.max_loo_cells))
+        return dataclasses.replace(
+            component,
+            params={**component.params, "max_loo_cells": min(loo, scale.max_loo_cells)},
+        )
+
+    episodes = spec.training.episodes
+    episodes = scale.episodes if episodes is None else min(episodes, scale.episodes)
+    max_test_cycles = spec.max_test_cycles
+    if scale.max_test_cycles is not None:
+        max_test_cycles = (
+            scale.max_test_cycles
+            if max_test_cycles is None
+            else min(max_test_cycles, scale.max_test_cycles)
+        )
+    slots = tuple(
+        dataclasses.replace(
+            slot,
+            inference=clamp_inference(slot.inference),
+            assessor=clamp_assessor(slot.assessor),
+        )
+        for slot in spec.slots
+    )
+    return spec.replace(
+        training=dataclasses.replace(spec.training, episodes=episodes),
+        max_test_cycles=max_test_cycles,
+        inference=clamp_inference(spec.inference),
+        assessor=clamp_assessor(spec.assessor),
+        slots=slots,
+    )
+
+
+def run_command(args: argparse.Namespace) -> int:
+    spec = load_spec(args.scenario)
+    if args.scale is not None:
+        spec = constrain_to_scale(spec, get_scale(args.scale))
+    if args.seed is not None:
+        spec = spec.replace(seed=args.seed)
+
+    session = Session.from_spec(spec)
+    training, evaluation = session.run()
+    if training.rows:
+        print(format_rows(training.as_dicts(), title=f"{spec.name} — training"))
+        print()
+    print(format_rows(evaluation.as_dicts(), title=f"{spec.name} — evaluation"))
+    if args.save is not None:
+        session.save(args.save)
+        print(f"\nsession saved to {args.save}")
+    return 0
+
+
+def validate_command(args: argparse.Namespace) -> int:
+    spec = load_spec(args.scenario)
+    round_tripped = ScenarioSpec.from_json(spec.to_json())
+    if round_tripped != spec:
+        print("JSON round trip is NOT lossless", file=sys.stderr)
+        return 1
+    for slot in spec.slots:
+        DATASETS.entry(slot.dataset.name)
+        POLICIES.entry(slot.policy.name)
+        if slot.inference is not None:
+            INFERENCE.entry(slot.inference.name)
+        if slot.assessor is not None:
+            ASSESSORS.entry(slot.assessor.name)
+    INFERENCE.entry(spec.inference.name)
+    ASSESSORS.entry(spec.assessor.name)
+    print(f"{args.scenario}: ok ({len(spec.slots)} slot(s), seed {spec.seed})")
+    return 0
+
+
+def components_command(args: argparse.Namespace) -> int:
+    for label, registry in (
+        ("datasets", DATASETS),
+        ("inference", INFERENCE),
+        ("policies", POLICIES),
+        ("assessors", ASSESSORS),
+    ):
+        print(f"{label}: {', '.join(registry.names())}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.api.cli",
+        description="Run declarative DR-Cell scenarios",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="train + evaluate a scenario file")
+    run_parser.add_argument("scenario", type=Path, help="path to a scenario .json file")
+    run_parser.add_argument(
+        "--scale", default=None, help="cap effort at a predefined scale (tiny/small/medium/full)"
+    )
+    run_parser.add_argument("--seed", type=int, default=None, help="override the scenario seed")
+    run_parser.add_argument(
+        "--save", type=Path, default=None, help="save the spec + trained agents here"
+    )
+    run_parser.set_defaults(func=run_command)
+
+    validate_parser = subparsers.add_parser(
+        "validate", help="check a scenario file without running it"
+    )
+    validate_parser.add_argument("scenario", type=Path)
+    validate_parser.set_defaults(func=validate_command)
+
+    components_parser = subparsers.add_parser(
+        "components", help="list the registered component keys"
+    )
+    components_parser.set_defaults(func=components_command)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    enable_console_logging()
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    raise SystemExit(main())

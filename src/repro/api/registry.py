@@ -1,0 +1,207 @@
+"""String-keyed component registries: the extension points of the public API.
+
+The declarative scenario layer (:mod:`repro.api.specs` /
+:mod:`repro.api.session`) refers to every pluggable component — datasets,
+inference algorithms, selection policies, quality assessors — by a short
+string key.  The mapping from key to factory lives in the four module-level
+:class:`Registry` instances below; components self-register with the
+:meth:`Registry.register` decorator, so a new dataset generator or inference
+algorithm plugs into every scenario file without touching the core code:
+
+>>> from repro.api.registry import INFERENCE
+>>> @INFERENCE.register("noop")
+... class NoopInference:
+...     pass
+>>> INFERENCE.get("noop") is NoopInference
+True
+
+Registration may carry free-form metadata the session layer consults — e.g.
+``seed_stream`` (the :func:`repro.utils.seeding.derive_rng` stream the
+component's seed is derived from, matching the conventions of
+:mod:`repro.experiments`) or ``trains_agent`` (policies that need a trained
+:class:`~repro.core.drcell.DRCellAgent` injected).
+
+This module deliberately imports nothing from the rest of the library (and
+``repro.api.__init__`` resolves its own attributes lazily), so component
+modules can import the registries at module top level without cycles.  The
+built-in components live in ordinary library modules that are only imported
+when someone *looks up* a key — each registry knows its bootstrap modules
+and imports them on first use.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Sequence, Tuple
+
+
+class UnknownComponentError(KeyError):
+    """Raised when a registry lookup uses a key nobody registered."""
+
+    def __init__(self, kind: str, name: str, available: Sequence[str]) -> None:
+        self.kind = kind
+        self.name = name
+        self.available = tuple(available)
+        super().__init__(name)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"unknown {self.kind} {self.name!r}; "
+            f"available: {sorted(self.available)}"
+        )
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One registered component: its key, factory, and registration metadata."""
+
+    name: str
+    factory: Callable[..., Any]
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+
+class Registry:
+    """A string-keyed registry of component factories.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable component kind used in error messages ("dataset",
+        "inference algorithm", ...).
+    bootstrap_modules:
+        Dotted module paths imported (once, lazily) before the first lookup;
+        importing them runs the built-in components' ``register`` decorators.
+    """
+
+    def __init__(self, kind: str, *, bootstrap_modules: Sequence[str] = ()) -> None:
+        self.kind = kind
+        self._bootstrap_modules = tuple(bootstrap_modules)
+        self._bootstrapped = False
+        self._entries: Dict[str, RegistryEntry] = {}
+
+    # -- registration ----------------------------------------------------------
+
+    def register(
+        self, name: str, factory: Optional[Callable[..., Any]] = None, **metadata: Any
+    ):
+        """Register ``factory`` under ``name``; usable directly or as a decorator.
+
+        As a decorator the factory (function or class) is returned unchanged::
+
+            @DATASETS.register("sensorscope")
+            def generate_sensorscope(...): ...
+
+        Re-registering the *same* factory object is a no-op (tolerates module
+        reloads); registering a different factory under an existing key is an
+        error — shadowing a built-in silently would make scenario files mean
+        different things in different processes.
+        """
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"registry key must be a non-empty string, got {name!r}")
+
+        def _register(target: Callable[..., Any]) -> Callable[..., Any]:
+            existing = self._entries.get(name)
+            if existing is not None and existing.factory is not target:
+                raise ValueError(
+                    f"{self.kind} {name!r} is already registered "
+                    f"(to {existing.factory!r})"
+                )
+            self._entries[name] = RegistryEntry(
+                name=name, factory=target, metadata=dict(metadata)
+            )
+            return target
+
+        if factory is not None:
+            return _register(factory)
+        return _register
+
+    # -- lookup ----------------------------------------------------------------
+
+    def entry(self, name: str) -> RegistryEntry:
+        """The full :class:`RegistryEntry` for ``name``."""
+        self._ensure_bootstrapped()
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise UnknownComponentError(self.kind, name, self.names()) from None
+
+    def get(self, name: str) -> Callable[..., Any]:
+        """The factory registered under ``name``."""
+        return self.entry(name).factory
+
+    def metadata(self, name: str) -> Mapping[str, Any]:
+        """The registration metadata of ``name``."""
+        return self.entry(name).metadata
+
+    def create(self, name: str, **kwargs: Any) -> Any:
+        """Instantiate the component ``name`` with ``kwargs``."""
+        return self.get(name)(**kwargs)
+
+    def names(self) -> Tuple[str, ...]:
+        """All registered keys, sorted."""
+        self._ensure_bootstrapped()
+        return tuple(sorted(self._entries))
+
+    def __contains__(self, name: object) -> bool:
+        self._ensure_bootstrapped()
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        self._ensure_bootstrapped()
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Registry({self.kind!r}, {len(self._entries)} entries)"
+
+    # -- internals -------------------------------------------------------------
+
+    def _ensure_bootstrapped(self) -> None:
+        if self._bootstrapped:
+            return
+        self._bootstrapped = True
+        for module in self._bootstrap_modules:
+            importlib.import_module(module)
+
+
+#: Dataset generators: ``factory(**params) -> SensingDataset``.
+DATASETS = Registry(
+    "dataset",
+    bootstrap_modules=(
+        "repro.datasets.sensorscope",
+        "repro.datasets.uair",
+        "repro.datasets.temporal",
+        "repro.datasets.spatial",
+    ),
+)
+
+#: Inference algorithms: ``factory(**params) -> InferenceAlgorithm``.
+INFERENCE = Registry(
+    "inference algorithm",
+    bootstrap_modules=(
+        "repro.inference.compressive",
+        "repro.inference.svt",
+        "repro.inference.knn",
+        "repro.inference.interpolation",
+        "repro.inference.committee",
+    ),
+)
+
+#: Cell-selection policies: ``factory(**params) -> CellSelectionPolicy``.
+POLICIES = Registry(
+    "policy",
+    bootstrap_modules=(
+        "repro.mcs.random_policy",
+        "repro.mcs.qbc",
+        "repro.core.drcell",
+    ),
+)
+
+#: Quality assessors: ``factory(**params) -> QualityAssessor``.
+ASSESSORS = Registry(
+    "assessor",
+    bootstrap_modules=("repro.quality.loo_bayesian",),
+)

@@ -1,0 +1,627 @@
+"""The :class:`Session` facade: specs in, structured reports out.
+
+A session resolves a :class:`~repro.api.specs.ScenarioSpec` into concrete
+components (via the :mod:`repro.api.registry` registries), trains whatever
+policies need training, and evaluates every slot's testing-stage campaign —
+all through the library's vectorized engines:
+
+* training runs through :class:`~repro.core.trainer.DRCellTrainer`, in
+  ``shared`` mode as one heterogeneous mixed-dataset / mixed-requirement
+  lockstep fleet (:meth:`~repro.core.trainer.DRCellTrainer.train_lockstep`
+  over :class:`~repro.mcs.vector.BatchedSparseMCSVectorEnv`);
+* evaluation runs through :class:`~repro.mcs.campaign.BatchedCampaignRunner`,
+  one lockstep group per distinct dataset, so slots sharing a dataset pool
+  their per-submission quality assessments into shared batched solves.
+
+Seed handling follows the library's established stream conventions: unless a
+component spec pins its own ``seed``, the session derives one from the
+scenario seed with :func:`~repro.utils.seeding.derive_rng` using the stream
+declared in the component's registry metadata (``seed_stream``) — the same
+streams :mod:`repro.experiments` has always used — so a scenario that
+mirrors an experiment's hand-wired construction reproduces it exactly.
+
+Example
+-------
+>>> from repro.api import ScenarioSpec, Session
+>>> spec = ScenarioSpec.from_json(open("examples/scenarios/tiny.json").read())
+>>> session = Session.from_spec(spec)
+>>> training = session.train()
+>>> evaluation = session.evaluate()
+>>> [row.as_dict() for row in evaluation.rows]  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.api.registry import ASSESSORS, DATASETS, INFERENCE, POLICIES, Registry
+from repro.api.specs import ScenarioSpec, SlotSpec
+from repro.core.config import DRCellConfig
+from repro.core.drcell import DRCellAgent
+from repro.core.trainer import DRCellTrainer, TrainingReport
+from repro.datasets.base import SensingDataset
+from repro.inference.base import InferenceAlgorithm
+from repro.mcs.campaign import BatchedCampaignRunner, CampaignConfig
+from repro.mcs.policies import CellSelectionPolicy
+from repro.mcs.results import CampaignResult
+from repro.mcs.task import SensingTask
+from repro.quality.epsilon_p import QualityRequirement
+from repro.quality.loo_bayesian import QualityAssessor
+from repro.rl.dqn import DQNConfig
+from repro.utils.logging import get_logger
+from repro.utils.seeding import derive_rng
+from repro.utils.validation import check_positive_int
+
+logger = get_logger(__name__)
+
+#: Default `derive_rng` stream for components whose registration declares no
+#: ``seed_stream``.  The built-ins declare the streams the experiment harness
+#: has always used (inference 5, random policy 21, QBC 22).
+DEFAULT_SEED_STREAM = 19
+
+
+# -- structured reports ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TrainingRow:
+    """One training run: the slots it covered and its headline statistics."""
+
+    slots: Tuple[str, ...]
+    episodes: int
+    total_steps: int
+    wall_clock_seconds: float
+    mean_episode_reward: float
+    final_episode_reward: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "slots": list(self.slots),
+            "episodes": self.episodes,
+            "total_steps": self.total_steps,
+            "wall_clock_seconds": round(self.wall_clock_seconds, 3),
+            "mean_episode_reward": round(self.mean_episode_reward, 3),
+            "final_episode_reward": round(self.final_episode_reward, 3),
+        }
+
+
+@dataclass
+class SessionTrainingReport:
+    """Structured result of :meth:`Session.train`."""
+
+    mode: str
+    rows: List[TrainingRow] = field(default_factory=list)
+    #: Full per-run :class:`~repro.core.trainer.TrainingReport` objects,
+    #: keyed by the comma-joined slot names of the run.
+    reports: Dict[str, TrainingReport] = field(default_factory=dict)
+
+    def as_dicts(self) -> List[Dict[str, object]]:
+        return [row.as_dict() for row in self.rows]
+
+
+@dataclass(frozen=True)
+class EvaluationRow:
+    """One slot's testing-stage campaign outcome."""
+
+    slot: str
+    policy: str
+    dataset: str
+    requirement: str
+    mean_selected_per_cycle: float
+    quality_satisfied_fraction: float
+    total_selected: int
+    n_cycles: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "slot": self.slot,
+            "policy": self.policy,
+            "dataset": self.dataset,
+            "requirement": self.requirement,
+            "mean_selected_per_cycle": round(self.mean_selected_per_cycle, 2),
+            "quality_satisfied_fraction": round(self.quality_satisfied_fraction, 3),
+            "total_selected": self.total_selected,
+            "n_cycles": self.n_cycles,
+        }
+
+
+@dataclass
+class SessionEvaluationReport:
+    """Structured result of :meth:`Session.evaluate`."""
+
+    rows: List[EvaluationRow] = field(default_factory=list)
+    #: Full per-slot campaign results, keyed by slot name.
+    results: Dict[str, CampaignResult] = field(default_factory=dict)
+
+    def row(self, slot: str) -> EvaluationRow:
+        """Look up one slot's row; raises ``KeyError`` when absent."""
+        for candidate in self.rows:
+            if candidate.slot == slot:
+                return candidate
+        raise KeyError(f"no evaluation row for slot {slot!r}")
+
+    def as_dicts(self) -> List[Dict[str, object]]:
+        return [row.as_dict() for row in self.rows]
+
+
+# -- internal slot state --------------------------------------------------------
+
+
+@dataclass
+class _Slot:
+    """Resolved runtime state of one :class:`~repro.api.specs.SlotSpec`."""
+
+    spec: SlotSpec
+    dataset_key: str
+    dataset: SensingDataset
+    train_set: SensingDataset
+    test_set: SensingDataset
+    requirement: QualityRequirement
+    inference: InferenceAlgorithm
+    assessor: QualityAssessor
+    trains_agent: bool
+    wants_training: bool
+    agent: Optional[DRCellAgent] = None
+    policy_override: Optional[CellSelectionPolicy] = None
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+def _accepted_parameters(factory: Callable[..., Any]) -> set:
+    """Keyword-addressable parameter names of ``factory`` (class or function)."""
+    signature = inspect.signature(factory)
+    return {
+        parameter.name
+        for parameter in signature.parameters.values()
+        if parameter.kind
+        in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
+    }
+
+
+class Session:
+    """Assemble, train, evaluate and persist everything one scenario describes.
+
+    Parameters
+    ----------
+    spec:
+        The declarative scenario.  Components are instantiated eagerly so
+        configuration errors (unknown registry keys, bad factory parameters)
+        surface at construction, not mid-run.
+    """
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        self.spec = spec
+        self._datasets: Dict[str, SensingDataset] = {}
+        self._splits: Dict[str, Tuple[SensingDataset, SensingDataset]] = {}
+        self._shared: Dict[Tuple[str, str], Any] = {}
+        self.slots: List[_Slot] = [self._resolve_slot(slot) for slot in spec.slots]
+
+    @classmethod
+    def from_spec(cls, spec: ScenarioSpec) -> "Session":
+        """The canonical constructor: a session for ``spec``."""
+        return cls(spec)
+
+    # -- public API -------------------------------------------------------------
+
+    def train(self, *, episodes: Optional[int] = None) -> SessionTrainingReport:
+        """Train every slot whose policy wants training; returns a structured report.
+
+        ``per_slot`` mode trains one agent per trainable slot on that slot's
+        preliminary-study split; ``shared`` mode trains a single agent across
+        every trainable slot's (dataset, requirement) pair in heterogeneous
+        lockstep through the vectorized engine, then binds it to all of them.
+        """
+        trainable = [slot for slot in self.slots if slot.wants_training]
+        report = SessionTrainingReport(mode=self.spec.training.mode)
+        if episodes is None:
+            episodes = self.spec.training.episodes
+        if not trainable:
+            return report
+
+        if self.spec.training.mode == "shared":
+            # One trainer (hence one inference) drives the whole fleet; slots
+            # pinning different inference specs would silently train against
+            # the wrong quality checks, so reject heterogeneous pins.
+            effective = [
+                slot.spec.inference if slot.spec.inference is not None else self.spec.inference
+                for slot in trainable
+            ]
+            if any(component != effective[0] for component in effective[1:]):
+                raise ValueError(
+                    "shared training mode needs one inference spec across the "
+                    "trainable slots; got "
+                    + ", ".join(sorted({component.name for component in effective}))
+                    + " — pin it at the scenario level or use per_slot mode"
+                )
+            trainer = self._trainer(trainable[0])
+            agent, training = trainer.train_lockstep(
+                [slot.train_set for slot in trainable],
+                [slot.requirement for slot in trainable],
+                episodes=episodes,
+            )
+            for slot in trainable:
+                slot.agent = agent
+            self._record_training(report, tuple(slot.name for slot in trainable), training)
+        else:
+            for slot in trainable:
+                trainer = self._trainer(slot)
+                agent, training = trainer.train(
+                    slot.train_set, slot.requirement, episodes=episodes
+                )
+                slot.agent = agent
+                self._record_training(report, (slot.name,), training)
+        return report
+
+    def evaluate(self, *, n_cycles: Optional[int] = None) -> SessionEvaluationReport:
+        """Run every slot's testing-stage campaign; returns a structured report.
+
+        Slots are grouped by dataset and each group runs as one lockstep
+        :class:`~repro.mcs.campaign.BatchedCampaignRunner`, so their
+        per-submission assessments pool into shared batched completions.
+        """
+        if n_cycles is None:
+            n_cycles = self.spec.max_test_cycles
+        config = self.campaign_config()
+        report = SessionEvaluationReport()
+
+        groups: Dict[int, List[Tuple[_Slot, CellSelectionPolicy]]] = {}
+        order: List[int] = []
+        for slot in self.slots:
+            key = id(slot.test_set)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append((slot, self._build_policy(slot)))
+
+        for key in order:
+            members = groups[key]
+            tasks = [
+                SensingTask(
+                    dataset=slot.test_set,
+                    requirement=slot.requirement,
+                    inference=slot.inference,
+                    assessor=slot.assessor,
+                )
+                for slot, _ in members
+            ]
+            runner = BatchedCampaignRunner(tasks, config)
+            outcomes = runner.run([policy for _, policy in members], n_cycles=n_cycles)
+            for (slot, policy), outcome in zip(members, outcomes):
+                report.results[slot.name] = outcome
+                report.rows.append(
+                    EvaluationRow(
+                        slot=slot.name,
+                        policy=policy.name,
+                        dataset=slot.test_set.name,
+                        requirement=slot.requirement.describe(),
+                        mean_selected_per_cycle=outcome.mean_selected_per_cycle,
+                        quality_satisfied_fraction=outcome.quality_satisfied_fraction,
+                        total_selected=outcome.total_selected,
+                        n_cycles=outcome.n_cycles,
+                    )
+                )
+                logger.info(
+                    "scenario %s slot %s (%s): %.2f cells/cycle",
+                    self.spec.name,
+                    slot.name,
+                    policy.name,
+                    outcome.mean_selected_per_cycle,
+                )
+        return report
+
+    def run(
+        self, *, episodes: Optional[int] = None, n_cycles: Optional[int] = None
+    ) -> Tuple[SessionTrainingReport, SessionEvaluationReport]:
+        """Convenience: :meth:`train` then :meth:`evaluate`."""
+        training = self.train(episodes=episodes)
+        evaluation = self.evaluate(n_cycles=n_cycles)
+        return training, evaluation
+
+    def set_agent(self, slot_name: str, agent: DRCellAgent) -> None:
+        """Bind an externally trained agent to a slot (the transfer-learning route).
+
+        Slots whose policy spec sets ``"train": False`` are skipped by
+        :meth:`train` and expect their agent from here.
+        """
+        slot = self._slot(slot_name)
+        if not slot.trains_agent:
+            raise ValueError(
+                f"slot {slot_name!r} uses policy {slot.spec.policy.name!r}, "
+                "which does not take a trained agent"
+            )
+        if agent.n_cells != slot.test_set.n_cells:
+            raise ValueError(
+                f"agent was built for {agent.n_cells} cells but slot {slot_name!r} "
+                f"has {slot.test_set.n_cells}"
+            )
+        slot.agent = agent
+
+    def set_policy(self, slot_name: str, policy: CellSelectionPolicy) -> None:
+        """Bind a pre-built policy object to a slot, bypassing the registry.
+
+        The escape hatch for policies the registry cannot express — e.g.
+        custom experiment policies, or baselines that must consume a specific
+        legacy random stream for seed-compatibility.  The slot's declarative
+        policy spec is ignored at evaluation time.
+        """
+        slot = self._slot(slot_name)
+        if not isinstance(policy, CellSelectionPolicy):
+            raise TypeError(
+                f"expected a CellSelectionPolicy, got {type(policy).__name__}"
+            )
+        slot.policy_override = policy
+
+    def agent(self, slot_name: str) -> DRCellAgent:
+        """The trained agent bound to ``slot_name`` (raises if not trained yet)."""
+        slot = self._slot(slot_name)
+        if slot.agent is None:
+            raise ValueError(
+                f"slot {slot_name!r} has no trained agent; call train() or set_agent() first"
+            )
+        return slot.agent
+
+    # -- persistence ------------------------------------------------------------
+
+    def save(self, directory: Union[str, Path]) -> Path:
+        """Persist the scenario spec and every trained agent's weights.
+
+        Layout: ``<directory>/scenario.json`` plus one
+        ``<directory>/agents/<slot>.npz`` per slot with a bound agent (in
+        ``shared`` training mode the files hold identical weights).
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / "scenario.json").write_text(self.spec.to_json(), encoding="utf-8")
+        for slot in self.slots:
+            if slot.agent is not None:
+                slot.agent.save(directory / "agents" / f"{slot.name}.npz")
+        return directory
+
+    @classmethod
+    def load(cls, directory: Union[str, Path]) -> "Session":
+        """Rebuild a session from :meth:`save` output, restoring agent weights.
+
+        Each slot with a saved weight file gets a freshly built agent loaded
+        from it; the shared-training relationship is not preserved (every
+        restored slot owns its own agent object with identical weights).
+        """
+        directory = Path(directory)
+        spec_path = directory / "scenario.json"
+        if not spec_path.exists():
+            raise FileNotFoundError(f"no scenario.json under {directory}")
+        session = cls(ScenarioSpec.from_json(spec_path.read_text(encoding="utf-8")))
+        for slot in session.slots:
+            weights = directory / "agents" / f"{slot.name}.npz"
+            if slot.trains_agent and weights.exists():
+                agent = DRCellAgent.build(slot.test_set.n_cells, session.drcell_config())
+                agent.load(weights)
+                slot.agent = agent
+        return session
+
+    # -- spec-derived configuration --------------------------------------------
+
+    def campaign_config(self) -> CampaignConfig:
+        """The campaign loop configuration, resolved solely from the spec."""
+        return CampaignConfig(
+            min_cells_per_cycle=self.spec.min_cells_per_cycle,
+            max_cells_per_cycle=self.spec.max_cells_per_cycle,
+            assess_every=self.spec.assess_every,
+            history_window=self.spec.history_window,
+        )
+
+    def drcell_config(self) -> DRCellConfig:
+        """The DR-Cell training configuration, resolved solely from the spec."""
+        params: Dict[str, Any] = dict(self.spec.training.drcell)
+        dqn_params = dict(params.pop("dqn", {}) or {})
+        params.setdefault("seed", self.spec.seed)
+        params.setdefault("history_window", self.spec.history_window)
+        return DRCellConfig(dqn=DQNConfig(**dqn_params), **params)
+
+    # -- internals --------------------------------------------------------------
+
+    def _slot(self, name: str) -> _Slot:
+        for slot in self.slots:
+            if slot.name == name:
+                return slot
+        raise KeyError(f"no slot named {name!r}; have {[s.name for s in self.slots]}")
+
+    def _resolve_slot(self, spec: SlotSpec) -> _Slot:
+        dataset_key, dataset = self._dataset(spec)
+        train_set, test_set = self._splits[dataset_key]
+        policy_meta = POLICIES.metadata(spec.policy.name)
+        trains_agent = bool(policy_meta.get("trains_agent", False))
+        wants_training = trains_agent and bool(spec.policy.params.get("train", True))
+        return _Slot(
+            spec=spec,
+            dataset_key=dataset_key,
+            dataset=dataset,
+            train_set=train_set,
+            test_set=test_set,
+            requirement=spec.requirement.build(),
+            inference=self._inference(spec, dataset_key, test_set),
+            assessor=self._assessor(spec, dataset_key, test_set),
+            trains_agent=trains_agent,
+            wants_training=wants_training,
+        )
+
+    def _dataset(self, spec: SlotSpec) -> Tuple[str, SensingDataset]:
+        """Build (or reuse) the slot's dataset and its train/test split.
+
+        Slots with an *equal* :class:`~repro.api.specs.DatasetSpec` share one
+        dataset object, which is what lets their evaluation campaigns run in
+        one lockstep group.
+        """
+        key = json.dumps(spec.dataset.to_dict(), sort_keys=True)
+        if key not in self._datasets:
+            dataset = self._build(
+                DATASETS, spec.dataset.name, spec.dataset.params, {"seed": self.spec.seed}
+            )
+            if not isinstance(dataset, SensingDataset):
+                raise TypeError(
+                    f"dataset factory {spec.dataset.name!r} returned "
+                    f"{type(dataset).__name__}, expected SensingDataset"
+                )
+            self._datasets[key] = dataset
+            self._splits[key] = dataset.train_test_split(self.spec.training_days)
+        return key, self._datasets[key]
+
+    def _inference(
+        self, spec: SlotSpec, dataset_key: str, test_set: SensingDataset
+    ) -> InferenceAlgorithm:
+        component = spec.inference if spec.inference is not None else self.spec.inference
+        context = {
+            "seed": self._derived_seed(INFERENCE, component.name),
+            "coordinates": test_set.coordinates,
+        }
+        if spec.inference is not None:
+            return self._build(INFERENCE, component.name, component.params, context)
+        return self._shared_instance(
+            INFERENCE, component.name, component.params, context, dataset_key
+        )
+
+    def _assessor(
+        self, spec: SlotSpec, dataset_key: str, test_set: SensingDataset
+    ) -> QualityAssessor:
+        component = spec.assessor if spec.assessor is not None else self.spec.assessor
+        context = {
+            "history_window": self.spec.history_window,
+            "ground_truth": test_set.data,
+        }
+        if spec.assessor is not None:
+            return self._build(ASSESSORS, component.name, component.params, context)
+        return self._shared_instance(
+            ASSESSORS, component.name, component.params, context, dataset_key
+        )
+
+    def _shared_instance(
+        self,
+        registry: Registry,
+        name: str,
+        params: Mapping[str, Any],
+        context: Mapping[str, Any],
+        dataset_key: str,
+    ) -> Any:
+        """One scenario-level instance, shared across the slots that default to it.
+
+        Factories that consume dataset context (``coordinates`` /
+        ``ground_truth``) get one instance per distinct dataset; the rest get
+        a single scenario-wide instance, so identity-level pooling in the
+        lockstep runners behaves exactly like the hand-wired shared-task
+        construction.
+        """
+        accepted = _accepted_parameters(registry.get(name))
+        dataset_bound = bool(accepted & {"coordinates", "ground_truth"})
+        key = (registry.kind, dataset_key if dataset_bound else "*")
+        if key not in self._shared:
+            self._shared[key] = self._build(registry, name, params, context)
+        return self._shared[key]
+
+    def _build_policy(self, slot: _Slot) -> CellSelectionPolicy:
+        if slot.policy_override is not None:
+            return slot.policy_override
+        params = dict(slot.spec.policy.params)
+        params.pop("train", None)  # session-level switch, not a factory parameter
+        name = slot.spec.policy.name
+        context: Dict[str, Any] = {
+            "seed": self._derived_seed(POLICIES, name),
+            "coordinates": slot.test_set.coordinates,
+            "history_window": self.spec.history_window,
+        }
+        if slot.trains_agent:
+            if slot.agent is None:
+                raise ValueError(
+                    f"slot {slot.name!r} needs a trained agent before evaluation; "
+                    "call train() or set_agent() first"
+                )
+            context["agent"] = slot.agent
+        policy = self._build(POLICIES, name, params, context)
+        if not isinstance(policy, CellSelectionPolicy):
+            raise TypeError(
+                f"policy factory {name!r} returned {type(policy).__name__}, "
+                "expected CellSelectionPolicy"
+            )
+        return policy
+
+    def _trainer(self, slot: _Slot) -> DRCellTrainer:
+        """A trainer with a *fresh* inference instance (training must not share
+        the evaluation inference's random stream)."""
+        component = (
+            slot.spec.inference if slot.spec.inference is not None else self.spec.inference
+        )
+        inference = self._build(
+            INFERENCE,
+            component.name,
+            component.params,
+            {
+                "seed": self._derived_seed(INFERENCE, component.name),
+                "coordinates": slot.train_set.coordinates,
+            },
+        )
+        return DRCellTrainer(self.drcell_config(), inference=inference)
+
+    def _derived_seed(self, registry: Registry, name: str):
+        stream = int(registry.metadata(name).get("seed_stream", DEFAULT_SEED_STREAM))
+        return derive_rng(self.spec.seed, stream)
+
+    def _build(
+        self,
+        registry: Registry,
+        name: str,
+        params: Mapping[str, Any],
+        context: Mapping[str, Any],
+    ) -> Any:
+        """Instantiate a registered factory with spec params + accepted context.
+
+        Context values are only handed to parameters the factory actually
+        declares, and never override a parameter the spec pins explicitly.
+        """
+        factory = registry.get(name)
+        kwargs = dict(params)
+        accepted = _accepted_parameters(factory)
+        for key, value in context.items():
+            if key in accepted and key not in kwargs:
+                kwargs[key] = value
+        try:
+            return factory(**kwargs)
+        except TypeError as error:
+            raise TypeError(
+                f"building {registry.kind} {name!r} with params "
+                f"{sorted(kwargs)} failed: {error}"
+            ) from error
+
+    def _record_training(
+        self,
+        report: SessionTrainingReport,
+        slot_names: Tuple[str, ...],
+        training: TrainingReport,
+    ) -> None:
+        report.reports[", ".join(slot_names)] = training
+        report.rows.append(
+            TrainingRow(
+                slots=slot_names,
+                episodes=training.episodes,
+                total_steps=training.total_steps,
+                wall_clock_seconds=training.wall_clock_seconds,
+                mean_episode_reward=training.mean_episode_reward,
+                final_episode_reward=training.final_episode_reward,
+            )
+        )
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    *,
+    episodes: Optional[int] = None,
+    n_cycles: Optional[int] = None,
+) -> Tuple[SessionTrainingReport, SessionEvaluationReport]:
+    """One-call convenience: build a session, train, evaluate."""
+    if episodes is not None:
+        check_positive_int(episodes, "episodes")
+    return Session.from_spec(spec).run(episodes=episodes, n_cycles=n_cycles)

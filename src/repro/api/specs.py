@@ -1,0 +1,443 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is the single declarative description of everything
+the library can run: which datasets to sense, under which (ε, p)-quality
+requirements, with which inference algorithm, assessor and selection policy,
+and how the DRQN is trained.  Specs are frozen dataclasses with a lossless
+``to_dict``/``from_dict``/JSON round trip, so a scenario can live in a
+checked-in ``.json`` file, be edited programmatically with
+:func:`dataclasses.replace`, and be handed to
+:class:`~repro.api.session.Session` unchanged.
+
+Components are referenced by their registry keys (see
+:mod:`repro.api.registry`); the ``params`` mapping of a component spec is
+passed verbatim to the registered factory, with context values (seeds,
+coordinates, the scenario ``history_window``, trained agents, oracle ground
+truth) injected by the session for parameters the factory accepts but the
+spec does not pin.
+
+The scenario is the **single source of truth for shared parameters**: there
+is exactly one ``history_window`` — the campaign loop, the final-error
+computation and every assessor resolve it from the scenario — so the
+campaign-vs-assessor window mismatch that
+:func:`repro.mcs.campaign._warn_on_window_mismatch` warns about cannot be
+expressed.  An :class:`AssessorSpec` that tries to pin its own
+``history_window`` is rejected at construction.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.quality.epsilon_p import QualityRequirement
+
+__all__ = [
+    "AssessorSpec",
+    "DatasetSpec",
+    "InferenceSpec",
+    "PolicySpec",
+    "RequirementSpec",
+    "ScenarioSpec",
+    "SlotSpec",
+    "TrainingSpec",
+]
+
+_JSON_SCALARS = (str, int, float, bool, type(None))
+
+
+def _normalize(value: Any, label: str) -> Any:
+    """Coerce ``value`` to a JSON-safe, hashable-ish canonical form.
+
+    Sequences become tuples and mappings become plain dicts with string keys,
+    recursively, so a spec built programmatically (tuples, numpy scalars) and
+    the same spec re-read from JSON (lists, plain ints/floats) compare equal.
+    """
+    if isinstance(value, bool):  # before int: bool is an int subclass
+        return value
+    if isinstance(value, _JSON_SCALARS):
+        return value
+    # Accept numpy scalars without importing numpy here.
+    if hasattr(value, "item") and not hasattr(value, "__len__"):
+        return _normalize(value.item(), label)
+    if isinstance(value, Mapping):
+        out: Dict[str, Any] = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise TypeError(f"{label} keys must be strings, got {key!r}")
+            out[key] = _normalize(item, f"{label}[{key!r}]")
+        return out
+    if isinstance(value, (list, tuple)):
+        return tuple(_normalize(item, f"{label}[...]") for item in value)
+    raise TypeError(
+        f"{label} must be JSON-representable (str/int/float/bool/None/list/dict), "
+        f"got {type(value).__name__}"
+    )
+
+
+def _jsonify(value: Any) -> Any:
+    """The inverse direction: canonical form → plain JSON types (tuples → lists)."""
+    if isinstance(value, dict):
+        return {key: _jsonify(item) for key, item in value.items()}
+    if isinstance(value, tuple):
+        return [_jsonify(item) for item in value]
+    return value
+
+
+def _check_keys(cls: type, payload: Mapping[str, Any]) -> None:
+    known = {f.name for f in fields(cls)}
+    unknown = set(payload) - known
+    if unknown:
+        raise ValueError(
+            f"unknown key(s) {sorted(unknown)} for {cls.__name__}; "
+            f"expected a subset of {sorted(known)}"
+        )
+
+
+@dataclass(frozen=True)
+class _ComponentSpec:
+    """A registry key plus the factory parameters to build the component with."""
+
+    name: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ValueError(f"{type(self).__name__}.name must be a non-empty string")
+        object.__setattr__(
+            self, "params", _normalize(dict(self.params), f"{type(self).__name__}.params")
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "params": _jsonify(dict(self.params))}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "_ComponentSpec":
+        _check_keys(cls, payload)
+        return cls(name=payload["name"], params=payload.get("params", {}))
+
+
+@dataclass(frozen=True)
+class DatasetSpec(_ComponentSpec):
+    """A dataset generator reference, e.g. ``sensorscope`` with its parameters."""
+
+
+@dataclass(frozen=True)
+class InferenceSpec(_ComponentSpec):
+    """An inference-algorithm reference, e.g. ``als`` with solver parameters."""
+
+
+@dataclass(frozen=True)
+class PolicySpec(_ComponentSpec):
+    """A cell-selection-policy reference, e.g. ``drcell`` or ``random``.
+
+    The reserved param ``"train"`` (default ``True``) is consumed by the
+    session: a trainable policy with ``"train": False`` expects its agent to
+    be provided via :meth:`~repro.api.session.Session.set_agent` (the
+    transfer-learning route) instead of :meth:`~repro.api.session.Session.train`.
+    """
+
+
+@dataclass(frozen=True)
+class AssessorSpec(_ComponentSpec):
+    """A quality-assessor reference, e.g. ``loo_bayesian``.
+
+    ``history_window`` may not appear in :attr:`params`: the scenario's
+    ``history_window`` is the single source of truth and is injected by the
+    session, which makes a campaign-vs-assessor window mismatch structurally
+    impossible.
+    """
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if "history_window" in self.params:
+            raise ValueError(
+                "history_window cannot be set per assessor; it is owned by the "
+                "scenario (ScenarioSpec.history_window) so the campaign and the "
+                "assessor always window history identically"
+            )
+
+
+@dataclass(frozen=True)
+class RequirementSpec:
+    """Declarative form of an (ε, p)-quality requirement."""
+
+    epsilon: float
+    p: float = 0.9
+    metric: str = "mae"
+    breakpoints: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "epsilon", float(self.epsilon))
+        object.__setattr__(self, "p", float(self.p))
+        if self.breakpoints is not None:
+            object.__setattr__(
+                self, "breakpoints", tuple(float(edge) for edge in self.breakpoints)
+            )
+        self.build()  # validate eagerly via QualityRequirement's own checks
+
+    def build(self) -> QualityRequirement:
+        """The concrete :class:`~repro.quality.epsilon_p.QualityRequirement`."""
+        return QualityRequirement(
+            epsilon=self.epsilon, p=self.p, metric=self.metric, breakpoints=self.breakpoints
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"epsilon": self.epsilon, "p": self.p, "metric": self.metric}
+        if self.breakpoints is not None:
+            payload["breakpoints"] = list(self.breakpoints)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RequirementSpec":
+        _check_keys(cls, payload)
+        breakpoints = payload.get("breakpoints")
+        return cls(
+            epsilon=payload["epsilon"],
+            p=payload.get("p", 0.9),
+            metric=payload.get("metric", "mae"),
+            breakpoints=tuple(breakpoints) if breakpoints is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class SlotSpec:
+    """One heterogeneous campaign slot: dataset + requirement + policy.
+
+    Slots that omit ``inference``/``assessor`` share the scenario-level
+    instances (one instance per distinct dataset where the factory needs
+    dataset context), which is what lets the lockstep runners pool their
+    batched solves; slots that pin their own get dedicated instances, pooled
+    by equivalence instead (see
+    :meth:`repro.mcs.campaign.BatchedCampaignRunner`).
+    """
+
+    name: str
+    dataset: DatasetSpec
+    requirement: RequirementSpec
+    policy: PolicySpec
+    inference: Optional[InferenceSpec] = None
+    assessor: Optional[AssessorSpec] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ValueError("SlotSpec.name must be a non-empty string")
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "name": self.name,
+            "dataset": self.dataset.to_dict(),
+            "requirement": self.requirement.to_dict(),
+            "policy": self.policy.to_dict(),
+        }
+        if self.inference is not None:
+            payload["inference"] = self.inference.to_dict()
+        if self.assessor is not None:
+            payload["assessor"] = self.assessor.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SlotSpec":
+        _check_keys(cls, payload)
+        return cls(
+            name=payload["name"],
+            dataset=DatasetSpec.from_dict(payload["dataset"]),
+            requirement=RequirementSpec.from_dict(payload["requirement"]),
+            policy=PolicySpec.from_dict(payload["policy"]),
+            inference=(
+                InferenceSpec.from_dict(payload["inference"])
+                if "inference" in payload
+                else None
+            ),
+            assessor=(
+                AssessorSpec.from_dict(payload["assessor"])
+                if "assessor" in payload
+                else None
+            ),
+        )
+
+
+#: Training modes: ``per_slot`` trains one agent per trainable slot on that
+#: slot's training split; ``shared`` trains a single agent across every
+#: trainable slot's (dataset, requirement) pair in heterogeneous lockstep via
+#: :meth:`repro.core.trainer.DRCellTrainer.train_lockstep`.
+TRAINING_MODES = ("per_slot", "shared")
+
+
+@dataclass(frozen=True)
+class TrainingSpec:
+    """How the scenario's trainable policies are trained.
+
+    Attributes
+    ----------
+    mode:
+        ``"per_slot"`` or ``"shared"`` (heterogeneous lockstep over all
+        trainable slots — the datasets must agree on the cell count).
+    episodes:
+        Total training episodes; ``None`` defers to the DR-Cell config.
+    drcell:
+        Keyword overrides for :class:`~repro.core.config.DRCellConfig`
+        (nested ``dqn`` mapping builds the inner
+        :class:`~repro.rl.dqn.DQNConfig`).  ``history_window`` and ``seed``
+        default from the scenario when absent.
+    """
+
+    mode: str = "per_slot"
+    episodes: Optional[int] = None
+    drcell: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.mode not in TRAINING_MODES:
+            raise ValueError(
+                f"unknown training mode {self.mode!r}; expected one of {TRAINING_MODES}"
+            )
+        if self.episodes is not None and (
+            not isinstance(self.episodes, int) or self.episodes <= 0
+        ):
+            raise ValueError(f"episodes must be a positive int or None, got {self.episodes!r}")
+        object.__setattr__(self, "drcell", _normalize(dict(self.drcell), "TrainingSpec.drcell"))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "episodes": self.episodes,
+            "drcell": _jsonify(dict(self.drcell)),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TrainingSpec":
+        _check_keys(cls, payload)
+        return cls(
+            mode=payload.get("mode", "per_slot"),
+            episodes=payload.get("episodes"),
+            drcell=payload.get("drcell", {}),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """The top-level declarative scenario: slots + shared campaign parameters.
+
+    Attributes
+    ----------
+    name:
+        Scenario identifier (used in reports and save directories).
+    seed:
+        Master seed; component seeds are derived from it (with the registry's
+        ``seed_stream`` conventions) unless a component spec pins its own.
+    history_window:
+        The **only** history window: campaign loop, final-error computation,
+        assessors and (by default) training all resolve it from here.
+    training_days:
+        Length of the preliminary-study split of every slot's dataset.
+    min_cells_per_cycle / max_cells_per_cycle / assess_every:
+        Campaign-loop knobs (see :class:`~repro.mcs.campaign.CampaignConfig`).
+    max_test_cycles:
+        Optional cap on evaluated testing cycles (``None`` = all).
+    inference / assessor:
+        Scenario-wide component defaults, overridable per slot.
+    training:
+        How trainable policies are trained.
+    slots:
+        The N heterogeneous campaign slots.
+    """
+
+    name: str
+    slots: Tuple[SlotSpec, ...]
+    seed: int = 0
+    history_window: int = 12
+    training_days: float = 2.0
+    min_cells_per_cycle: int = 3
+    max_cells_per_cycle: Optional[int] = None
+    assess_every: int = 1
+    max_test_cycles: Optional[int] = None
+    inference: InferenceSpec = field(default_factory=lambda: InferenceSpec("als"))
+    assessor: AssessorSpec = field(default_factory=lambda: AssessorSpec("loo_bayesian"))
+    training: TrainingSpec = field(default_factory=TrainingSpec)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ValueError("ScenarioSpec.name must be a non-empty string")
+        object.__setattr__(self, "slots", tuple(self.slots))
+        if not self.slots:
+            raise ValueError("a scenario needs at least one slot")
+        names = [slot.name for slot in self.slots]
+        if len(set(names)) != len(names):
+            raise ValueError(f"slot names must be unique, got {names}")
+        if not isinstance(self.seed, int):
+            raise ValueError(f"seed must be an int, got {self.seed!r}")
+        if not isinstance(self.history_window, int) or self.history_window <= 0:
+            raise ValueError(f"history_window must be a positive int, got {self.history_window!r}")
+        if "history_window" in self.training.drcell and (
+            not isinstance(self.training.drcell["history_window"], int)
+            or self.training.drcell["history_window"] <= 0
+        ):
+            raise ValueError("training.drcell['history_window'] must be a positive int")
+
+    # -- derived views ---------------------------------------------------------
+
+    def slot(self, name: str) -> SlotSpec:
+        """Look up a slot by name; raises ``KeyError`` when absent."""
+        for candidate in self.slots:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no slot named {name!r}; have {[s.name for s in self.slots]}")
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "history_window": self.history_window,
+            "training_days": self.training_days,
+            "min_cells_per_cycle": self.min_cells_per_cycle,
+            "max_cells_per_cycle": self.max_cells_per_cycle,
+            "assess_every": self.assess_every,
+            "max_test_cycles": self.max_test_cycles,
+            "inference": self.inference.to_dict(),
+            "assessor": self.assessor.to_dict(),
+            "training": self.training.to_dict(),
+            "slots": [slot.to_dict() for slot in self.slots],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioSpec":
+        _check_keys(cls, payload)
+        kwargs: Dict[str, Any] = {
+            key: payload[key]
+            for key in (
+                "seed",
+                "history_window",
+                "training_days",
+                "min_cells_per_cycle",
+                "max_cells_per_cycle",
+                "assess_every",
+                "max_test_cycles",
+            )
+            if key in payload
+        }
+        if "inference" in payload:
+            kwargs["inference"] = InferenceSpec.from_dict(payload["inference"])
+        if "assessor" in payload:
+            kwargs["assessor"] = AssessorSpec.from_dict(payload["assessor"])
+        if "training" in payload:
+            kwargs["training"] = TrainingSpec.from_dict(payload["training"])
+        return cls(
+            name=payload["name"],
+            slots=tuple(SlotSpec.from_dict(slot) for slot in payload["slots"]),
+            **kwargs,
+        )
+
+    def to_json(self, *, indent: int = 2) -> str:
+        """JSON text form; ``from_json`` recovers an equal spec."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+    def replace(self, **changes: Any) -> "ScenarioSpec":
+        """A copy with the given fields replaced (frozen-dataclass friendly)."""
+        return replace(self, **changes)

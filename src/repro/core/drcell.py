@@ -14,6 +14,7 @@ from typing import Dict, Optional, Union
 
 import numpy as np
 
+from repro.api.registry import POLICIES
 from repro.core.action import ActionSpace
 from repro.core.config import DRCellConfig
 from repro.core.state import DRCellStateModel
@@ -144,6 +145,7 @@ class DRCellAgent:
         self.set_weights(load_weights(path))
 
 
+@POLICIES.register("drcell", trains_agent=True)
 class DRCellPolicy(CellSelectionPolicy):
     """Greedy (or δ-greedy) campaign policy backed by a :class:`DRCellAgent`."""
 

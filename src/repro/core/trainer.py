@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -153,23 +153,9 @@ class DRCellTrainer:
                 self.build_environment(dataset, requirement, variant=index)
                 for index in range(n_envs)
             ]
-            vector_env = BatchedSparseMCSVectorEnv(environments)
-            history = agent.agent.train_episodes_vectorized(
-                vector_env, episodes, log_every=0
+            self._run_lockstep(
+                agent, environments, episodes, episode_rewards, episode_selections
             )
-            for position, stats in enumerate(history):
-                episode_rewards.append(stats.total_reward)
-                cycles = max(1, int(stats.extra.get("episode_cycles", 1)))
-                episode_selections.append(stats.steps / cycles)
-                logger.info(
-                    "DR-Cell training episode %d/%d (env %d): reward=%.1f "
-                    "selections/cycle=%.2f",
-                    position + 1,
-                    episodes,
-                    int(stats.extra.get("env_index", 0)),
-                    stats.total_reward,
-                    stats.steps / cycles,
-                )
         else:
             environment = self.build_environment(dataset, requirement)
             for episode in range(episodes):
@@ -202,3 +188,124 @@ class DRCellTrainer:
             }
         )
         return agent, report
+
+    def train_lockstep(
+        self,
+        datasets: Sequence[SensingDataset],
+        requirements: Union[QualityRequirement, Sequence[QualityRequirement]],
+        *,
+        agent: Optional[DRCellAgent] = None,
+        episodes: Optional[int] = None,
+    ) -> tuple[DRCellAgent, TrainingReport]:
+        """Train one agent across heterogeneous (dataset, requirement) pairs.
+
+        This is the mixed-dataset / mixed-requirement counterpart of
+        :meth:`train`: one environment is built per pair and all of them are
+        stepped in lockstep by the vectorized engine
+        (:class:`~repro.mcs.vector.BatchedSparseMCSVectorEnv` driving
+        :meth:`~repro.rl.dqn.DQNAgent.train_episodes_vectorized`), batching
+        action selection and the quality-check inference across the fleet.
+        The datasets may differ in values, cycle counts and requirements but
+        must agree on the number of cells (the action space).
+
+        ``config.vector_envs`` is ignored here — the fleet size is simply the
+        number of pairs.
+
+        Parameters
+        ----------
+        datasets:
+            One preliminary-study dataset per training slot.
+        requirements:
+            One (ε, p)-requirement per dataset, or a single requirement
+            shared by all.
+        agent:
+            An existing agent to continue training; built fresh when omitted.
+        episodes:
+            Total episodes across the fleet (defaults to the config's).
+
+        Returns
+        -------
+        tuple
+            ``(trained_agent, report)``.
+        """
+        datasets = list(datasets)
+        if not datasets:
+            raise ValueError("at least one dataset is required")
+        if isinstance(requirements, QualityRequirement):
+            requirements = [requirements] * len(datasets)
+        requirements = list(requirements)
+        if len(requirements) != len(datasets):
+            raise ValueError(
+                f"{len(requirements)} requirements for {len(datasets)} datasets; "
+                "provide one per dataset or a single shared requirement"
+            )
+        n_cells = datasets[0].n_cells
+        for index, candidate in enumerate(datasets):
+            if candidate.n_cells != n_cells:
+                raise ValueError(
+                    f"dataset {index} has {candidate.n_cells} cells, expected {n_cells}; "
+                    "lockstep training requires a shared action space"
+                )
+        episodes = check_positive_int(
+            episodes if episodes is not None else self.config.episodes, "episodes"
+        )
+        if agent is None:
+            agent = DRCellAgent.build(n_cells, self.config)
+        elif agent.n_cells != n_cells:
+            raise ValueError(
+                f"agent was built for {agent.n_cells} cells but the datasets have {n_cells}"
+            )
+
+        environments = [
+            self.build_environment(dataset, requirement, variant=index)
+            for index, (dataset, requirement) in enumerate(zip(datasets, requirements))
+        ]
+        episode_rewards: List[float] = []
+        episode_selections: List[float] = []
+        start = time.perf_counter()
+        self._run_lockstep(agent, environments, episodes, episode_rewards, episode_selections)
+        elapsed = time.perf_counter() - start
+
+        report = TrainingReport(
+            episodes=episodes,
+            total_steps=agent.agent.total_steps,
+            wall_clock_seconds=elapsed,
+            episode_rewards=episode_rewards,
+            episode_selections=episode_selections,
+        )
+        dataset_names = sorted({dataset.name for dataset in datasets})
+        requirement_names = sorted({requirement.describe() for requirement in requirements})
+        agent.training_info.update(
+            {
+                "dataset": " + ".join(dataset_names),
+                "episodes_trained": agent.training_info.get("episodes_trained", 0) + episodes,
+                "last_training_seconds": elapsed,
+                "requirement": " + ".join(requirement_names),
+            }
+        )
+        return agent, report
+
+    def _run_lockstep(
+        self,
+        agent: DRCellAgent,
+        environments: List[SparseMCSEnvironment],
+        episodes: int,
+        episode_rewards: List[float],
+        episode_selections: List[float],
+    ) -> None:
+        """Drive the vectorized training loop and collect per-episode statistics."""
+        vector_env = BatchedSparseMCSVectorEnv(environments)
+        history = agent.agent.train_episodes_vectorized(vector_env, episodes, log_every=0)
+        for position, stats in enumerate(history):
+            episode_rewards.append(stats.total_reward)
+            cycles = max(1, int(stats.extra.get("episode_cycles", 1)))
+            episode_selections.append(stats.steps / cycles)
+            logger.info(
+                "DR-Cell training episode %d/%d (env %d): reward=%.1f "
+                "selections/cycle=%.2f",
+                position + 1,
+                episodes,
+                int(stats.extra.get("env_index", 0)),
+                stats.total_reward,
+                stats.steps / cycles,
+            )

@@ -27,6 +27,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.api.registry import DATASETS
 from repro.datasets.base import SensingDataset
 from repro.datasets.spatial import grid_coordinates, sample_spatial_field, select_valid_cells
 from repro.datasets.temporal import ar1_series, diurnal_profile
@@ -44,6 +45,7 @@ _CYCLE_HOURS = 0.5
 _DURATION_DAYS = 7
 
 
+@DATASETS.register("sensorscope")
 def generate_sensorscope(
     kind: str = "temperature",
     *,

@@ -25,6 +25,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.api.registry import DATASETS
 from repro.datasets.base import SensingDataset
 from repro.datasets.spatial import grid_coordinates, sample_spatial_field
 from repro.datasets.temporal import ar1_series, diurnal_profile, smooth_episode_series
@@ -40,6 +41,7 @@ _CYCLE_HOURS = 1.0
 _DURATION_DAYS = 11
 
 
+@DATASETS.register("uair")
 def generate_uair(
     *,
     n_cells: Optional[int] = None,

@@ -5,30 +5,36 @@ The paper's main result: for the Sensor-Scope temperature task with
 p ∈ {0.9, 0.95}, DR-Cell selects fewer cells per sensing cycle than the QBC
 and RANDOM baselines while meeting the same quality requirement.
 
-This module reproduces the experiment protocol of §5.3: train the Q-function
-on the first two days of data (the preliminary study), then run the testing
-stage with the leave-one-out Bayesian assessor and compare the average
-number of selected cells per cycle.
+This module reproduces the experiment protocol of §5.3 declaratively: each
+(task, p) combination is described as a :class:`~repro.api.specs.ScenarioSpec`
+with one slot per policy and run through the
+:class:`~repro.api.session.Session` facade — training on the 2-day
+preliminary study, then the lockstep testing-stage campaign with the
+leave-one-out Bayesian assessor.  The spec construction mirrors the
+hand-wired protocol this module used before the API redesign (same seed
+streams, same shared components), so results at a given seed are unchanged.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
-from repro.core.drcell import DRCellPolicy
-from repro.core.trainer import DRCellTrainer
+from repro.api.session import Session
+from repro.api.specs import (
+    AssessorSpec,
+    DatasetSpec,
+    InferenceSpec,
+    PolicySpec,
+    RequirementSpec,
+    ScenarioSpec,
+    SlotSpec,
+    TrainingSpec,
+)
 from repro.experiments.config import ExperimentScale, SMALL_SCALE
 from repro.experiments.reporting import relative_reduction
-from repro.mcs.campaign import BatchedCampaignRunner
-from repro.mcs.policies import CellSelectionPolicy
-from repro.mcs.qbc import QBCSelectionPolicy
-from repro.mcs.random_policy import RandomSelectionPolicy
-from repro.mcs.results import CampaignResult
-from repro.mcs.task import SensingTask
-from repro.quality.epsilon_p import QualityRequirement
 from repro.utils.logging import get_logger
-from repro.utils.seeding import derive_rng
 
 logger = get_logger(__name__)
 
@@ -41,6 +47,9 @@ PAPER_EPSILON = {"temperature": 0.3, "pm25": 9.0 / 36.0}
 #: the experiment in the same interesting regime (a handful of cells needed
 #: per cycle, quality achievable well before full coverage).
 DEFAULT_EPSILON = {"temperature": 0.5, "pm25": 0.25}
+
+#: Registry keys of the Figure 6 policies.
+POLICY_KEYS = {"DR-Cell": "drcell", "QBC": "qbc", "RANDOM": "random"}
 
 
 @dataclass(frozen=True)
@@ -96,6 +105,63 @@ class Figure6Result:
         )
 
 
+def figure6_scenario(
+    scale: ExperimentScale,
+    task_name: str,
+    p: float,
+    *,
+    policies: Sequence[str] = ("DR-Cell", "QBC", "RANDOM"),
+    epsilon: Optional[float] = None,
+    seed: int = 0,
+) -> ScenarioSpec:
+    """The declarative scenario of one Figure 6 (task, p) combination.
+
+    One slot per policy, all sharing the task's dataset and requirement, so
+    the session evaluates them as one lockstep campaign group with pooled
+    assessments — exactly the pre-redesign protocol.
+    """
+    dataset = _dataset_spec(scale, task_name, seed)
+    metric = "classification" if task_name == "pm25" else "mae"
+    if epsilon is None:
+        epsilon = DEFAULT_EPSILON[task_name]
+    requirement = RequirementSpec(epsilon=epsilon, p=p, metric=metric)
+    slots = []
+    for policy_name in policies:
+        if policy_name not in POLICY_KEYS:
+            raise ValueError(
+                f"unknown policy {policy_name!r}; expected one of {sorted(POLICY_KEYS)}"
+            )
+        slots.append(
+            SlotSpec(
+                name=policy_name,
+                dataset=dataset,
+                requirement=requirement,
+                policy=PolicySpec(POLICY_KEYS[policy_name]),
+            )
+        )
+    return ScenarioSpec(
+        name=f"figure6-{task_name}-p{p:g}",
+        slots=tuple(slots),
+        seed=seed,
+        history_window=scale.history_window,
+        training_days=scale.training_days,
+        min_cells_per_cycle=scale.min_cells_per_cycle,
+        assess_every=scale.assess_every,
+        max_test_cycles=scale.max_test_cycles,
+        inference=InferenceSpec("als", {"rank": 3, "iterations": scale.als_iterations}),
+        assessor=AssessorSpec(
+            "loo_bayesian",
+            {
+                "min_observations": min(3, scale.min_cells_per_cycle),
+                "max_loo_cells": scale.max_loo_cells,
+            },
+        ),
+        training=TrainingSpec(
+            mode="per_slot", drcell=dataclasses.asdict(scale.drcell_config(seed=seed))
+        ),
+    )
+
+
 def run_figure6(
     scale: Optional[ExperimentScale] = None,
     *,
@@ -129,26 +195,41 @@ def run_figure6(
 
     result = Figure6Result()
     for task_name in tasks:
-        train_set, test_set, metric = _task_datasets(scale, task_name, seed)
+        if task_name not in DEFAULT_EPSILON:
+            raise ValueError(
+                f"unknown task {task_name!r}; expected 'temperature' or 'pm25'"
+            )
         for p in p_values:
-            requirement = QualityRequirement(epsilon=epsilons[task_name], p=p, metric=metric)
-            test_task = scale.task(test_set, requirement, seed=seed)
-            # All policies share the task, so the lockstep runner pools their
-            # per-submission assessments into one batched ALS solve each.
-            campaign = BatchedCampaignRunner(test_task, scale.campaign_config())
-            policy_objects = [
-                _build_policy(policy_name, scale, train_set, test_task, requirement, seed)
-                for policy_name in policies
-            ]
-            outcomes = campaign.run(policy_objects, n_cycles=scale.max_test_cycles)
-            for policy_name, outcome in zip(policies, outcomes):
-                result.rows.append(_to_row(task_name, p, policy_name, outcome))
+            spec = figure6_scenario(
+                scale,
+                task_name,
+                p,
+                policies=policies,
+                epsilon=epsilons[task_name],
+                seed=seed,
+            )
+            session = Session.from_spec(spec)
+            session.train()
+            evaluation = session.evaluate()
+            for policy_name in policies:
+                row = evaluation.row(policy_name)
+                result.rows.append(
+                    Figure6Row(
+                        task=task_name,
+                        p=p,
+                        policy=policy_name,
+                        mean_selected_per_cycle=row.mean_selected_per_cycle,
+                        quality_satisfied_fraction=row.quality_satisfied_fraction,
+                        total_selected=row.total_selected,
+                        n_cycles=row.n_cycles,
+                    )
+                )
                 logger.info(
                     "figure6 %s p=%.2f %s: %.2f cells/cycle",
                     task_name,
                     p,
                     policy_name,
-                    outcome.mean_selected_per_cycle,
+                    row.mean_selected_per_cycle,
                 )
     return result
 
@@ -156,53 +237,27 @@ def run_figure6(
 # -- internals -----------------------------------------------------------------
 
 
-def _task_datasets(scale: ExperimentScale, task_name: str, seed: int):
-    """Build the (train, test) split and metric for one of the two tasks."""
+def _dataset_spec(scale: ExperimentScale, task_name: str, seed: int) -> DatasetSpec:
+    """The declarative dataset of one Figure 6 task at ``scale``."""
     if task_name == "temperature":
-        dataset = scale.sensorscope_dataset("temperature", seed=seed)
-        metric = "mae"
-    elif task_name == "pm25":
-        dataset = scale.uair_dataset(seed=seed)
-        metric = "classification"
-    else:
-        raise ValueError(f"unknown task {task_name!r}; expected 'temperature' or 'pm25'")
-    train_set, test_set = dataset.train_test_split(scale.training_days)
-    return train_set, test_set, metric
-
-
-def _build_policy(
-    policy_name: str,
-    scale: ExperimentScale,
-    train_set,
-    test_task: SensingTask,
-    requirement: QualityRequirement,
-    seed: int,
-) -> CellSelectionPolicy:
-    """Instantiate (and, for DR-Cell, train) the requested policy."""
-    if policy_name == "RANDOM":
-        return RandomSelectionPolicy(seed=derive_rng(seed, 21))
-    if policy_name == "QBC":
-        return QBCSelectionPolicy(
-            coordinates=test_task.dataset.coordinates,
-            history_window=scale.history_window,
-            seed=derive_rng(seed, 22),
+        return DatasetSpec(
+            "sensorscope",
+            {
+                "kind": "temperature",
+                "n_cells": scale.sensorscope_cells,
+                "duration_days": scale.sensorscope_days,
+                "cycle_length_hours": scale.sensorscope_cycle_hours,
+                "seed": seed,
+            },
         )
-    if policy_name == "DR-Cell":
-        trainer = DRCellTrainer(
-            scale.drcell_config(seed=seed), inference=scale.inference(seed=seed)
+    if task_name == "pm25":
+        return DatasetSpec(
+            "uair",
+            {
+                "n_cells": scale.uair_cells,
+                "duration_days": scale.uair_days,
+                "cycle_length_hours": scale.uair_cycle_hours,
+                "seed": seed,
+            },
         )
-        agent, _ = trainer.train(train_set, requirement)
-        return DRCellPolicy(agent)
-    raise ValueError(f"unknown policy {policy_name!r}")
-
-
-def _to_row(task_name: str, p: float, policy_name: str, outcome: CampaignResult) -> Figure6Row:
-    return Figure6Row(
-        task=task_name,
-        p=p,
-        policy=policy_name,
-        mean_selected_per_cycle=outcome.mean_selected_per_cycle,
-        quality_satisfied_fraction=outcome.quality_satisfied_fraction,
-        total_selected=outcome.total_selected,
-        n_cycles=outcome.n_cycles,
-    )
+    raise ValueError(f"unknown task {task_name!r}; expected 'temperature' or 'pm25'")

@@ -13,22 +13,38 @@ data.  Four strategies are compared on the target task:
 The paper runs both directions (temperature→humidity and
 humidity→temperature) and reports the average number of selected cells per
 cycle on the target task's testing stage.
+
+The testing-stage evaluation is expressed as a
+:class:`~repro.api.specs.ScenarioSpec` with one slot per strategy and runs
+through the :class:`~repro.api.session.Session` facade; the transfer-specific
+training (source agent, fine-tuning, short training) stays hand-wired here
+and is injected with :meth:`~repro.api.session.Session.set_agent` /
+:meth:`~repro.api.session.Session.set_policy`, which keeps results at a
+given seed identical to the pre-redesign protocol.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.drcell import DRCellAgent, DRCellPolicy
+from repro.api.session import Session
+from repro.api.specs import (
+    AssessorSpec,
+    DatasetSpec,
+    InferenceSpec,
+    PolicySpec,
+    RequirementSpec,
+    ScenarioSpec,
+    SlotSpec,
+    TrainingSpec,
+)
 from repro.core.trainer import DRCellTrainer
 from repro.core.transfer import transfer_train
 from repro.experiments.config import ExperimentScale, SMALL_SCALE
 from repro.experiments.reporting import relative_reduction
-from repro.mcs.campaign import BatchedCampaignRunner
 from repro.mcs.random_policy import RandomSelectionPolicy
-from repro.mcs.results import CampaignResult
-from repro.quality.epsilon_p import QualityRequirement
 from repro.utils.logging import get_logger
 from repro.utils.seeding import derive_rng
 
@@ -141,6 +157,76 @@ def run_figure7(
     return result
 
 
+def figure7_scenario(
+    scale: ExperimentScale,
+    target_name: str,
+    *,
+    strategies: Sequence[str] = STRATEGIES,
+    p: float = 0.9,
+    epsilon: Optional[float] = None,
+    seed: int = 0,
+) -> ScenarioSpec:
+    """The declarative testing-stage scenario of one Figure 7 direction.
+
+    Every strategy is a slot over the shared target dataset; the DRQN-backed
+    strategies are declared with ``"train": False`` because their agents are
+    produced by the transfer-specific training in :func:`run_figure7` and
+    injected via :meth:`~repro.api.session.Session.set_agent`.
+    """
+    for strategy in strategies:
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
+    if epsilon is None:
+        epsilon = DEFAULT_EPSILON[target_name]
+    dataset = DatasetSpec(
+        "sensorscope",
+        {
+            "kind": target_name,
+            "n_cells": scale.sensorscope_cells,
+            "duration_days": scale.sensorscope_days,
+            "cycle_length_hours": scale.sensorscope_cycle_hours,
+            "seed": seed,
+        },
+    )
+    requirement = RequirementSpec(epsilon=epsilon, p=p, metric="mae")
+    slots = tuple(
+        SlotSpec(
+            name=strategy,
+            dataset=dataset,
+            requirement=requirement,
+            policy=(
+                PolicySpec("random")
+                if strategy == "RANDOM"
+                else PolicySpec("drcell", {"train": False, "name": strategy})
+            ),
+        )
+        for strategy in strategies
+    )
+    return ScenarioSpec(
+        name=f"figure7-{target_name}-p{p:g}",
+        slots=slots,
+        seed=seed,
+        history_window=scale.history_window,
+        training_days=scale.training_days,
+        min_cells_per_cycle=scale.min_cells_per_cycle,
+        assess_every=scale.assess_every,
+        max_test_cycles=scale.max_test_cycles,
+        inference=InferenceSpec("als", {"rank": 3, "iterations": scale.als_iterations}),
+        assessor=AssessorSpec(
+            "loo_bayesian",
+            {
+                "min_observations": min(3, scale.min_cells_per_cycle),
+                "max_loo_cells": scale.max_loo_cells,
+            },
+        ),
+        training=TrainingSpec(
+            mode="per_slot", drcell=dataclasses.asdict(scale.drcell_config(seed=seed))
+        ),
+    )
+
+
 # -- internals -----------------------------------------------------------------
 
 
@@ -154,50 +240,67 @@ def _run_direction(
     fine_tune_episodes: int,
     seed: int,
 ) -> List[Figure7Row]:
-    source_dataset = scale.sensorscope_dataset(source_name, seed=seed)
-    target_dataset = scale.sensorscope_dataset(target_name, seed=seed)
+    spec = figure7_scenario(
+        scale,
+        target_name,
+        strategies=strategies,
+        p=p,
+        epsilon=epsilons[target_name],
+        seed=seed,
+    )
+    session = Session.from_spec(spec)
 
+    source_dataset = scale.sensorscope_dataset(source_name, seed=seed)
     source_train, _ = source_dataset.train_test_split(scale.training_days)
-    target_train_full, target_test = target_dataset.train_test_split(scale.training_days)
+    target_train_full = session.slots[0].train_set
     target_cycles = min(scale.transfer_target_cycles, target_train_full.n_cycles)
     target_train_small = target_train_full.slice_cycles(0, target_cycles, suffix="short")
 
-    source_requirement = QualityRequirement(epsilon=epsilons[source_name], p=p, metric="mae")
-    target_requirement = QualityRequirement(epsilon=epsilons[target_name], p=p, metric="mae")
+    source_requirement = RequirementSpec(
+        epsilon=epsilons[source_name], p=p, metric="mae"
+    ).build()
+    target_requirement = session.slots[0].requirement
 
     config = scale.drcell_config(seed=seed)
     trainer = DRCellTrainer(config, inference=scale.inference(seed=seed))
     source_agent, _ = trainer.train(source_train, source_requirement)
 
-    test_task = scale.task(target_test, target_requirement, seed=seed)
-    # The strategies share the target task; run them in lockstep so their
-    # per-submission assessments batch into shared completions.
-    campaign = BatchedCampaignRunner(test_task, scale.campaign_config())
+    for strategy in strategies:
+        if strategy == "RANDOM":
+            # Stream 31 is the pre-redesign Figure 7 baseline stream; keep it
+            # via set_policy so results at a given seed stay unchanged.
+            session.set_policy(
+                strategy, RandomSelectionPolicy(seed=derive_rng(seed, 31))
+            )
+        elif strategy == "NO-TRANSFER":
+            session.set_agent(strategy, source_agent)
+        elif strategy == "SHORT-TRAIN":
+            agent, _ = trainer.train(
+                target_train_small, target_requirement, episodes=fine_tune_episodes
+            )
+            session.set_agent(strategy, agent)
+        elif strategy == "TRANSFER":
+            agent, _ = transfer_train(
+                source_agent,
+                target_train_small,
+                target_requirement,
+                fine_tune_episodes=fine_tune_episodes,
+                trainer=trainer,
+            )
+            session.set_agent(strategy, agent)
 
-    policies = [
-        _strategy_policy(
-            strategy,
-            source_agent,
-            target_train_small,
-            target_requirement,
-            trainer,
-            fine_tune_episodes,
-            seed,
-        )
-        for strategy in strategies
-    ]
-    outcomes = campaign.run(policies, n_cycles=scale.max_test_cycles)
-
+    evaluation = session.evaluate()
     rows: List[Figure7Row] = []
-    for strategy, outcome in zip(strategies, outcomes):
+    for strategy in strategies:
+        row = evaluation.row(strategy)
         rows.append(
             Figure7Row(
                 target_task=target_name,
                 source_task=source_name,
                 strategy=strategy,
-                mean_selected_per_cycle=outcome.mean_selected_per_cycle,
-                quality_satisfied_fraction=outcome.quality_satisfied_fraction,
-                n_cycles=outcome.n_cycles,
+                mean_selected_per_cycle=row.mean_selected_per_cycle,
+                quality_satisfied_fraction=row.quality_satisfied_fraction,
+                n_cycles=row.n_cycles,
             )
         )
         logger.info(
@@ -205,37 +308,6 @@ def _run_direction(
             source_name,
             target_name,
             strategy,
-            outcome.mean_selected_per_cycle,
+            row.mean_selected_per_cycle,
         )
     return rows
-
-
-def _strategy_policy(
-    strategy: str,
-    source_agent: DRCellAgent,
-    target_train_small,
-    target_requirement: QualityRequirement,
-    trainer: DRCellTrainer,
-    fine_tune_episodes: int,
-    seed: int,
-):
-    """Build the campaign policy of one Figure-7 strategy."""
-    if strategy == "RANDOM":
-        return RandomSelectionPolicy(seed=derive_rng(seed, 31))
-    if strategy == "NO-TRANSFER":
-        return DRCellPolicy(source_agent, name="NO-TRANSFER")
-    if strategy == "SHORT-TRAIN":
-        agent, _ = trainer.train(
-            target_train_small, target_requirement, episodes=fine_tune_episodes
-        )
-        return DRCellPolicy(agent, name="SHORT-TRAIN")
-    if strategy == "TRANSFER":
-        agent, _ = transfer_train(
-            source_agent,
-            target_train_small,
-            target_requirement,
-            fine_tune_episodes=fine_tune_episodes,
-            trainer=trainer,
-        )
-        return DRCellPolicy(agent, name="TRANSFER")
-    raise ValueError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")

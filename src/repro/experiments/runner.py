@@ -37,7 +37,7 @@ def run_all_experiments(
     scale = scale or get_scale("small")
     results: Dict[str, object] = {}
     logger.info("running Table 1 at scale %s", scale.name)
-    results["table1"] = run_table1(seed=seed)
+    results["table1"] = run_table1(scale, seed=seed)
     logger.info("running Figure 6 at scale %s", scale.name)
     results["figure6"] = run_figure6(scale, seed=seed)
     if include_figure7:

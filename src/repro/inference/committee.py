@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.api.registry import INFERENCE
 from repro.inference.base import InferenceAlgorithm
 from repro.inference.compressive import CompressiveSensingInference
 from repro.inference.interpolation import SpatialMeanInference, TemporalInterpolationInference
@@ -81,3 +82,62 @@ class InferenceCommittee:
 
     def __len__(self) -> int:
         return len(self.members)
+
+
+class CommitteeMeanInference(InferenceAlgorithm):
+    """The committee's mean completion as a plain inference algorithm.
+
+    Averaging diverse members is a classic variance-reduction ensemble; it
+    lets a scenario use a whole committee wherever a single
+    :class:`InferenceAlgorithm` is expected (campaign inference, quality
+    assessment).  Observed entries are still copied through unchanged by the
+    :class:`InferenceAlgorithm` contract.
+    """
+
+    name = "committee_mean"
+
+    def __init__(self, committee: InferenceCommittee) -> None:
+        self.committee = committee
+
+    def _complete(self, matrix: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        completions = list(self.committee.completions(matrix).values())
+        return np.mean(np.stack(completions, axis=0), axis=0)
+
+
+@INFERENCE.register("committee", seed_stream=5)
+def build_committee_inference(
+    members: Optional[Sequence[object]] = None,
+    *,
+    coordinates: Optional[np.ndarray] = None,
+    rank: int = 3,
+    seed: RngLike = None,
+) -> CommitteeMeanInference:
+    """Registry factory for the ``committee`` inference key.
+
+    ``members`` is a sequence of inference registry keys (strings) or
+    ``[key, params]`` pairs, resolved recursively through the registry;
+    omitted, the paper-style default committee is used.
+    """
+    import inspect
+
+    if members is None:
+        committee = InferenceCommittee.default(coordinates=coordinates, rank=rank, seed=seed)
+    else:
+        built: List[InferenceAlgorithm] = []
+        for index, member in enumerate(members):
+            if isinstance(member, str):
+                name, params = member, {}
+            else:
+                name, params = member[0], dict(member[1])
+            factory = INFERENCE.get(name)
+            accepted = {
+                parameter.name
+                for parameter in inspect.signature(factory).parameters.values()
+            }
+            if "coordinates" in accepted and "coordinates" not in params:
+                params["coordinates"] = coordinates
+            if "seed" in accepted and "seed" not in params:
+                params["seed"] = derive_rng(seed, index)
+            built.append(factory(**params))
+        committee = InferenceCommittee(built)
+    return CommitteeMeanInference(committee)

@@ -24,6 +24,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.api.registry import INFERENCE
+
 from repro.inference.base import ColumnMeanFallbackMixin, InferenceAlgorithm, observed_mask
 from repro.utils.seeding import RngLike, as_rng
 from repro.utils.validation import check_non_negative, check_positive_int
@@ -52,6 +54,7 @@ def _solve_small(gram: np.ndarray, rhs: np.ndarray) -> np.ndarray:
     return np.linalg.solve(gram, rhs)
 
 
+@INFERENCE.register("als", seed_stream=5)
 class CompressiveSensingInference(ColumnMeanFallbackMixin, InferenceAlgorithm):
     """ALS low-rank matrix completion with optional temporal smoothness.
 

@@ -9,9 +9,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import INFERENCE
 from repro.inference.base import ColumnMeanFallbackMixin, InferenceAlgorithm
 
 
+@INFERENCE.register("spatial_mean")
 class SpatialMeanInference(ColumnMeanFallbackMixin, InferenceAlgorithm):
     """Fill each missing entry with the mean of the cells sensed in the same cycle.
 
@@ -43,6 +45,7 @@ class SpatialMeanInference(ColumnMeanFallbackMixin, InferenceAlgorithm):
         return completed
 
 
+@INFERENCE.register("interpolation")
 class TemporalInterpolationInference(ColumnMeanFallbackMixin, InferenceAlgorithm):
     """Per-cell linear interpolation along the time axis.
 

@@ -13,10 +13,12 @@ from typing import Optional
 
 import numpy as np
 
+from repro.api.registry import INFERENCE
 from repro.inference.base import ColumnMeanFallbackMixin, InferenceAlgorithm
 from repro.utils.validation import check_positive_int
 
 
+@INFERENCE.register("knn")
 class KNNInference(ColumnMeanFallbackMixin, InferenceAlgorithm):
     """Distance-weighted K-nearest-neighbour inference over cell coordinates.
 

@@ -9,10 +9,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import INFERENCE
 from repro.inference.base import ColumnMeanFallbackMixin, InferenceAlgorithm
 from repro.utils.validation import check_non_negative, check_positive_int
 
 
+@INFERENCE.register("svt")
 class SVTInference(ColumnMeanFallbackMixin, InferenceAlgorithm):
     """Iterative soft-impute / singular-value-thresholding completion.
 

@@ -20,10 +20,97 @@ import numpy as np
 from repro.mcs.policies import CellSelectionPolicy
 from repro.mcs.results import CampaignResult, CycleRecord
 from repro.mcs.task import SensingTask
+from repro.mcs.vector import BatchedSparseMCSVectorEnv
 from repro.utils.logging import get_logger
 from repro.utils.validation import check_positive_int
 
 logger = get_logger(__name__)
+
+
+def _same_attributes(a, b, *, skip: frozenset = frozenset()) -> bool:
+    """Attribute-wise equality of two same-type component instances.
+
+    RNG state (``numpy.random.Generator`` attributes) is deliberately ignored
+    — it never changes *what* a component computes, only which random draws
+    it makes; arrays compare by value; everything else by ``==`` (objects
+    without a value-based ``__eq__``, e.g. committee containers, therefore
+    only match themselves, which keeps the comparison conservative).
+    """
+    state_a, state_b = vars(a), vars(b)
+    if set(state_a) != set(state_b):
+        return False
+    for key, value_a in state_a.items():
+        if key in skip:
+            continue
+        value_b = state_b[key]
+        if isinstance(value_a, np.random.Generator) or isinstance(
+            value_b, np.random.Generator
+        ):
+            continue
+        if isinstance(value_a, np.ndarray) or isinstance(value_b, np.ndarray):
+            if not (
+                isinstance(value_a, np.ndarray)
+                and isinstance(value_b, np.ndarray)
+                and value_a.shape == value_b.shape
+                and np.array_equal(value_a, value_b)
+            ):
+                return False
+        elif value_a != value_b:
+            return False
+    return True
+
+
+def _equivalent_inference(a, b) -> bool:
+    """True when two inference algorithms are interchangeable for pooling.
+
+    Starts from the :meth:`BatchedSparseMCSVectorEnv._equivalent_inference`
+    notion (same type, same ALS solver hyper-parameters, initialisation seed
+    ignored — the batched solver uses one initialisation anyway) and
+    additionally requires every *other* configuration attribute to match:
+    the vector-env check alone would treat e.g. ``KNNInference(k=2)`` and
+    ``KNNInference(k=7)`` as interchangeable because neither carries the ALS
+    parameter names.
+    """
+    if a is b:
+        return True
+    if not BatchedSparseMCSVectorEnv._equivalent_inference(a, b):
+        return False
+    skip = frozenset(("rank", "regularization", "temporal_weight", "iterations", "_init_seed"))
+    return _same_attributes(a, b, skip=skip)
+
+
+def _equivalent_assessor(a, b) -> bool:
+    """True when two assessors are interchangeable for a pooled assessment.
+
+    Mirrors :func:`_equivalent_inference` on the assessor side: distinct
+    instances of the same assessor class with equal configuration (and, for
+    oracle assessors, equal ground truth) compute the same quantity, so
+    lockstep slots carrying them can share one ``assess_many`` call.
+    """
+    if a is b:
+        return True
+    if type(a) is not type(b):
+        return False
+    return _same_attributes(a, b)
+
+
+def _group_by_equivalence(items, equivalent) -> List[List]:
+    """Partition ``items`` into groups whose members are pairwise ``equivalent``.
+
+    Equivalence is checked against each group's first member (the relation is
+    transitive for the attribute-equality notions used here), preserving
+    first-seen order so the pooled calls consume shared random streams in a
+    deterministic order.
+    """
+    groups: List[List] = []
+    for item in items:
+        for group in groups:
+            if equivalent(group[0], item):
+                group.append(item)
+                break
+        else:
+            groups.append([item])
+    return groups
 
 
 def _warn_on_window_mismatch(task: SensingTask, config: "CampaignConfig") -> None:
@@ -376,13 +463,16 @@ class BatchedCampaignRunner:
             if slot.n_selected >= min_cells
             and (slot.n_selected - min_cells) % self.config.assess_every == 0
         ]
-        # Group by (assessor, inference) identity: slots sharing a task (the
-        # common multi-policy case) are pooled into one assess_many call.
-        groups: dict = {}
-        for slot in due:
-            key = (id(slot.task.assessor), id(slot.task.inference))
-            groups.setdefault(key, []).append(slot)
-        for group in groups.values():
+        # Pool by (assessor, inference) *equivalence*, not identity: slots
+        # sharing a task pool trivially, and slots carrying distinct but
+        # equivalently configured instances (the normal case when a scenario
+        # spec constructs one instance per slot) share the batched solve too.
+        groups = _group_by_equivalence(
+            due,
+            lambda a, b: _equivalent_assessor(a.task.assessor, b.task.assessor)
+            and _equivalent_inference(a.task.inference, b.task.inference),
+        )
+        for group in groups:
             verdicts = group[0].task.assessor.assess_many(
                 [slot.observed[:, : cycle + 1] for slot in group],
                 [cycle] * len(group),
@@ -405,10 +495,11 @@ class BatchedCampaignRunner:
                 slot.inferred[:, cycle] = ground_truth[:, cycle]
             else:
                 needs_completion.append(slot)
-        groups: dict = {}
-        for slot in needs_completion:
-            groups.setdefault(id(slot.task.inference), []).append(slot)
-        for group in groups.values():
+        groups = _group_by_equivalence(
+            needs_completion,
+            lambda a, b: _equivalent_inference(a.task.inference, b.task.inference),
+        )
+        for group in groups:
             inference = group[0].task.inference
             windows = [slot.observed[:, start : cycle + 1] for slot in group]
             completed_windows = inference.complete_batch(windows)

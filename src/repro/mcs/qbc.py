@@ -13,11 +13,13 @@ from typing import Optional
 import numpy as np
 
 from repro.inference.committee import InferenceCommittee
+from repro.api.registry import POLICIES
 from repro.mcs.policies import CellSelectionPolicy
 from repro.utils.seeding import RngLike, as_rng
 from repro.utils.validation import check_positive_int
 
 
+@POLICIES.register("qbc", seed_stream=22)
 class QBCSelectionPolicy(CellSelectionPolicy):
     """Query-by-committee cell selection.
 

@@ -8,10 +8,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import POLICIES
 from repro.mcs.policies import CellSelectionPolicy
 from repro.utils.seeding import RngLike, as_rng
 
 
+@POLICIES.register("random", seed_stream=21)
 class RandomSelectionPolicy(CellSelectionPolicy):
     """Uniform random selection among the cells not yet sensed this cycle."""
 

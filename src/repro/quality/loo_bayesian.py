@@ -40,6 +40,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 from scipy import stats
 
+from repro.api.registry import ASSESSORS
 from repro.inference.base import InferenceAlgorithm
 from repro.quality.epsilon_p import QualityRequirement
 from repro.utils.validation import check_positive_int
@@ -93,6 +94,7 @@ class QualityAssessor(abc.ABC):
         ]
 
 
+@ASSESSORS.register("loo_bayesian")
 class LeaveOneOutBayesianAssessor(QualityAssessor):
     """Leave-one-out Bayesian estimate of P(cycle error ≤ ε).
 
@@ -214,22 +216,27 @@ class LeaveOneOutBayesianAssessor(QualityAssessor):
                 chosen = self._rng.choice(sensed, size=self.max_loo_cells, replace=False)
             else:
                 chosen = sensed
-            cells, true_values = [], []
             pool_start = len(held_out_pool)
-            for cell in chosen:
-                held_out = window.copy()
-                true_value = held_out[cell, current]
-                held_out[cell, current] = np.nan
-                if not (~np.isnan(held_out[:, current])).any():
-                    continue
-                held_out_pool.append(held_out)
-                cells.append(int(cell))
-                true_values.append(float(true_value))
+            if sensed.size < 2:
+                # Removing the only sensed cell would leave nothing to infer
+                # from; every LOO window is degenerate, so no sample exists.
+                cells = np.empty(0, dtype=int)
+                true_values = np.empty(0, dtype=float)
+            else:
+                # Build all K held-out windows in one stacked write: K copies
+                # of the window, then one fancy-indexed NaN assignment on the
+                # (k, chosen[k], current) diagonal — no Python-level per-cell
+                # copy loop.
+                cells = np.asarray(chosen, dtype=int)
+                true_values = window[cells, current].astype(float)
+                stacked = np.repeat(window[np.newaxis, :, :], cells.size, axis=0)
+                stacked[np.arange(cells.size), cells, current] = np.nan
+                held_out_pool.extend(stacked)
             plans.append(
                 (
                     slot,
-                    np.asarray(cells, dtype=int),
-                    np.asarray(true_values, dtype=float),
+                    cells,
+                    true_values,
                     pool_start,
                     n_cells - sensed.size,
                 )
@@ -341,6 +348,7 @@ class LeaveOneOutBayesianAssessor(QualityAssessor):
         return float(posterior_predictive.cdf(allowed_misses))
 
 
+@ASSESSORS.register("oracle")
 class OracleAssessor(QualityAssessor):
     """Ground-truth quality assessment used during Q-function training.
 

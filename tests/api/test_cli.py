@@ -1,0 +1,87 @@
+"""Tests for repro.api.cli (the scenario command-line entry point)."""
+
+import json
+
+import pytest
+
+from repro.api.cli import constrain_to_scale, load_spec, main
+from repro.api.specs import ScenarioSpec
+from repro.experiments.config import TINY_SCALE
+
+
+@pytest.fixture(scope="module")
+def tiny_scenario_path(repo_root):
+    return repo_root / "examples" / "scenarios" / "tiny.json"
+
+
+class TestCommands:
+    def test_validate_checked_in_scenario(self, tiny_scenario_path, capsys):
+        assert main(["validate", str(tiny_scenario_path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_components_lists_registries(self, capsys):
+        assert main(["components"]) == 0
+        out = capsys.readouterr().out
+        assert "sensorscope" in out and "als" in out and "drcell" in out
+
+    def test_run_tiny_scenario(self, tiny_scenario_path, tmp_path, capsys):
+        save_dir = tmp_path / "saved"
+        code = main(
+            ["run", str(tiny_scenario_path), "--scale", "tiny", "--save", str(save_dir)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "evaluation" in out and "temperature" in out and "pm25" in out
+        assert (save_dir / "scenario.json").exists()
+
+    def test_missing_scenario_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_spec(tmp_path / "absent.json")
+
+
+class TestScaleConstraint:
+    def test_effort_knobs_are_capped(self, tiny_scenario_path, tmp_path):
+        spec = load_spec(tiny_scenario_path)
+        inflated = spec.replace(
+            training=spec.training.__class__(
+                mode=spec.training.mode, episodes=1000, drcell=spec.training.drcell
+            ),
+            max_test_cycles=10_000,
+        )
+        constrained = constrain_to_scale(inflated, TINY_SCALE)
+        assert constrained.training.episodes == TINY_SCALE.episodes
+        assert constrained.max_test_cycles == TINY_SCALE.max_test_cycles
+        assert (
+            constrained.inference.params["iterations"] <= TINY_SCALE.als_iterations
+        )
+        assert (
+            constrained.assessor.params["max_loo_cells"] <= TINY_SCALE.max_loo_cells
+        )
+
+    def test_constrained_spec_still_round_trips(self, tiny_scenario_path):
+        spec = constrain_to_scale(load_spec(tiny_scenario_path), TINY_SCALE)
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+        json.loads(spec.to_json())  # plain JSON
+
+
+class TestSlotLevelScaleConstraint:
+    def test_slot_pinned_components_are_clamped_too(self, tiny_scenario_path):
+        import dataclasses
+
+        from repro.api.specs import AssessorSpec, InferenceSpec
+
+        spec = load_spec(tiny_scenario_path)
+        pinned = spec.replace(
+            slots=tuple(
+                dataclasses.replace(
+                    slot,
+                    inference=InferenceSpec("als", {"iterations": 500}),
+                    assessor=AssessorSpec("loo_bayesian", {"max_loo_cells": 480}),
+                )
+                for slot in spec.slots
+            )
+        )
+        constrained = constrain_to_scale(pinned, TINY_SCALE)
+        for slot in constrained.slots:
+            assert slot.inference.params["iterations"] <= TINY_SCALE.als_iterations
+            assert slot.assessor.params["max_loo_cells"] <= TINY_SCALE.max_loo_cells

@@ -1,0 +1,122 @@
+"""Tests for repro.api.registry (component registries)."""
+
+import pytest
+
+from repro.api.registry import (
+    ASSESSORS,
+    DATASETS,
+    INFERENCE,
+    POLICIES,
+    Registry,
+    UnknownComponentError,
+)
+
+
+class TestRegistryMechanics:
+    def test_register_decorator_returns_target(self):
+        registry = Registry("widget")
+
+        @registry.register("thing")
+        class Thing:
+            pass
+
+        assert registry.get("thing") is Thing
+        assert Thing.__name__ == "Thing"
+
+    def test_register_direct_and_create(self):
+        registry = Registry("widget")
+        registry.register("make", lambda value=1: value * 2)
+        assert registry.create("make", value=21) == 42
+
+    def test_metadata_is_stored(self):
+        registry = Registry("widget")
+        registry.register("seeded", lambda: None, seed_stream=7, trains_agent=True)
+        assert registry.metadata("seeded") == {"seed_stream": 7, "trains_agent": True}
+
+    def test_names_contains_len_iter(self):
+        registry = Registry("widget")
+        registry.register("b", lambda: None)
+        registry.register("a", lambda: None)
+        assert registry.names() == ("a", "b")
+        assert "a" in registry and "missing" not in registry
+        assert len(registry) == 2
+        assert list(registry) == ["a", "b"]
+
+    def test_unknown_key_raises_with_available_list(self):
+        registry = Registry("widget")
+        registry.register("known", lambda: None)
+        with pytest.raises(UnknownComponentError) as excinfo:
+            registry.get("unknown")
+        assert isinstance(excinfo.value, KeyError)
+        assert excinfo.value.kind == "widget"
+        assert "known" in excinfo.value.available
+        assert "unknown" in str(excinfo.value)
+
+    def test_duplicate_registration_rejected(self):
+        registry = Registry("widget")
+        registry.register("key", lambda: 1)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("key", lambda: 2)
+
+    def test_same_object_reregistration_is_idempotent(self):
+        registry = Registry("widget")
+
+        def factory():
+            return 1
+
+        registry.register("key", factory)
+        registry.register("key", factory)  # tolerates module reloads
+        assert registry.get("key") is factory
+
+    def test_invalid_key_rejected(self):
+        registry = Registry("widget")
+        with pytest.raises(ValueError):
+            registry.register("", lambda: None)
+
+
+class TestBuiltinRegistrations:
+    """The built-in components self-register on first lookup (bootstrap)."""
+
+    def test_dataset_keys(self):
+        assert {"sensorscope", "uair", "temporal", "spatial"} <= set(DATASETS.names())
+
+    def test_inference_keys(self):
+        assert {"als", "svt", "knn", "interpolation", "committee"} <= set(
+            INFERENCE.names()
+        )
+
+    def test_policy_keys(self):
+        assert {"drcell", "random", "qbc"} <= set(POLICIES.names())
+        assert POLICIES.metadata("drcell").get("trains_agent") is True
+
+    def test_assessor_keys(self):
+        assert {"loo_bayesian", "oracle"} <= set(ASSESSORS.names())
+
+    def test_dataset_factories_build_datasets(self):
+        from repro.datasets.base import SensingDataset
+
+        for name, params in (
+            ("sensorscope", {"kind": "temperature", "n_cells": 6, "duration_days": 1.0,
+                             "cycle_length_hours": 2.0, "seed": 0}),
+            ("uair", {"n_cells": 6, "duration_days": 1.0, "cycle_length_hours": 2.0,
+                      "seed": 0}),
+            ("temporal", {"n_cells": 6, "n_cycles": 8, "seed": 0}),
+            ("spatial", {"n_cells": 6, "n_cycles": 8, "seed": 0}),
+        ):
+            dataset = DATASETS.create(name, **params)
+            assert isinstance(dataset, SensingDataset)
+            assert dataset.n_cells == 6
+
+    def test_inference_factories_build_algorithms(self):
+        from repro.inference.base import InferenceAlgorithm
+
+        for name in ("als", "svt", "knn", "interpolation", "spatial_mean", "committee"):
+            algorithm = INFERENCE.create(name)
+            assert isinstance(algorithm, InferenceAlgorithm)
+
+    def test_committee_members_resolve_recursively(self):
+        committee_inference = INFERENCE.create(
+            "committee", members=["als", ["knn", {"k": 2}], "spatial_mean"]
+        )
+        assert len(committee_inference.committee) == 3
+        assert committee_inference.committee.members[1].k == 2

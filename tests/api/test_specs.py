@@ -1,0 +1,158 @@
+"""Tests for repro.api.specs (declarative scenario specifications)."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.api.specs import (
+    AssessorSpec,
+    DatasetSpec,
+    InferenceSpec,
+    PolicySpec,
+    RequirementSpec,
+    ScenarioSpec,
+    SlotSpec,
+    TrainingSpec,
+)
+
+
+def rich_spec() -> ScenarioSpec:
+    """A scenario exercising every optional field and nested structure."""
+    temperature = SlotSpec(
+        name="temperature",
+        dataset=DatasetSpec(
+            "sensorscope",
+            {"kind": "temperature", "n_cells": 8, "duration_days": 1.5,
+             "cycle_length_hours": 2.0, "seed": 3},
+        ),
+        requirement=RequirementSpec(epsilon=1.0, p=0.8, metric="mae"),
+        policy=PolicySpec("drcell"),
+    )
+    pm25 = SlotSpec(
+        name="pm25",
+        dataset=DatasetSpec("uair", {"n_cells": 8, "duration_days": 1.5,
+                                     "cycle_length_hours": 2.0, "seed": 3}),
+        requirement=RequirementSpec(
+            epsilon=0.25, p=0.9, metric="classification",
+            breakpoints=(35.0, 75.0, 115.0),
+        ),
+        policy=PolicySpec("random", {"seed": 11}),
+        inference=InferenceSpec("svt"),
+        assessor=AssessorSpec("loo_bayesian", {"max_loo_cells": 3}),
+    )
+    return ScenarioSpec(
+        name="rich",
+        slots=(temperature, pm25),
+        seed=3,
+        history_window=6,
+        training_days=1.0,
+        min_cells_per_cycle=2,
+        max_cells_per_cycle=6,
+        assess_every=2,
+        max_test_cycles=4,
+        inference=InferenceSpec("als", {"rank": 3, "iterations": 5}),
+        assessor=AssessorSpec("loo_bayesian", {"min_observations": 2}),
+        training=TrainingSpec(
+            mode="shared",
+            episodes=2,
+            drcell={"window": 2, "lstm_hidden": 12, "dense_hidden": (12,),
+                    "dqn": {"batch_size": 8}},
+        ),
+    )
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_lossless(self):
+        spec = rich_spec()
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_dict_round_trip_is_lossless(self):
+        spec = rich_spec()
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_to_json_is_plain_json(self):
+        payload = json.loads(rich_spec().to_json())
+        assert payload["slots"][1]["requirement"]["breakpoints"] == [35.0, 75.0, 115.0]
+        assert payload["training"]["drcell"]["dense_hidden"] == [12]
+
+    def test_lists_and_tuples_normalise_to_equal_specs(self):
+        with_list = TrainingSpec(drcell={"dense_hidden": [12, 8]})
+        with_tuple = TrainingSpec(drcell={"dense_hidden": (12, 8)})
+        assert with_list == with_tuple
+        assert with_list.drcell["dense_hidden"] == (12, 8)
+
+    def test_numpy_scalars_normalise(self):
+        import numpy as np
+
+        spec = DatasetSpec("uair", {"n_cells": np.int64(8)})
+        assert spec.params["n_cells"] == 8
+        assert type(spec.params["n_cells"]) is int
+
+
+class TestValidation:
+    def test_unknown_key_rejected(self):
+        payload = rich_spec().to_dict()
+        payload["mystery"] = 1
+        with pytest.raises(ValueError, match="mystery"):
+            ScenarioSpec.from_dict(payload)
+
+    def test_non_json_param_rejected(self):
+        with pytest.raises(TypeError, match="JSON-representable"):
+            DatasetSpec("sensorscope", {"callback": lambda: None})
+
+    def test_duplicate_slot_names_rejected(self):
+        slot = rich_spec().slots[0]
+        with pytest.raises(ValueError, match="unique"):
+            ScenarioSpec(name="dup", slots=(slot, slot))
+
+    def test_empty_slots_rejected(self):
+        with pytest.raises(ValueError, match="at least one slot"):
+            ScenarioSpec(name="empty", slots=())
+
+    def test_assessor_history_window_is_structurally_impossible(self):
+        # The PR-2 campaign-vs-assessor window mismatch cannot be expressed:
+        # the scenario owns the single history_window.
+        with pytest.raises(ValueError, match="history_window"):
+            AssessorSpec("loo_bayesian", {"history_window": 4})
+
+    def test_unknown_training_mode_rejected(self):
+        with pytest.raises(ValueError, match="training mode"):
+            TrainingSpec(mode="federated")
+
+    def test_requirement_validated_eagerly(self):
+        with pytest.raises(ValueError):
+            RequirementSpec(epsilon=-1.0)
+        with pytest.raises(ValueError):
+            RequirementSpec(epsilon=0.5, metric="mae", breakpoints=(1.0, 2.0))
+
+    def test_requirement_build_matches_fields(self):
+        requirement = RequirementSpec(epsilon=0.25, p=0.8, metric="classification").build()
+        assert requirement.epsilon == 0.25
+        assert requirement.p == 0.8
+        assert requirement.is_classification
+
+    def test_slot_lookup(self):
+        spec = rich_spec()
+        assert spec.slot("pm25").policy.name == "random"
+        with pytest.raises(KeyError):
+            spec.slot("missing")
+
+    def test_replace_returns_updated_copy(self):
+        spec = rich_spec()
+        updated = spec.replace(seed=99)
+        assert updated.seed == 99 and spec.seed == 3
+        assert dataclasses.replace(spec, name="other").name == "other"
+
+
+class TestCheckedInScenario:
+    def test_tiny_scenario_file_round_trips(self, repo_root):
+        text = (repo_root / "examples" / "scenarios" / "tiny.json").read_text()
+        spec = ScenarioSpec.from_json(text)
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+        assert len(spec.slots) == 2
+        datasets = {slot.dataset.name for slot in spec.slots}
+        requirements = {slot.requirement.metric for slot in spec.slots}
+        assert datasets == {"sensorscope", "uair"}  # heterogeneous datasets
+        assert requirements == {"mae", "classification"}  # heterogeneous requirements
+        assert spec.training.mode == "shared"

@@ -67,3 +67,11 @@ def mask_entries(matrix: np.ndarray, fraction_missing: float, rng: np.random.Gen
             mask[rng.integers(0, matrix.shape[0]), j] = False
     observed[mask] = np.nan
     return observed
+
+
+@pytest.fixture(scope="session")
+def repo_root():
+    """Repository root (for checked-in data files like example scenarios)."""
+    from pathlib import Path
+
+    return Path(__file__).resolve().parents[1]

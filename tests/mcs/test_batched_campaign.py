@@ -186,3 +186,72 @@ class TestWindowMismatchGuard:
         with caplog.at_level(logging.WARNING, logger="repro.mcs.campaign"):
             BatchedCampaignRunner(task, CampaignConfig(history_window=24))
         assert any("history_window" in message for message in caplog.messages)
+
+
+class TestEquivalencePooling:
+    """Pooling groups by component *equivalence*, not identity (PR 3)."""
+
+    def test_equivalent_distinct_instances_pool(self):
+        from repro.mcs.campaign import _equivalent_assessor, _equivalent_inference
+
+        assert _equivalent_inference(
+            CompressiveSensingInference(iterations=6, seed=0),
+            CompressiveSensingInference(iterations=6, seed=99),  # seed ignored
+        )
+        assert _equivalent_inference(SpatialMeanInference(), SpatialMeanInference())
+        assert _equivalent_assessor(
+            LeaveOneOutBayesianAssessor(min_observations=2, max_loo_cells=12),
+            LeaveOneOutBayesianAssessor(min_observations=2, max_loo_cells=12),
+        )
+
+    def test_differently_configured_instances_do_not_pool(self):
+        from repro.inference.knn import KNNInference
+        from repro.inference.svt import SVTInference
+        from repro.mcs.campaign import _equivalent_assessor, _equivalent_inference
+
+        assert not _equivalent_inference(
+            CompressiveSensingInference(iterations=6), CompressiveSensingInference(iterations=9)
+        )
+        # Non-ALS hyper-parameters must be compared too, not just the ALS ones.
+        assert not _equivalent_inference(KNNInference(k=2), KNNInference(k=7))
+        assert not _equivalent_inference(
+            SVTInference(threshold=0.1), SVTInference(threshold=5.0)
+        )
+        coordinates = np.arange(16, dtype=float).reshape(8, 2)
+        assert not _equivalent_inference(
+            KNNInference(coordinates=coordinates), KNNInference(coordinates=coordinates + 1)
+        )
+        assert not _equivalent_inference(SpatialMeanInference(), SVTInference())
+        assert not _equivalent_assessor(
+            LeaveOneOutBayesianAssessor(max_loo_cells=4),
+            LeaveOneOutBayesianAssessor(max_loo_cells=12),
+        )
+
+    def test_oracle_assessors_pool_only_on_equal_ground_truth(
+        self, tiny_temperature_dataset
+    ):
+        from repro.mcs.campaign import _equivalent_assessor
+
+        same_a = OracleAssessor(tiny_temperature_dataset.data)
+        same_b = OracleAssessor(tiny_temperature_dataset.data.copy())
+        other = OracleAssessor(tiny_temperature_dataset.data + 1.0)
+        assert _equivalent_assessor(same_a, same_b)
+        assert not _equivalent_assessor(same_a, other)
+
+    def test_equivalent_task_instances_match_shared_task_campaign(
+        self, tiny_temperature_dataset
+    ):
+        """Distinct-but-equivalent per-slot components produce the same
+        lockstep campaign as one shared task (deterministic policies)."""
+        config = CampaignConfig(min_cells_per_cycle=2, assess_every=2)
+        shared_task = make_task(tiny_temperature_dataset)
+        shared_results = BatchedCampaignRunner(shared_task, config).run(
+            [FirstKPolicy(), LastKPolicy()], n_cycles=4
+        )
+        per_slot_tasks = [make_task(tiny_temperature_dataset) for _ in range(2)]
+        per_slot_results = BatchedCampaignRunner(per_slot_tasks, config).run(
+            [FirstKPolicy(), LastKPolicy()], n_cycles=4
+        )
+        for shared, per_slot in zip(shared_results, per_slot_results):
+            for record_a, record_b in zip(shared.records, per_slot.records):
+                assert records_equal(record_a, record_b)
