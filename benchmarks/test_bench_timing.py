@@ -36,12 +36,15 @@ def test_bench_training_time(benchmark):
         run_timing, kwargs=dict(scale=SMALL_SCALE, seed=0), rounds=1, iterations=1
     )
     vectorized = run_timing(scale=SMALL_SCALE, seed=0, vector_envs=8)
+    fused = run_timing(scale=SMALL_SCALE, seed=0, vector_envs=8, fused=True)
 
     sequential_row = {"label": "sequential", **result.as_dict()}
     vectorized_row = {"label": "vectorized-k8", **vectorized.as_dict()}
-    write_result("timing", [SEED_BASELINE, sequential_row, vectorized_row])
+    fused_row = {"label": "fused-k8", **fused.as_dict()}
+    write_result("timing", [SEED_BASELINE, sequential_row, vectorized_row, fused_row])
 
     assert result.wall_clock_seconds > 0
     assert result.total_steps > 0
     assert result.episodes == SMALL_SCALE.episodes
     assert vectorized.total_steps > 0
+    assert fused.total_steps > 0

@@ -374,35 +374,68 @@ class Session:
 
         Layout: ``<directory>/scenario.json`` plus one
         ``<directory>/agents/<slot>.npz`` per slot with a bound agent (in
-        ``shared`` training mode the files hold identical weights).
+        ``shared`` training mode the files hold identical weights), plus
+        ``<directory>/agents/manifest.json`` recording which slots were bound
+        to the *same* agent object, so :meth:`load` can restore the
+        shared-training identity instead of splitting it into per-slot
+        copies.
         """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         (directory / "scenario.json").write_text(self.spec.to_json(), encoding="utf-8")
+        groups: Dict[int, List[str]] = {}
         for slot in self.slots:
             if slot.agent is not None:
                 slot.agent.save(directory / "agents" / f"{slot.name}.npz")
+                groups.setdefault(id(slot.agent), []).append(slot.name)
+        manifest_path = directory / "agents" / "manifest.json"
+        # Saving over an earlier save must not leave its manifest behind:
+        # a stale manifest would bind this scenario's slots to the previous
+        # scenario's agent grouping on load.
+        manifest_path.unlink(missing_ok=True)
+        if groups:
+            manifest = {"agent_groups": list(groups.values())}
+            manifest_path.write_text(json.dumps(manifest, indent=2), encoding="utf-8")
         return directory
 
     @classmethod
     def load(cls, directory: Union[str, Path]) -> "Session":
         """Rebuild a session from :meth:`save` output, restoring agent weights.
 
-        Each slot with a saved weight file gets a freshly built agent loaded
-        from it; the shared-training relationship is not preserved (every
-        restored slot owns its own agent object with identical weights).
+        ``agents/manifest.json`` (written by :meth:`save`) records which
+        slots shared one agent object; each group gets exactly one rebuilt
+        agent bound to all of its slots, so a ``mode="shared"`` scenario
+        round-trips to a genuinely shared agent (continuing training updates
+        every slot, as before the save).  Saves that predate the manifest
+        fall back to one agent per slot with identical weights.
         """
         directory = Path(directory)
         spec_path = directory / "scenario.json"
         if not spec_path.exists():
             raise FileNotFoundError(f"no scenario.json under {directory}")
         session = cls(ScenarioSpec.from_json(spec_path.read_text(encoding="utf-8")))
+
+        manifest_path = directory / "agents" / "manifest.json"
+        shared_with: Dict[str, str] = {}
+        if manifest_path.exists():
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+            for group in manifest.get("agent_groups", []):
+                for name in group:
+                    shared_with[name] = group[0]
+
+        restored: Dict[str, DRCellAgent] = {}
         for slot in session.slots:
-            weights = directory / "agents" / f"{slot.name}.npz"
-            if slot.trains_agent and weights.exists():
+            if not slot.trains_agent:
+                continue
+            leader = shared_with.get(slot.name, slot.name)
+            weights = directory / "agents" / f"{leader}.npz"
+            if not weights.exists():
+                continue
+            if leader not in restored:
                 agent = DRCellAgent.build(slot.test_set.n_cells, session.drcell_config())
                 agent.load(weights)
-                slot.agent = agent
+                restored[leader] = agent
+            slot.agent = restored[leader]
         return session
 
     # -- spec-derived configuration --------------------------------------------

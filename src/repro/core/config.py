@@ -58,6 +58,17 @@ class DRCellConfig:
         above 1 batch action selection and the quality-check inference
         across K environments for throughput, at the cost of bit-exactness
         of the inference (see ``CompressiveSensingInference.complete_batch``).
+    fused_learning:
+        When True, the vectorized engine learns at global-step granularity:
+        one minibatch TD update per lockstep step across the K environments
+        (spanning all K fresh transitions, gathered from the replay ring in
+        one strided read) instead of K per-transition updates in environment
+        order.  This removes the NN update loop as the large-K bottleneck.
+        The default False preserves the per-transition protocol; combined
+        with ``vector_envs = 1`` that is the paper's exact sequential
+        behaviour bit for bit.  Setting ``fused_learning = True`` with
+        ``vector_envs = 1`` routes training through the vectorized engine
+        with a single environment so the fused schedule applies.
     dqn:
         Inner deep-Q-learning loop configuration (replay, batch size, target
         update interval, discount).
@@ -80,6 +91,7 @@ class DRCellConfig:
     history_window: int = 12
     max_episode_cycles: Optional[int] = None
     vector_envs: int = 1
+    fused_learning: bool = False
     dqn: DQNConfig = field(default_factory=DQNConfig)
     seed: Optional[int] = 0
 
@@ -100,6 +112,7 @@ class DRCellConfig:
         if self.max_episode_cycles is not None:
             check_positive_int(self.max_episode_cycles, "max_episode_cycles")
         check_positive_int(self.vector_envs, "vector_envs")
+        self.fused_learning = bool(self.fused_learning)
         if not 0.0 <= self.exploration_end <= self.exploration_start <= 1.0:
             raise ValueError(
                 "exploration schedule must satisfy 0 <= end <= start <= 1, got "

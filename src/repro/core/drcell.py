@@ -8,7 +8,7 @@ campaign runner evaluates DR-Cell and the baselines identically.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, Optional, Union
 
@@ -52,8 +52,17 @@ class DRCellAgent:
 
     @classmethod
     def build(cls, n_cells: int, config: Optional[DRCellConfig] = None) -> "DRCellAgent":
-        """Build an untrained agent for an area with ``n_cells`` cells."""
+        """Build an untrained agent for an area with ``n_cells`` cells.
+
+        ``config.fused_learning`` is pushed down into the inner
+        :class:`~repro.rl.dqn.DQNConfig` so the agent's vectorized training
+        loop picks the fused global-step schedule without every caller having
+        to thread the flag through.
+        """
         config = config or DRCellConfig()
+        dqn_config = config.dqn
+        if config.fused_learning and not dqn_config.fused_learning:
+            dqn_config = replace(dqn_config, fused_learning=True)
         exploration = LinearDecaySchedule(
             config.exploration_start,
             config.exploration_end,
@@ -66,7 +75,7 @@ class DRCellAgent:
                 lstm_hidden=config.lstm_hidden,
                 dense_hidden=config.dense_hidden,
                 learning_rate=config.learning_rate,
-                config=config.dqn,
+                config=dqn_config,
                 exploration=exploration,
                 seed=derive_rng(config.seed, 0),
             )
@@ -76,7 +85,7 @@ class DRCellAgent:
                 config.window,
                 hidden_dims=config.dense_hidden or (64, 64),
                 learning_rate=config.learning_rate,
-                config=config.dqn,
+                config=dqn_config,
                 exploration=exploration,
                 seed=derive_rng(config.seed, 0),
             )

@@ -147,7 +147,10 @@ class DRCellTrainer:
         episode_rewards: List[float] = []
         episode_selections: List[float] = []
         start = time.perf_counter()
-        if self.config.vector_envs > 1:
+        if self.config.vector_envs > 1 or self.config.fused_learning:
+            # Fused global-step learning only exists in the vectorized
+            # engine, so `fused_learning` with `vector_envs = 1` still routes
+            # through the lockstep loop (with a single environment).
             n_envs = min(self.config.vector_envs, episodes)
             environments = [
                 self.build_environment(dataset, requirement, variant=index)
@@ -293,9 +296,19 @@ class DRCellTrainer:
         episode_rewards: List[float],
         episode_selections: List[float],
     ) -> None:
-        """Drive the vectorized training loop and collect per-episode statistics."""
+        """Drive the vectorized training loop and collect per-episode statistics.
+
+        ``config.fused_learning`` forces the fused global-step schedule even
+        for agents whose own DQN config predates the knob (e.g. transferred
+        agents); otherwise the agent's config decides.
+        """
         vector_env = BatchedSparseMCSVectorEnv(environments)
-        history = agent.agent.train_episodes_vectorized(vector_env, episodes, log_every=0)
+        history = agent.agent.train_episodes_vectorized(
+            vector_env,
+            episodes,
+            log_every=0,
+            fused=True if self.config.fused_learning else None,
+        )
         for position, stats in enumerate(history):
             episode_rewards.append(stats.total_reward)
             cycles = max(1, int(stats.extra.get("episode_cycles", 1)))

@@ -29,6 +29,7 @@ class TimingResult:
     total_steps: int
     wall_clock_seconds: float
     vector_envs: int = 1
+    fused: bool = False
 
     @property
     def seconds_per_episode(self) -> float:
@@ -50,6 +51,7 @@ class TimingResult:
             "episodes": self.episodes,
             "total_steps": self.total_steps,
             "vector_envs": self.vector_envs,
+            "fused": self.fused,
             "wall_clock_seconds": round(self.wall_clock_seconds, 2),
             "seconds_per_episode": round(self.seconds_per_episode, 2),
             "steps_per_second": round(self.steps_per_second, 1),
@@ -63,6 +65,7 @@ def run_timing(
     p: float = 0.9,
     seed: int = 0,
     vector_envs: int = 1,
+    fused: bool = False,
     episodes: Optional[int] = None,
 ) -> TimingResult:
     """Measure DR-Cell training wall-clock time on the temperature task.
@@ -73,6 +76,10 @@ def run_timing(
         Number of lockstep training environments (see
         ``DRCellConfig.vector_envs``).  The default 1 measures the paper's
         sequential protocol.
+    fused:
+        Learn with the fused global-step schedule (one minibatch per
+        lockstep step spanning all K fresh transitions) instead of the
+        per-transition loop; see ``DRCellConfig.fused_learning``.
     episodes:
         Training-episode override.  Defaults to the scale's episode budget,
         raised to ``vector_envs`` when vectorized so every environment has
@@ -85,8 +92,10 @@ def run_timing(
     config = scale.drcell_config(seed=seed)
     if episodes is None:
         episodes = max(scale.episodes, vector_envs) if vector_envs > 1 else scale.episodes
-    if vector_envs != 1 or episodes != config.episodes:
-        config = replace(config, vector_envs=vector_envs, episodes=episodes)
+    if vector_envs != 1 or fused or episodes != config.episodes:
+        config = replace(
+            config, vector_envs=vector_envs, fused_learning=fused, episodes=episodes
+        )
     trainer = DRCellTrainer(config, inference=scale.inference(seed=seed))
     _, report = trainer.train(train_set, requirement)
     return TimingResult(
@@ -97,4 +106,5 @@ def run_timing(
         total_steps=report.total_steps,
         wall_clock_seconds=report.wall_clock_seconds,
         vector_envs=vector_envs,
+        fused=fused,
     )

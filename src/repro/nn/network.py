@@ -116,6 +116,7 @@ class QNetworkBase:
                 optimizer, learning_rate=learning_rate, clip_norm=clip_norm
             )
         self.loss = get_loss(loss)
+        self._grad_scratch: Optional[np.ndarray] = None
 
     # -- inference ---------------------------------------------------------
 
@@ -199,6 +200,14 @@ class QNetworkBase:
         ``train_step(states, actions, targets)``; only the scalar loss is
         reduced over the selected entries instead of the padded matrix.
 
+        The pipeline is batch-size agnostic: callers may hand it anything
+        from a lone transition to the fused global-step minibatch (the K
+        lockstep transitions of one vectorized step plus random replay
+        fill), whose size varies as environments finish.  The dense output
+        gradient lives in a scratch buffer reused across calls of the same
+        batch size, so steady-state fused training allocates no
+        ``(batch, n_actions)`` arrays for the backward seed.
+
         Parameters
         ----------
         states, actions, rewards, next_states, dones:
@@ -231,7 +240,11 @@ class QNetworkBase:
         rows = np.arange(len(actions))
         selected = predictions[rows, actions]
         loss_value = self.loss.value(selected, targets)
-        grad = np.zeros_like(predictions)
+        grad = self._grad_scratch
+        if grad is None or grad.shape != predictions.shape:
+            grad = self._grad_scratch = np.zeros(predictions.shape, dtype=predictions.dtype)
+        else:
+            grad.fill(0.0)
         grad[rows, actions] = self.loss.gradient(selected, targets)
         self.model.backward(grad)
         self.optimizer.step(self.model.parameter_groups())

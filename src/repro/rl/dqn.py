@@ -42,7 +42,18 @@ class DQNConfig:
         Number of learning steps between copies of the online network into
         the fixed-target network (the paper's ``REPLACE_ITER``).
     learn_every:
-        Environment steps between gradient updates.
+        Environment steps between gradient updates (global steps between
+        updates when ``fused_learning`` is on).
+    fused_learning:
+        When True, :meth:`DQNAgent.train_episodes_vectorized` learns at
+        global-step granularity: after each lockstep step across the K
+        environments, exactly one minibatch — the K fresh transitions plus
+        random replay fill — is gathered from the ring in one strided read
+        and trained with a single ``train_on_batch`` call, instead of K
+        per-transition updates in environment order.  Target-network syncs
+        and the ``learn_every`` cadence then count global steps.  The
+        default False preserves the per-transition protocol (bit-exact at
+        K=1 with the sequential loop).
     """
 
     discount: float = 0.95
@@ -51,6 +62,7 @@ class DQNConfig:
     min_replay_size: int = 200
     target_update_interval: int = 100
     learn_every: int = 1
+    fused_learning: bool = False
 
     def __post_init__(self) -> None:
         self.discount = check_probability(self.discount, "discount")
@@ -62,6 +74,7 @@ class DQNConfig:
             "learn_every",
         ):
             setattr(self, name, check_positive_int(getattr(self, name), name))
+        self.fused_learning = bool(self.fused_learning)
         if self.min_replay_size < self.batch_size:
             raise ValueError(
                 "min_replay_size must be at least batch_size "
@@ -117,6 +130,7 @@ class DQNAgent:
         self.replay = ArrayReplayBuffer(self.config.replay_capacity, seed=self._rng)
         self.total_steps = 0
         self.learn_steps = 0
+        self.global_steps = 0
 
     @property
     def n_actions(self) -> int:
@@ -209,6 +223,42 @@ class DQNAgent:
             self.target.copy_weights_from(self.online)
         return loss
 
+    def learn_fused(self, fresh: int) -> float:
+        """One global-step minibatch update spanning the ``fresh`` newest transitions.
+
+        The fused counterpart of :meth:`learn`: the minibatch always contains
+        the K transitions the lockstep fleet just produced — pulled straight
+        from the ring with :meth:`~repro.rl.replay.ArrayReplayBuffer.recent_indices`
+        — padded to ``batch_size`` with uniform draws over the whole buffer
+        (which may repeat a fresh transition; uniform replay semantics).  The
+        whole minibatch is fetched with a single strided gather and trained
+        with exactly one ``train_on_batch`` TD update, so the NN cost per
+        global step is constant in K instead of linear.  When K exceeds
+        ``batch_size`` the minibatch is simply the K fresh transitions.
+
+        Target-network syncing follows :attr:`DQNConfig.target_update_interval`
+        in learn steps, which under fused learning count global steps.
+        """
+        fresh = min(int(fresh), len(self.replay))
+        indices = self.replay.recent_indices(fresh)
+        fill = self.config.batch_size - fresh
+        if fill > 0:
+            indices = np.concatenate([indices, self.replay.sample_indices(fill)])
+        states, actions, rewards, next_states, dones = self.replay.gather(indices)
+        loss = self.online.train_on_batch(
+            states,
+            actions,
+            rewards,
+            next_states,
+            dones,
+            target_network=self.target,
+            discount=self.config.discount,
+        )
+        self.learn_steps += 1
+        if self.learn_steps % self.config.target_update_interval == 0:
+            self.target.copy_weights_from(self.online)
+        return loss
+
     def train_episode(self, env: Environment, max_steps: int = 10_000) -> EpisodeStats:
         """Interact with ``env`` for one episode, learning as transitions arrive."""
         state = env.reset()
@@ -270,19 +320,39 @@ class DQNAgent:
         *,
         max_steps_per_episode: int = 10_000,
         log_every: int = 10,
+        fused: Optional[bool] = None,
     ) -> List[EpisodeStats]:
         """Train for ``episodes`` episodes across K environments in lockstep.
 
         Every global step selects actions for all active environments with a
         single batched forward pass of the online network, steps each
-        environment, and feeds the transitions to the learner in environment
-        order.  When an environment finishes an episode it is reset and keeps
-        collecting as long as episodes remain to start, so K environments
-        stay busy until the budget runs out.
+        environment, and feeds the transitions to the learner.  When an
+        environment finishes an episode it is reset and keeps collecting as
+        long as episodes remain to start, so K environments stay busy until
+        the budget runs out.
 
-        With a single environment this consumes the exploration/replay RNG
-        stream in exactly the order of :meth:`train`, so K=1 reproduces the
-        sequential path bit for bit.
+        Two learning modes are supported:
+
+        * **Per-transition** (``fused=False``, the default) — each of the K
+          transitions triggers its own :meth:`observe_step` in environment
+          order, exactly as the sequential loop would.  With a single
+          environment this consumes the exploration/replay RNG stream in
+          exactly the order of :meth:`train`, so K=1 reproduces the
+          sequential path bit for bit.
+        * **Fused global-step** (``fused=True``) — the K transitions of the
+          step are written into the replay ring with one batched insertion
+          (:meth:`~repro.rl.replay.ArrayReplayBuffer.add_batch`), and at most
+          one minibatch update runs per global step (:meth:`learn_fused`),
+          with the ``learn_every`` cadence and target-network syncs counting
+          global steps.  The exploration schedule is evaluated once per
+          global step (one δ shared by all K rows) but its clock,
+          ``total_steps``, still counts transitions, so a decay horizon
+          sized in environment steps means the same thing at every K and in
+          both learning modes.
+          This cuts the NN update cost per global step from K minibatches to
+          one, which dominates wall-clock at large K; it is *not* bit-exact
+          with the per-transition mode (fewer, differently-composed
+          updates), only statistically equivalent.
 
         Parameters
         ----------
@@ -297,10 +367,20 @@ class DQNAgent:
             Per-episode step cap, as in :meth:`train_episode`.
         log_every:
             Episodes between progress log lines (0 disables logging).
+        fused:
+            Learning-mode override; ``None`` defers to
+            :attr:`DQNConfig.fused_learning`.
         """
         episodes = check_positive_int(episodes, "episodes")
         max_steps_per_episode = check_positive_int(max_steps_per_episode, "max_steps_per_episode")
         vec = envs if isinstance(envs, VectorEnv) else VectorEnv(envs)
+        if fused is None:
+            fused = self.config.fused_learning
+        if vec.n_actions != self.n_actions:
+            raise ValueError(
+                f"environments have {vec.n_actions} actions but the agent "
+                f"was built for {self.n_actions}"
+            )
 
         n_envs = min(vec.n_envs, episodes)
         states: List[Optional[np.ndarray]] = [None] * vec.n_envs
@@ -321,9 +401,7 @@ class DQNAgent:
             # exploiting rows.  The forward consumes no randomness, so with a
             # single environment the RNG stream is identical to the
             # sequential loop's draw-then-forward order.
-            masks = [
-                self._validate_mask(vec.valid_action_mask(index)) for index in active
-            ]
+            masks = vec.valid_action_masks(active)
             actions: List[Optional[int]] = [None] * len(active)
             exploit_rows: List[int] = []
             for row, index in enumerate(active):
@@ -344,12 +422,35 @@ class DQNAgent:
 
             results = vec.step_many(list(zip(active, actions)))
 
+            step_loss: Optional[float] = None
+            if fused:
+                # One batched ring insertion for the whole lockstep step,
+                # then at most one minibatch update spanning all of it.
+                self.replay.add_batch(
+                    np.stack([states[index] for index in active]),
+                    np.asarray(actions, dtype=int),
+                    np.array([result[1] for result in results], dtype=float),
+                    np.stack([result[0] for result in results]),
+                    np.array([result[2] for result in results], dtype=bool),
+                    infos=[result[3] for result in results],
+                )
+                self.total_steps += len(active)
+                self.global_steps += 1
+                if (
+                    len(self.replay) >= self.config.min_replay_size
+                    and self.global_steps % self.config.learn_every == 0
+                ):
+                    step_loss = self.learn_fused(len(active))
+
             finished: List[int] = []
             for row, index in enumerate(active):
                 next_state, reward, done, info = results[row]
-                loss = self.observe_step(
-                    states[index], actions[row], reward, next_state, done, info=info
-                )
+                if fused:
+                    loss = step_loss
+                else:
+                    loss = self.observe_step(
+                        states[index], actions[row], reward, next_state, done, info=info
+                    )
                 if loss is not None:
                     losses[index].append(loss)
                 rewards[index] += reward

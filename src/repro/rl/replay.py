@@ -152,6 +152,73 @@ class ArrayReplayBuffer:
         for transition in transitions:
             self.add(transition)
 
+    def add_batch(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        next_states: np.ndarray,
+        dones: np.ndarray,
+        *,
+        infos: Optional[Sequence[Optional[Dict[str, Any]]]] = None,
+    ) -> None:
+        """Insert K transitions with one strided ring write per storage array.
+
+        This is the insertion half of the fused global-step learning path:
+        the K lockstep transitions of one global step land in consecutive
+        ring slots (wrapping modulo the capacity) via a single fancy-indexed
+        assignment per array, instead of K Python-level :meth:`add_step`
+        calls.  Equivalent to ``for t in batch: add_step(*t)`` — including
+        eviction order when the write wraps past the end of the ring.
+        """
+        states = np.asarray(states, dtype=float)
+        next_states = np.asarray(next_states, dtype=float)
+        if states.shape != next_states.shape:
+            raise ValueError(
+                f"states shape {states.shape} != next_states shape {next_states.shape}"
+            )
+        if states.ndim < 2:
+            raise ValueError("add_batch expects a leading batch dimension")
+        count = states.shape[0]
+        if count == 0:
+            return
+        actions = np.asarray(actions, dtype=int)
+        rewards = np.asarray(rewards, dtype=float)
+        dones = np.asarray(dones, dtype=bool)
+        if actions.shape != (count,) or rewards.shape != (count,) or dones.shape != (count,):
+            raise ValueError(
+                "actions, rewards and dones must be 1-D arrays matching the batch size"
+            )
+        if infos is not None and len(infos) != count:
+            raise ValueError(f"{len(infos)} infos for {count} transitions")
+        if self._states is None:
+            self._allocate(states.shape[1:])
+        elif states.shape[1:] != self._states.shape[1:]:
+            raise ValueError(
+                f"state shape {states.shape[1:]} does not match buffer state shape "
+                f"{self._states.shape[1:]}"
+            )
+        slots = (self._next_index + np.arange(count)) % self.capacity
+        if count > self.capacity:
+            # Only the last `capacity` transitions survive.  Keep the exact
+            # suffix sequential insertion would have kept, in the exact ring
+            # slots it would have landed them in.
+            keep = slice(count - self.capacity, None)
+            states, next_states = states[keep], next_states[keep]
+            actions, rewards, dones = actions[keep], rewards[keep], dones[keep]
+            infos = infos[keep] if infos is not None else None
+            slots = slots[keep]
+        self._states[slots] = states
+        self._next_states[slots] = next_states
+        self._actions[slots] = actions
+        self._rewards[slots] = rewards
+        self._dones[slots] = dones
+        for position, slot in enumerate(slots):
+            info = infos[position] if infos is not None else None
+            self._infos[slot] = dict(info) if info else {}
+        self._next_index = int((self._next_index + count) % self.capacity)
+        self._size = min(self._size + count, self.capacity)
+
     # -- sampling ----------------------------------------------------------
 
     def sample_indices(self, batch_size: int) -> np.ndarray:
@@ -163,6 +230,46 @@ class ArrayReplayBuffer:
                 f"{self._size}"
             )
         return self._rng.choice(self._size, size=batch_size, replace=False)
+
+    def recent_indices(self, count: int) -> np.ndarray:
+        """Storage indices of the ``count`` most recent insertions, oldest first.
+
+        Handles ring wraparound: once the buffer is full the most recent
+        window may straddle the physical end of the storage arrays, in which
+        case the returned indices wrap modulo the capacity.  Together with
+        :meth:`gather` this lets the fused learning step pull the K
+        transitions of the current global step (plus random fill) in a single
+        fancy-indexed gather.
+        """
+        count = check_positive_int(count, "count")
+        if count > self._size:
+            raise ValueError(
+                f"cannot take the {count} most recent transitions from a buffer "
+                f"of size {self._size}"
+            )
+        # Before the first wraparound `_next_index == _size`, so the same
+        # modular arithmetic covers both the partially-filled and full ring.
+        return (self._next_index - count + np.arange(count)) % self.capacity
+
+    def gather(self, indices: np.ndarray):
+        """Fetch the transitions at ``indices`` as stacked arrays.
+
+        One fancy-index gather per storage array; the same return layout as
+        :meth:`sample_arrays`.  ``indices`` are storage indices (e.g. from
+        :meth:`sample_indices` or :meth:`recent_indices`) and may repeat.
+        """
+        indices = np.asarray(indices, dtype=int)
+        if indices.size and (indices.min() < 0 or indices.max() >= self._size):
+            raise IndexError(
+                f"storage index out of range for buffer of size {self._size}"
+            )
+        return (
+            self._states[indices],
+            self._actions[indices],
+            self._rewards[indices],
+            self._next_states[indices],
+            self._dones[indices],
+        )
 
     def sample(self, batch_size: int) -> List[Transition]:
         """Sample ``batch_size`` transitions uniformly without replacement.
@@ -182,14 +289,7 @@ class ArrayReplayBuffer:
             ``(states, actions, rewards, next_states, dones)`` with shapes
             ``(B, …)``, ``(B,)``, ``(B,)``, ``(B, …)``, ``(B,)``.
         """
-        indices = self.sample_indices(batch_size)
-        return (
-            self._states[indices],
-            self._actions[indices],
-            self._rewards[indices],
-            self._next_states[indices],
-            self._dones[indices],
-        )
+        return self.gather(self.sample_indices(batch_size))
 
     def clear(self) -> None:
         """Drop all stored transitions (storage stays allocated)."""

@@ -67,6 +67,25 @@ class VectorEnv:
         """Valid-action mask of environment ``index``."""
         return self.envs[index].valid_action_mask()
 
+    def valid_action_masks(self, indices: Sequence[int]) -> np.ndarray:
+        """Valid-action masks of the given environments as one ``(len(indices),
+        n_actions)`` boolean array.
+
+        The stacked form is what the vectorized training loop consumes: one
+        row per active environment, shape-checked here once instead of per
+        row in the agent.
+        """
+        masks = np.empty((len(indices), self.n_actions), dtype=bool)
+        for row, index in enumerate(indices):
+            mask = np.asarray(self.envs[index].valid_action_mask(), dtype=bool)
+            if mask.shape != (self.n_actions,):
+                raise ValueError(
+                    f"environment {index} returned a mask of shape {mask.shape}, "
+                    f"expected ({self.n_actions},)"
+                )
+            masks[row] = mask
+        return masks
+
     def step_many(self, indexed_actions: Sequence[Tuple[int, int]]) -> List[StepResult]:
         """Step the given ``(env_index, action)`` pairs; return results in order.
 

@@ -234,6 +234,57 @@ class TestSessionMechanics:
         with pytest.raises(FileNotFoundError):
             Session.load(tmp_path / "nowhere")
 
+    def test_load_restores_shared_agent_identity(self, session_outcome, tmp_path):
+        """A mode="shared" scenario must round-trip to ONE shared agent object."""
+        session, _, _ = session_outcome
+        # The tiny scenario trains in shared mode: both slots hold one agent.
+        agents = [slot.agent for slot in session.slots if slot.agent is not None]
+        assert len(agents) == 2
+        assert agents[0] is agents[1]
+
+        saved = session.save(tmp_path / "shared-run")
+        assert (saved / "agents" / "manifest.json").exists()
+
+        restored = Session.load(saved)
+        restored_agents = [
+            slot.agent for slot in restored.slots if slot.agent is not None
+        ]
+        assert len(restored_agents) == 2
+        assert restored_agents[0] is restored_agents[1]
+        for layer_orig, layer_restored in zip(
+            agents[0].get_weights(), restored_agents[0].get_weights()
+        ):
+            for name in layer_orig:
+                assert np.array_equal(layer_orig[name], layer_restored[name])
+
+    def test_resave_without_agents_removes_stale_manifest(
+        self, tiny_spec, session_outcome, tmp_path
+    ):
+        """Saving over an old save must not leave the old manifest behind."""
+        trained, _, _ = session_outcome
+        target = tmp_path / "resaved"
+        trained.save(target)
+        assert (target / "agents" / "manifest.json").exists()
+
+        untrained = Session.from_spec(tiny_spec)
+        untrained.save(target)
+        assert not (target / "agents" / "manifest.json").exists()
+
+    def test_load_without_manifest_falls_back_to_per_slot_agents(
+        self, session_outcome, tmp_path
+    ):
+        """Saves that predate the manifest still load (one agent per slot)."""
+        session, _, _ = session_outcome
+        saved = session.save(tmp_path / "legacy-run")
+        (saved / "agents" / "manifest.json").unlink()
+
+        restored = Session.load(saved)
+        restored_agents = [
+            slot.agent for slot in restored.slots if slot.agent is not None
+        ]
+        assert len(restored_agents) == 2
+        assert restored_agents[0] is not restored_agents[1]
+
 
 class TestSharedModeValidation:
     def test_heterogeneous_pinned_inference_rejected_in_shared_mode(self):

@@ -45,3 +45,13 @@ class TestDRCellConfig:
         assert quick.dqn.batch_size <= config.dqn.batch_size
         # The original is untouched.
         assert config.episodes == 20
+
+    def test_fused_learning_defaults_off_and_propagates_to_agent(self):
+        from repro.core.drcell import DRCellAgent
+
+        assert DRCellConfig().fused_learning is False
+        config = DRCellConfig(fused_learning=True, lstm_hidden=8, dense_hidden=(8,))
+        agent = DRCellAgent.build(4, config)
+        assert agent.agent.config.fused_learning is True
+        # The knob is pushed into a copy; the shared default stays off.
+        assert config.dqn.fused_learning is False

@@ -240,3 +240,117 @@ class TestProperty:
         kept = sorted(t.info["i"] for t in buffer)
         expected = list(range(max(0, inserts - capacity), inserts))
         assert kept == expected
+
+
+class TestBatchedInsertion:
+    """add_batch must be indistinguishable from sequential add_step calls."""
+
+    def _batch(self, start, count):
+        states = np.stack([np.full((2, 3), float(i)) for i in range(start, start + count)])
+        actions = np.arange(start, start + count) % 3
+        rewards = np.arange(start, start + count, dtype=float)
+        dones = (np.arange(start, start + count) % 4) == 0
+        return states, actions, rewards, states + 1, dones
+
+    def _assert_same_storage(self, left, right):
+        assert len(left) == len(right)
+        for a, b in zip(left, right):
+            assert np.array_equal(a.state, b.state)
+            assert a.action == b.action and a.reward == b.reward
+            assert np.array_equal(a.next_state, b.next_state)
+            assert a.done == b.done and a.info == b.info
+
+    def test_add_batch_matches_sequential_adds(self):
+        batched = ArrayReplayBuffer(10, seed=0)
+        sequential = ArrayReplayBuffer(10, seed=0)
+        states, actions, rewards, next_states, dones = self._batch(0, 6)
+        infos = [{"i": i} for i in range(6)]
+        batched.add_batch(states, actions, rewards, next_states, dones, infos=infos)
+        for i in range(6):
+            sequential.add_step(
+                states[i], actions[i], rewards[i], next_states[i], dones[i], info=infos[i]
+            )
+        self._assert_same_storage(list(batched), list(sequential))
+
+    def test_add_batch_wraps_around_the_ring(self):
+        batched = ArrayReplayBuffer(5, seed=0)
+        sequential = ArrayReplayBuffer(5, seed=0)
+        for start, count in ((0, 3), (3, 4), (7, 2)):  # second write wraps
+            args = self._batch(start, count)
+            batched.add_batch(*args)
+            for i in range(count):
+                sequential.add_step(*(a[i] for a in args))
+        self._assert_same_storage(list(batched), list(sequential))
+        assert batched._next_index == sequential._next_index
+
+    def test_add_batch_larger_than_capacity_keeps_suffix(self):
+        batched = ArrayReplayBuffer(4, seed=0)
+        sequential = ArrayReplayBuffer(4, seed=0)
+        args = self._batch(0, 11)
+        batched.add_batch(*args)
+        for i in range(11):
+            sequential.add_step(*(a[i] for a in args))
+        self._assert_same_storage(list(batched), list(sequential))
+
+    def test_mismatched_batch_lengths_raise(self):
+        buffer = ArrayReplayBuffer(8, seed=0)
+        states, actions, rewards, next_states, dones = self._batch(0, 4)
+        with pytest.raises(ValueError):
+            buffer.add_batch(states, actions[:3], rewards, next_states, dones)
+        with pytest.raises(ValueError):
+            buffer.add_batch(states, actions, rewards, next_states[:3], dones)
+
+    def test_empty_batch_is_a_no_op(self):
+        buffer = ArrayReplayBuffer(8, seed=0, state_shape=(2, 3))
+        buffer.add_batch(
+            np.empty((0, 2, 3)), np.empty(0, int), np.empty(0), np.empty((0, 2, 3)), np.empty(0, bool)
+        )
+        assert len(buffer) == 0
+
+
+class TestRecentIndicesAndGather:
+    """The fused learning step's strided gather must survive wraparound."""
+
+    def test_recent_indices_before_wraparound(self):
+        buffer = ArrayReplayBuffer(10, seed=0)
+        for i in range(6):
+            buffer.add(make_transition(i))
+        indices = buffer.recent_indices(4)
+        assert indices.tolist() == [2, 3, 4, 5]
+
+    def test_recent_indices_straddle_the_wraparound(self):
+        buffer = ArrayReplayBuffer(5, seed=0)
+        for i in range(8):  # next write slot is 3; newest entries are 4..7
+            buffer.add(make_transition(i))
+        indices = buffer.recent_indices(4)
+        states, actions, rewards, next_states, dones = buffer.gather(indices)
+        # Oldest-to-newest of the last four insertions: 4, 5, 6, 7.
+        assert rewards.tolist() == [4.0, 5.0, 6.0, 7.0]
+        assert np.array_equal(states[0], np.full((2, 3), 4.0))
+        assert np.array_equal(next_states[-1], np.full((2, 3), 8.0))
+
+    def test_recent_more_than_stored_raises(self):
+        buffer = ArrayReplayBuffer(5, seed=0)
+        buffer.add(make_transition(0))
+        with pytest.raises(ValueError):
+            buffer.recent_indices(2)
+
+    def test_gather_matches_per_index_fetch(self):
+        buffer = ArrayReplayBuffer(7, seed=0)
+        for i in range(11):
+            buffer.add(make_transition(i, done=(i % 2 == 0)))
+        indices = np.array([0, 3, 3, 6])  # repeats allowed
+        states, actions, rewards, next_states, dones = buffer.gather(indices)
+        for row, index in enumerate(indices):
+            reference = buffer._transition_at(int(index))
+            assert np.array_equal(states[row], reference.state)
+            assert actions[row] == reference.action
+            assert rewards[row] == reference.reward
+            assert np.array_equal(next_states[row], reference.next_state)
+            assert dones[row] == reference.done
+
+    def test_gather_out_of_range_raises(self):
+        buffer = ArrayReplayBuffer(5, seed=0)
+        buffer.add(make_transition(0))
+        with pytest.raises(IndexError):
+            buffer.gather(np.array([5]))
