@@ -11,6 +11,14 @@ useful to smoke-test a production-sized scenario file in seconds.
 every registry key resolves, and verifies the JSON round trip is lossless
 without running anything.
 
+``python -m repro.api.cli serve scenario.json`` trains the scenario and then
+runs every slot's campaign server-backed: one
+:class:`~repro.serve.server.DecisionServer` serves all slots (and optional
+``--replicas`` copies of them) concurrently, printing the evaluation rows
+and the server's telemetry.  ``--scale`` additionally bounds the serving
+knobs — the total concurrent campaign count (``scale.serve_campaigns``) and
+the micro-batch size (``scale.serve_max_batch``).
+
 ``python -m repro.api.cli components`` lists every registered component key.
 """
 
@@ -91,6 +99,20 @@ def constrain_to_scale(spec: ScenarioSpec, scale: ExperimentScale) -> ScenarioSp
     )
 
 
+def clamp_serve_knobs(
+    scale: ExperimentScale, *, n_campaigns: int, replicas: int, max_batch: int
+) -> tuple:
+    """Bound the serve subcommand's knobs at a scale's serving limits.
+
+    ``replicas`` is clamped so the total concurrent campaign count
+    (``n_campaigns × replicas``) stays within ``scale.serve_campaigns``
+    (never below one replica), and ``max_batch`` is capped at
+    ``scale.serve_max_batch``.  Returns ``(replicas, max_batch)``.
+    """
+    max_replicas = max(1, scale.serve_campaigns // max(1, n_campaigns))
+    return min(replicas, max_replicas), min(max_batch, scale.serve_max_batch)
+
+
 def run_command(args: argparse.Namespace) -> int:
     spec = load_spec(args.scenario)
     if args.scale is not None:
@@ -107,6 +129,41 @@ def run_command(args: argparse.Namespace) -> int:
     if args.save is not None:
         session.save(args.save)
         print(f"\nsession saved to {args.save}")
+    return 0
+
+
+def serve_command(args: argparse.Namespace) -> int:
+    spec = load_spec(args.scenario)
+    replicas, max_batch = args.replicas, args.max_batch
+    if args.scale is not None:
+        scale = get_scale(args.scale)
+        spec = constrain_to_scale(spec, scale)
+        replicas, max_batch = clamp_serve_knobs(
+            scale,
+            n_campaigns=len(spec.slots),
+            replicas=replicas,
+            max_batch=max_batch,
+        )
+    if args.seed is not None:
+        spec = spec.replace(seed=args.seed)
+
+    session = Session.from_spec(spec)
+    session.train()
+    report, stats = session.serve(replicas=replicas, max_batch=max_batch)
+    print(
+        format_rows(
+            report.as_dicts(),
+            title=f"{spec.name} — served evaluation ({len(report.rows)} campaigns)",
+        )
+    )
+    print()
+    print(format_rows(stats.rows(), title="decision server — endpoints"))
+    summary = stats.as_dict()
+    hit_rate = summary["cache_hit_rate"]
+    print(
+        f"\ncache: {summary['cache_hits']} hits / {summary['cache_misses']} misses"
+        + (f" (hit rate {hit_rate})" if hit_rate is not None else "")
+    )
     return 0
 
 
@@ -157,6 +214,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--save", type=Path, default=None, help="save the spec + trained agents here"
     )
     run_parser.set_defaults(func=run_command)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="train, then run every slot server-backed through one decision server"
+    )
+    serve_parser.add_argument("scenario", type=Path, help="path to a scenario .json file")
+    serve_parser.add_argument(
+        "--scale",
+        default=None,
+        help="cap effort AND serving knobs at a predefined scale (tiny/small/medium/full)",
+    )
+    serve_parser.add_argument("--seed", type=int, default=None, help="override the scenario seed")
+    serve_parser.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="run each slot's campaign this many times (clamped by --scale)",
+    )
+    serve_parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="decision-server micro-batch size (clamped by --scale)",
+    )
+    # Note: max_wait_ticks is deliberately not exposed here — the cooperative
+    # scheduler flushes everything pending once all campaigns block, so the
+    # wait-based trigger only matters for externally pumped servers.
+    serve_parser.set_defaults(func=serve_command)
 
     validate_parser = subparsers.add_parser(
         "validate", help="check a scenario file without running it"

@@ -197,6 +197,7 @@ POLICIES = Registry(
         "repro.mcs.random_policy",
         "repro.mcs.qbc",
         "repro.core.drcell",
+        "repro.core.online",
     ),
 )
 

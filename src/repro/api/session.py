@@ -32,6 +32,7 @@ Example
 
 from __future__ import annotations
 
+import copy
 import inspect
 import json
 import time
@@ -271,42 +272,14 @@ class Session:
         config = self.campaign_config()
         report = SessionEvaluationReport()
 
-        groups: Dict[int, List[Tuple[_Slot, CellSelectionPolicy]]] = {}
-        order: List[int] = []
-        for slot in self.slots:
-            key = id(slot.test_set)
-            if key not in groups:
-                groups[key] = []
-                order.append(key)
-            groups[key].append((slot, self._build_policy(slot)))
-
-        for key in order:
-            members = groups[key]
-            tasks = [
-                SensingTask(
-                    dataset=slot.test_set,
-                    requirement=slot.requirement,
-                    inference=slot.inference,
-                    assessor=slot.assessor,
-                )
-                for slot, _ in members
-            ]
-            runner = BatchedCampaignRunner(tasks, config)
-            outcomes = runner.run([policy for _, policy in members], n_cycles=n_cycles)
-            for (slot, policy), outcome in zip(members, outcomes):
-                report.results[slot.name] = outcome
-                report.rows.append(
-                    EvaluationRow(
-                        slot=slot.name,
-                        policy=policy.name,
-                        dataset=slot.test_set.name,
-                        requirement=slot.requirement.describe(),
-                        mean_selected_per_cycle=outcome.mean_selected_per_cycle,
-                        quality_satisfied_fraction=outcome.quality_satisfied_fraction,
-                        total_selected=outcome.total_selected,
-                        n_cycles=outcome.n_cycles,
-                    )
-                )
+        for members in self._dataset_groups():
+            policies = [self._build_policy(slot) for slot in members]
+            runner = BatchedCampaignRunner(
+                [self._sensing_task(slot) for slot in members], config
+            )
+            outcomes = runner.run(policies, n_cycles=n_cycles)
+            for slot, policy, outcome in zip(members, policies, outcomes):
+                self._record_evaluation(report, slot.name, slot, outcome)
                 logger.info(
                     "scenario %s slot %s (%s): %.2f cells/cycle",
                     self.spec.name,
@@ -323,6 +296,125 @@ class Session:
         training = self.train(episodes=episodes)
         evaluation = self.evaluate(n_cycles=n_cycles)
         return training, evaluation
+
+    def serve(
+        self,
+        *,
+        n_cycles: Optional[int] = None,
+        replicas: int = 1,
+        server: Optional["DecisionServer"] = None,
+        max_batch: Optional[int] = None,
+        max_wait_ticks: Optional[int] = None,
+        cache_capacity: Optional[int] = None,
+    ) -> Tuple[SessionEvaluationReport, "ServerStats"]:
+        """Run every slot's campaign server-backed, through one decision server.
+
+        Where :meth:`evaluate` runs one lockstep
+        :class:`~repro.mcs.campaign.BatchedCampaignRunner` per dataset group,
+        this drives one :class:`~repro.mcs.served.ServedCampaignRunner` per
+        group — **concurrently, against a single shared**
+        :class:`~repro.serve.server.DecisionServer` — so slots of different
+        datasets fuse their Q-network forwards and (width-bucketed) ALS
+        completions, and repeated assessments hit the completion cache.
+
+        Parameters
+        ----------
+        n_cycles:
+            Cap on evaluated cycles (defaults to the spec's
+            ``max_test_cycles``).
+        replicas:
+            Drive each slot's campaign this many times; replicas beyond the
+            first report as ``"<slot>@<k>"``.  Every replica gets fresh,
+            identically seeded policies **and its own deep copy of the
+            slot's agent (or policy override)**, so replicas never share
+            exploration RNG streams or mutate each other's state.  Replica
+            decisions start identical and stay so except where the pooled
+            assessor's shared LOO-subsampling RNG draws differently per
+            request — near-identical campaigns whose repeated windows are
+            the completion cache's best case (the point of A/B fan-out).
+        server:
+            An existing server to share; a fresh one is built otherwise,
+            with ``max_batch`` / ``max_wait_ticks`` / ``cache_capacity``
+            overriding the :class:`~repro.serve.server.ServeConfig`
+            defaults.
+
+        Returns
+        -------
+        (report, stats):
+            The per-campaign :class:`SessionEvaluationReport` and the
+            server's :class:`~repro.serve.stats.ServerStats` telemetry.
+
+        Notes
+        -----
+        A scenario whose slots all share one dataset (hence one runner)
+        reproduces :meth:`evaluate` bitwise at ``replicas=1``.  With several
+        dataset groups (or replicas), equivalent assessors pool *across*
+        runners, which consumes the shared assessment RNG in a different
+        order than sequential group-by-group evaluation — results are then
+        statistically equivalent rather than bitwise identical.
+        """
+        from repro.mcs.served import ServedCampaignRunner
+        from repro.serve import DecisionServer, ServeConfig, drive
+
+        check_positive_int(replicas, "replicas")
+        if server is not None and any(
+            knob is not None for knob in (max_batch, max_wait_ticks, cache_capacity)
+        ):
+            raise ValueError(
+                "max_batch/max_wait_ticks/cache_capacity configure a newly built "
+                "server and cannot rewire an explicitly passed one; configure the "
+                "server's ServeConfig instead"
+            )
+        if server is None:
+            defaults = ServeConfig()
+            server = DecisionServer(
+                ServeConfig(
+                    max_batch=max_batch if max_batch is not None else defaults.max_batch,
+                    max_wait_ticks=max_wait_ticks
+                    if max_wait_ticks is not None
+                    else defaults.max_wait_ticks,
+                    cache_capacity=cache_capacity
+                    if cache_capacity is not None
+                    else defaults.cache_capacity,
+                )
+            )
+        if n_cycles is None:
+            n_cycles = self.spec.max_test_cycles
+        config = self.campaign_config()
+        report = SessionEvaluationReport()
+
+        launches: List[Tuple[List[Tuple[str, _Slot]], ServedCampaignRunner, Any]] = []
+        for replica in range(replicas):
+            for members in self._dataset_groups():
+                labelled = [
+                    (slot.name if replica == 0 else f"{slot.name}@{replica}", slot)
+                    for slot in members
+                ]
+                runner = ServedCampaignRunner(
+                    [self._sensing_task(slot) for slot in members], config, server=server
+                )
+                policies = [
+                    self._build_policy(slot)
+                    if replica == 0
+                    else self._replica_policy(slot)
+                    for slot in members
+                ]
+                launches.append(
+                    (labelled, runner, runner.launch(policies, n_cycles=n_cycles))
+                )
+
+        drive(server, [driver for _, _, driver in launches])
+
+        for labelled, runner, _ in launches:
+            for (label, slot), outcome in zip(labelled, runner.results):
+                self._record_evaluation(report, label, slot, outcome)
+        logger.info(
+            "scenario %s served %d campaign(s): %s",
+            self.spec.name,
+            len(report.rows),
+            server.stats.as_dict(),
+        )
+        return report, server.stats
 
     def set_agent(self, slot_name: str, agent: DRCellAgent) -> None:
         """Bind an externally trained agent to a slot (the transfer-learning route).
@@ -465,6 +557,49 @@ class Session:
                 return slot
         raise KeyError(f"no slot named {name!r}; have {[s.name for s in self.slots]}")
 
+    def _dataset_groups(self) -> List[List[_Slot]]:
+        """Slots grouped by shared test dataset, preserving declaration order.
+
+        Each group runs as one lockstep campaign fleet (batched or served),
+        which is what lets same-dataset slots pool their assessments.
+        """
+        groups: Dict[int, List[_Slot]] = {}
+        order: List[int] = []
+        for slot in self.slots:
+            key = id(slot.test_set)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(slot)
+        return [groups[key] for key in order]
+
+    @staticmethod
+    def _sensing_task(slot: _Slot) -> SensingTask:
+        return SensingTask(
+            dataset=slot.test_set,
+            requirement=slot.requirement,
+            inference=slot.inference,
+            assessor=slot.assessor,
+        )
+
+    @staticmethod
+    def _record_evaluation(
+        report: SessionEvaluationReport, label: str, slot: _Slot, outcome: CampaignResult
+    ) -> None:
+        report.results[label] = outcome
+        report.rows.append(
+            EvaluationRow(
+                slot=label,
+                policy=outcome.policy_name,
+                dataset=slot.test_set.name,
+                requirement=slot.requirement.describe(),
+                mean_selected_per_cycle=outcome.mean_selected_per_cycle,
+                quality_satisfied_fraction=outcome.quality_satisfied_fraction,
+                total_selected=outcome.total_selected,
+                n_cycles=outcome.n_cycles,
+            )
+        )
+
     def _resolve_slot(self, spec: SlotSpec) -> _Slot:
         dataset_key, dataset = self._dataset(spec)
         train_set, test_set = self._splits[dataset_key]
@@ -556,7 +691,25 @@ class Session:
             self._shared[key] = self._build(registry, name, params, context)
         return self._shared[key]
 
-    def _build_policy(self, slot: _Slot) -> CellSelectionPolicy:
+    def _replica_policy(self, slot: _Slot) -> CellSelectionPolicy:
+        """A policy for one serving replica of ``slot``, isolated from the original.
+
+        Replicas run concurrently, so they must not share mutable state with
+        the primary campaign: a bound agent (whose exploration RNG and — for
+        online policies — network would otherwise be contended) and any
+        ``set_policy`` override are deep-copied, snapshotting their current
+        state so every replica starts identical.  The deep copy includes the
+        agent's replay buffer — wasted for greedy evaluation but required
+        for online learners, and replica counts are scale-clamped small.
+        """
+        if slot.policy_override is not None:
+            return copy.deepcopy(slot.policy_override)
+        agent = copy.deepcopy(slot.agent) if slot.agent is not None else None
+        return self._build_policy(slot, agent=agent)
+
+    def _build_policy(
+        self, slot: _Slot, *, agent: Optional[DRCellAgent] = None
+    ) -> CellSelectionPolicy:
         if slot.policy_override is not None:
             return slot.policy_override
         params = dict(slot.spec.policy.params)
@@ -568,12 +721,14 @@ class Session:
             "history_window": self.spec.history_window,
         }
         if slot.trains_agent:
-            if slot.agent is None:
+            if agent is None:
+                agent = slot.agent
+            if agent is None:
                 raise ValueError(
                     f"slot {slot.name!r} needs a trained agent before evaluation; "
                     "call train() or set_agent() first"
                 )
-            context["agent"] = slot.agent
+            context["agent"] = agent
         policy = self._build(POLICIES, name, params, context)
         if not isinstance(policy, CellSelectionPolicy):
             raise TypeError(

@@ -28,6 +28,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.api.registry import POLICIES
 from repro.core.config import DRCellConfig
 from repro.core.drcell import DRCellAgent
 from repro.mcs.environment import RewardModel
@@ -39,8 +40,18 @@ from repro.utils.logging import get_logger
 logger = get_logger(__name__)
 
 
+@POLICIES.register("online", trains_agent=True)
 class OnlineDRCellPolicy(CellSelectionPolicy):
     """DR-Cell that learns online, during the sensing campaign itself.
+
+    Registered as ``"online"`` in the policy registry: a scenario slot with
+    ``{"policy": {"name": "online"}}`` evaluates DR-Cell with online
+    learning enabled.  Like ``"drcell"``, the registration declares
+    ``trains_agent``, so the session injects the slot's (preliminary-study)
+    trained agent — combining online adaptation with a warm start; pass
+    ``"train": false`` and provide a fresh agent via
+    :meth:`~repro.api.session.Session.set_agent` for the paper's
+    from-scratch online future-work setting.
 
     Parameters
     ----------

@@ -66,6 +66,11 @@ class ExperimentScale:
         DRQN sizes.
     max_test_cycles:
         Optional cap on the number of testing cycles evaluated (None = all).
+    serve_campaigns:
+        Cap on the number of concurrent campaigns the CLI ``serve``
+        subcommand (and the serve benchmark) drives at this scale.
+    serve_max_batch:
+        Cap on the decision server's micro-batch size at this scale.
     """
 
     name: str
@@ -86,6 +91,8 @@ class ExperimentScale:
     lstm_hidden: int = 64
     dense_hidden: Tuple[int, ...] = (64,)
     max_test_cycles: Optional[int] = None
+    serve_campaigns: int = 32
+    serve_max_batch: int = 64
 
     # -- dataset builders ------------------------------------------------------
 
@@ -189,6 +196,8 @@ TINY_SCALE = ExperimentScale(
     lstm_hidden=12,
     dense_hidden=(12,),
     max_test_cycles=4,
+    serve_campaigns=4,
+    serve_max_batch=8,
 )
 
 SMALL_SCALE = ExperimentScale(
@@ -210,6 +219,8 @@ SMALL_SCALE = ExperimentScale(
     lstm_hidden=32,
     dense_hidden=(32,),
     max_test_cycles=20,
+    serve_campaigns=8,
+    serve_max_batch=16,
 )
 
 MEDIUM_SCALE = ExperimentScale(
@@ -230,6 +241,8 @@ MEDIUM_SCALE = ExperimentScale(
     lstm_hidden=64,
     dense_hidden=(64,),
     max_test_cycles=48,
+    serve_campaigns=16,
+    serve_max_batch=32,
 )
 
 FULL_SCALE = ExperimentScale(name="full")

@@ -208,6 +208,22 @@ class CompressiveSensingInference(ColumnMeanFallbackMixin, InferenceAlgorithm):
         :meth:`complete` by a small tolerance.  Use :meth:`complete` when
         bit-exact reproduction of the paper protocol matters.
 
+        Matrices are grouped into **width buckets**: all matrices with the
+        same cell count — regardless of their cycle count — are padded with
+        unobserved (NaN) columns to the bucket's widest matrix and solved as
+        one stack, with the temporal-smoothness coupling restricted to each
+        matrix's true width.  Padding only adds zero terms to the batched
+        sums, so a padded solve optimises exactly the per-shape objective;
+        because the longer BLAS reductions may group the same terms
+        differently, results can differ from the per-shape solve by float
+        rounding (~1e-15 — uniform-width groups remain bitwise identical,
+        no padding is involved).  Fleets whose windows span many distinct
+        widths — e.g. campaigns at different cycles pooled by the decision
+        server — therefore still fuse into a single ALS instead of
+        degenerating to per-shape calls.  Matrices narrower than the
+        effective rank keep their exact-shape groups (their rank clamp
+        differs, so padding would genuinely change results).
+
         Parameters
         ----------
         matrices:
@@ -227,25 +243,62 @@ class CompressiveSensingInference(ColumnMeanFallbackMixin, InferenceAlgorithm):
                 raise ValueError(f"matrix {index} must be 2-D, got shape {matrix.shape}")
             groups.setdefault(matrix.shape, []).append(index)
 
+        # Width-bucket the shape groups: same cell count + width >= the
+        # effective rank (so every member's rank clamp agrees) → one padded
+        # stack.  Narrower matrices keep their own exact-shape groups.
+        buckets: dict = {}
         for shape, indices in groups.items():
-            stack = np.stack([prepared[i] for i in indices])
+            n_cells, width = shape
+            bucketable = width >= min(self.rank, n_cells)
+            key = ("rows", n_cells) if bucketable else ("shape", shape)
+            buckets.setdefault(key, []).append((shape, indices))
+
+        for shape_groups in buckets.values():
+            distinct_widths = {shape[1] for shape, _ in shape_groups}
+            indices = [i for _, group in shape_groups for i in group]
+            if len(distinct_widths) == 1:
+                # Uniform width: the stack needs no padding.
+                stack = np.stack([prepared[i] for i in indices])
+                slot_widths = None
+            else:
+                n_cells = shape_groups[0][0][0]
+                slot_widths = np.array([prepared[i].shape[1] for i in indices])
+                stack = np.full((len(indices), n_cells, int(slot_widths.max())), np.nan)
+                for k, i in enumerate(indices):
+                    stack[k, :, : slot_widths[k]] = prepared[i]
             masks = observed_mask(stack)
             counts = masks.sum(axis=(1, 2))
             if (counts == 0).any():
                 raise ValueError("cannot infer from a matrix with no observed entries")
-            completed = self._complete_batch(stack, masks)
+            completed = self._complete_batch(stack, masks, widths=slot_widths)
             # Same post-conditions as InferenceAlgorithm.complete: observed
             # entries pass through untouched and NaNs fall back to the mean.
             completed = np.where(masks, stack, completed)
             for k, i in enumerate(indices):
                 out = completed[k]
+                if slot_widths is not None:
+                    out = out[:, : slot_widths[k]]
                 if np.isnan(out).any():
                     out = np.where(np.isnan(out), float(np.nanmean(stack[k])), out)
                 results[i] = out
         return results  # type: ignore[return-value]
 
-    def _complete_batch(self, data: np.ndarray, mask: np.ndarray) -> np.ndarray:
-        """Batched ALS over a ``(K, n_cells, n_cycles)`` stack."""
+    def _complete_batch(
+        self,
+        data: np.ndarray,
+        mask: np.ndarray,
+        widths: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Batched ALS over a ``(K, n_cells, n_cycles)`` stack.
+
+        ``widths`` (optional, per-slot) marks the true cycle count of each
+        slot in a width-bucketed stack whose trailing columns are NaN
+        padding: the temporal-smoothness coupling, the neighbour counts and
+        the cycle-factor updates are then restricted to each slot's true
+        columns, so the padded solve optimises exactly the per-shape
+        objective (padded columns contribute only zero terms; see
+        :meth:`complete_batch` for the resulting ~1e-15 rounding caveat).
+        """
         n_batch, n_cells, n_cycles = data.shape
         rank = min(self.rank, n_cells, n_cycles)
         maskf = mask.astype(float)
@@ -265,7 +318,11 @@ class CompressiveSensingInference(ColumnMeanFallbackMixin, InferenceAlgorithm):
             )
             keep = ~degenerate
             if keep.any():
-                completed[keep] = self._complete_batch(data[keep], mask[keep])
+                completed[keep] = self._complete_batch(
+                    data[keep],
+                    mask[keep],
+                    widths=widths[keep] if widths is not None else None,
+                )
             return completed
         normalised = centred / scales[:, None, None]
 
@@ -280,12 +337,28 @@ class CompressiveSensingInference(ColumnMeanFallbackMixin, InferenceAlgorithm):
         mu = self.temporal_weight
         row_has_obs = mask.any(axis=2)[..., None]
         col_has_obs = mask.any(axis=1)
-        neighbor_counts = np.full(n_cycles, 2.0)
-        if n_cycles >= 1:
-            neighbor_counts[0] = min(1.0, n_cycles - 1.0)
-            neighbor_counts[-1] = min(1.0, n_cycles - 1.0)
-        smooth = mu * neighbor_counts[:, None, None] * np.eye(rank)
-        col_update = (col_has_obs | (mu > 0) & (neighbor_counts > 0))[..., None]
+        if widths is None:
+            left_gate = right_gate = None
+            neighbor_counts = np.full(n_cycles, 2.0)
+            if n_cycles >= 1:
+                neighbor_counts[0] = min(1.0, n_cycles - 1.0)
+                neighbor_counts[-1] = min(1.0, n_cycles - 1.0)
+            smooth = mu * neighbor_counts[:, None, None] * np.eye(rank)
+            col_update = (col_has_obs | (mu > 0) & (neighbor_counts > 0))[..., None]
+        else:
+            # Per-slot neighbour structure: column j of slot k is real iff
+            # j < widths[k]; its neighbours only count when they are real too,
+            # so padded columns never couple into the smoothness term.
+            widths = np.asarray(widths, dtype=int)
+            cols = np.arange(n_cycles)
+            valid = cols[None, :] < widths[:, None]
+            left_gate = valid & (cols[None, :] >= 1)
+            right_gate = (cols[None, :] + 1) < widths[:, None]
+            neighbor_counts = left_gate.astype(float) + right_gate.astype(float)
+            smooth = mu * neighbor_counts[..., None, None] * np.eye(rank)
+            col_update = ((col_has_obs | (mu > 0) & (neighbor_counts > 0)) & valid)[
+                ..., None
+            ]
 
         for _ in range(self.iterations):
             # Cell half-step: gram_i = Σ_j m_ij V_j V_jᵀ, batched over (K, i).
@@ -303,8 +376,12 @@ class CompressiveSensingInference(ColumnMeanFallbackMixin, InferenceAlgorithm):
             rhs = np.einsum("kij,kir->kjr", normalised, U)
             if mu > 0:
                 neighbor_sum = np.zeros_like(V)
-                neighbor_sum[:, :-1] += V[:, 1:]
-                neighbor_sum[:, 1:] += V[:, :-1]
+                if widths is None:
+                    neighbor_sum[:, :-1] += V[:, 1:]
+                    neighbor_sum[:, 1:] += V[:, :-1]
+                else:
+                    neighbor_sum[:, :-1] += V[:, 1:] * right_gate[:, :-1, None]
+                    neighbor_sum[:, 1:] += V[:, :-1] * left_gate[:, 1:, None]
                 grams = grams + smooth
                 rhs = rhs + mu * neighbor_sum
             grams = np.where(col_update[..., None], grams, np.eye(rank))

@@ -13,6 +13,10 @@ evaluates DR-Cell inside:
 * :class:`~repro.mcs.campaign.BatchedCampaignRunner` — the same loop for P
   policies / requirement settings in lockstep, with the per-submission
   assessments and end-of-cycle completions batched.
+* :class:`~repro.mcs.served.ServedCampaignRunner` — the same lockstep loop
+  with every batched decision routed through a shared
+  :class:`~repro.serve.server.DecisionServer`, so independent fleets fuse
+  work across campaigns.
 * :class:`~repro.mcs.environment.SparseMCSEnvironment` — the reinforcement-
   learning view of the same loop, used to train DR-Cell.
 * :class:`~repro.mcs.results.CampaignResult` — per-cycle records and
@@ -26,6 +30,7 @@ from repro.mcs.qbc import QBCSelectionPolicy
 from repro.mcs.campaign import BatchedCampaignRunner, CampaignConfig, CampaignRunner
 from repro.mcs.environment import SparseMCSEnvironment, StateEncoder
 from repro.mcs.results import CampaignResult, CycleRecord
+from repro.mcs.served import ServedCampaignRunner
 
 __all__ = [
     "SensingTask",
@@ -35,6 +40,7 @@ __all__ = [
     "BatchedCampaignRunner",
     "CampaignConfig",
     "CampaignRunner",
+    "ServedCampaignRunner",
     "SparseMCSEnvironment",
     "StateEncoder",
     "CampaignResult",

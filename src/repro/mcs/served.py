@@ -1,0 +1,314 @@
+"""Server-backed campaigns: the lockstep cycle loop against a :class:`DecisionServer`.
+
+:class:`ServedCampaignRunner` runs the exact campaign protocol of
+:class:`~repro.mcs.campaign.BatchedCampaignRunner` — the same submission
+rounds, the same assessment cadence, the same per-cycle records — but routes
+every batched decision through a shared :class:`~repro.serve.server.
+DecisionServer` instead of calling the components directly:
+
+* DR-Cell policy queries become ``select_cell`` requests (one stacked
+  Q-network forward for every pending query against a shared agent; other
+  policies keep selecting locally, they are cheap);
+* due-slot quality assessments become ``assess_quality`` requests (grouped
+  by the same (assessor, inference) equivalence classes, answered with one
+  pooled ``assess_many`` per class);
+* end-of-cycle completions become ``complete_matrix`` requests (one
+  ``complete_batch`` per inference class).
+
+Because requests are submitted in slot order and the server processes each
+batch FIFO with the same equivalence grouping, a single runner driven alone
+against a server reproduces the direct ``BatchedCampaignRunner`` results —
+bitwise, including the shared assessor's RNG stream (the completion cache
+returns exactly what a recomputation would, since the batched solvers are
+batch-composition independent).
+
+The new capability is *concurrency*: :meth:`launch` returns a generator, and
+any number of runners — over different datasets, requirements, scenarios —
+can be driven cooperatively against one server with
+:func:`repro.serve.server.drive`.  Requests from different runners land in
+the same server batches, so independent campaigns share Q-network forwards,
+ALS solves and cached completions that the per-fleet runners cannot fuse.
+Note that cross-runner pooling feeds *equivalent* (but distinct) assessor
+instances through one representative, so a runner sharing a server with
+equivalent neighbours sees the same decisions only in distribution, not
+bitwise — run a runner alone (or with non-equivalent neighbours) when exact
+reproduction matters.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mcs.campaign import (
+    BatchedCampaignRunner,
+    CampaignConfig,
+    _CampaignSlot,
+)
+from repro.mcs.policies import CellSelectionPolicy
+from repro.mcs.results import CampaignResult, CycleRecord
+from repro.serve.batcher import PendingResult
+from repro.serve.server import DecisionServer, drive
+from repro.utils.validation import check_positive_int
+
+
+class ServedCampaignRunner(BatchedCampaignRunner):
+    """A lockstep campaign fleet whose batched decisions come from a server.
+
+    Parameters
+    ----------
+    tasks:
+        As for :class:`~repro.mcs.campaign.BatchedCampaignRunner`: one task
+        (shared by every policy) or one per policy, all bound to the same
+        dataset object.
+    config:
+        Shared campaign configuration.
+    server:
+        The :class:`~repro.serve.server.DecisionServer` to submit decision
+        requests to.  Several runners may share one server; drive them
+        together with :func:`repro.serve.server.drive`.
+    """
+
+    def __init__(
+        self,
+        tasks,
+        config: Optional[CampaignConfig] = None,
+        *,
+        server: DecisionServer,
+    ) -> None:
+        super().__init__(tasks, config)
+        if not isinstance(server, DecisionServer):
+            raise TypeError(f"expected a DecisionServer, got {type(server).__name__}")
+        self.server = server
+        self._results: Optional[List[CampaignResult]] = None
+
+    # -- running -----------------------------------------------------------------
+
+    def run(
+        self,
+        policies: Sequence[CellSelectionPolicy],
+        *,
+        n_cycles: Optional[int] = None,
+    ) -> List[CampaignResult]:
+        """Drive this runner alone against its server, to completion.
+
+        Single-runner results are bitwise identical to
+        :meth:`BatchedCampaignRunner.run` with the same tasks and policies
+        (see the module docstring for why).
+        """
+        drive(self.server, [self.launch(policies, n_cycles=n_cycles)])
+        return self.results
+
+    @property
+    def results(self) -> List[CampaignResult]:
+        """The policy-aligned results of the last completed :meth:`launch` drive."""
+        if self._results is None:
+            raise RuntimeError(
+                "no completed run; drive launch() to completion first"
+            )
+        return self._results
+
+    def launch(
+        self,
+        policies: Sequence[CellSelectionPolicy],
+        *,
+        n_cycles: Optional[int] = None,
+    ) -> Iterator[None]:
+        """A cooperative driver for this fleet's campaigns.
+
+        The returned generator submits one *phase* of server requests at a
+        time (a submission round's policy queries, then its due
+        assessments, then — per cycle — the final completions) and yields
+        whenever submitted futures must resolve before it can continue.
+        Advance it with :func:`repro.serve.server.drive`, interleaved with
+        any other runners sharing the server.
+        """
+        self._results = None
+        return self._launch(policies, n_cycles)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _launch(
+        self,
+        policies: Sequence[CellSelectionPolicy],
+        n_cycles: Optional[int],
+    ) -> Iterator[None]:
+        if not policies:
+            raise ValueError("at least one policy is required")
+        tasks = self.tasks
+        if len(tasks) == 1 and len(policies) > 1:
+            tasks = tasks * len(policies)
+        if len(tasks) != len(policies):
+            raise ValueError(
+                f"{len(policies)} policies for {len(tasks)} tasks; provide one task "
+                "(shared) or exactly one task per policy"
+            )
+
+        dataset = tasks[0].dataset
+        total_cycles = dataset.n_cycles if n_cycles is None else min(
+            check_positive_int(n_cycles, "n_cycles"), dataset.n_cycles
+        )
+        n_cells = dataset.n_cells
+        max_cells = self.config.max_cells_per_cycle or n_cells
+        max_cells = min(max_cells, n_cells)
+        min_cells = min(self.config.min_cells_per_cycle, max_cells)
+        ground_truth = dataset.data
+
+        slots = [
+            _CampaignSlot(
+                task=task,
+                policy=policy,
+                observed=np.full((n_cells, total_cycles), np.nan),
+                inferred=np.full((n_cells, total_cycles), np.nan),
+                result=CampaignResult(
+                    policy_name=policy.name,
+                    requirement=task.requirement,
+                    n_cells=n_cells,
+                    metadata={
+                        "dataset": dataset.name,
+                        "n_cycles": total_cycles,
+                        "served": True,
+                    },
+                ),
+                sensed_mask=np.zeros(n_cells, dtype=bool),
+            )
+            for task, policy in zip(tasks, policies)
+        ]
+
+        for cycle in range(total_cycles):
+            for slot in slots:
+                slot.policy.begin_cycle(cycle, slot.observed)
+                slot.sensed_mask = np.zeros(n_cells, dtype=bool)
+                slot.selected_order = []
+                slot.assessed_satisfied = False
+                slot.active = True
+
+            while True:
+                active = [slot for slot in slots if slot.active]
+                if not active:
+                    break
+
+                # Phase 1 — selection.  Agent-backed policies go through the
+                # server (their queries stack with every other pending query
+                # against the same agent); other policies select locally.
+                # Slots are independent, so a slot's selection never depends
+                # on another slot's reveal within the round.
+                pending_select: List[Tuple[_CampaignSlot, PendingResult]] = []
+                for slot in active:
+                    query = self._select_query(slot, cycle)
+                    if query is not None:
+                        pending_select.append((slot, query))
+                    else:
+                        self._apply_selection(
+                            slot,
+                            slot.policy.select_cell(
+                                slot.observed, cycle, slot.sensed_mask
+                            ),
+                            ground_truth,
+                            cycle,
+                        )
+                if pending_select:
+                    yield  # resolve the selection batch
+                    for slot, future in pending_select:
+                        self._apply_selection(slot, future.result(), ground_truth, cycle)
+
+                # Phase 2 — assessment of every due slot, submitted in slot
+                # order so the server's equivalence grouping and the pooled
+                # assessors' RNG consumption match the direct runner.
+                due = [
+                    slot
+                    for slot in active
+                    if slot.n_selected >= min_cells
+                    and (slot.n_selected - min_cells) % self.config.assess_every == 0
+                ]
+                pending_assess: List[Tuple[_CampaignSlot, PendingResult]] = []
+                for slot in due:
+                    future = self.server.assess_quality(
+                        slot.task.assessor,
+                        slot.task.inference,
+                        slot.observed[:, : cycle + 1],
+                        cycle,
+                        slot.task.requirement,
+                    )
+                    pending_assess.append((slot, future))
+                if pending_assess:
+                    yield  # resolve the assessment batch
+                    for slot, future in pending_assess:
+                        if future.result():
+                            slot.assessed_satisfied = True
+                            slot.active = False
+                for slot in active:
+                    if slot.active and slot.n_selected >= max_cells:
+                        slot.active = False
+
+            # Phase 3 — end-of-cycle inference for the not-fully-sensed slots.
+            start = max(0, cycle + 1 - self.config.history_window)
+            pending_complete: List[Tuple[_CampaignSlot, PendingResult]] = []
+            for slot in slots:
+                if slot.sensed_mask.all():
+                    slot.inferred[:, cycle] = ground_truth[:, cycle]
+                else:
+                    future = self.server.complete_matrix(
+                        slot.task.inference, slot.observed[:, start : cycle + 1]
+                    )
+                    pending_complete.append((slot, future))
+            if pending_complete:
+                yield  # resolve the completion batch
+                for slot, future in pending_complete:
+                    completed = future.result()
+                    slot.inferred[:, cycle] = completed[:, completed.shape[1] - 1]
+
+            for slot in slots:
+                slot.policy.end_cycle(cycle, slot.observed)
+                slot.result.add_record(
+                    CycleRecord(
+                        cycle=cycle,
+                        selected_cells=tuple(slot.selected_order),
+                        true_error=float(
+                            slot.task.requirement.column_error(
+                                ground_truth[:, cycle],
+                                slot.inferred[:, cycle],
+                                exclude=slot.sensed_mask,
+                            )
+                        ),
+                        assessed_satisfied=slot.assessed_satisfied,
+                    )
+                )
+
+        for slot in slots:
+            slot.result.inferred_matrix = slot.inferred
+        self._results = [slot.result for slot in slots]
+
+    def _select_query(
+        self, slot: _CampaignSlot, cycle: int
+    ) -> Optional[PendingResult]:
+        """Submit a server-side policy query for the slot, if its policy supports it.
+
+        Only plain :class:`~repro.core.drcell.DRCellPolicy` queries are
+        servable — policies with selection-time side effects (e.g. the online
+        learner, which records its cycle trajectory) keep their own
+        ``select_cell`` protocol and run locally.
+        """
+        # Local import: repro.core.drcell reaches back into repro.mcs for the
+        # policy interface, so importing it at module scope would cycle.
+        from repro.core.drcell import DRCellPolicy
+
+        policy = slot.policy
+        if type(policy) is not DRCellPolicy:
+            return None
+        agent = policy.agent
+        state = agent.state_model.from_observations(
+            slot.observed, cycle, slot.sensed_mask
+        )
+        mask = agent.action_space.mask_from_sensed(slot.sensed_mask)
+        return self.server.select_cell(agent, state, mask, greedy=policy.greedy)
+
+    @staticmethod
+    def _apply_selection(
+        slot: _CampaignSlot, cell: int, ground_truth: np.ndarray, cycle: int
+    ) -> None:
+        cell = CellSelectionPolicy._validate_selection(cell, slot.sensed_mask)
+        slot.sensed_mask[cell] = True
+        slot.selected_order.append(cell)
+        slot.observed[cell, cycle] = ground_truth[cell, cycle]

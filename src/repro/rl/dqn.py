@@ -8,7 +8,7 @@ feed-forward DQN ablation and the paper's recurrent DRQN.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -161,6 +161,53 @@ class DQNAgent:
         best = float(masked.max())
         candidates = np.flatnonzero(masked == best)
         return int(self._rng.choice(candidates))
+
+    def select_actions(
+        self,
+        states: Sequence[np.ndarray],
+        *,
+        masks: Optional[Sequence[Optional[np.ndarray]]] = None,
+        greedy: Union[bool, Sequence[bool]] = False,
+    ) -> List[int]:
+        """δ-greedy selection for several states with one stacked forward pass.
+
+        The serving hot path: N pending policy queries against one shared
+        agent cost one ``predict`` over the stacked states instead of N
+        single-state forwards.  The exploration RNG is consumed in exactly
+        the order sequential :meth:`select_action` calls would consume it —
+        per request, the explore/exploit draw followed by the (tie-breaking
+        or exploratory) choice draw — because the Q-network forward itself
+        draws no randomness.  Stacked forwards can differ from single-state
+        forwards by float rounding (~1 ulp), which only matters when two
+        Q-values tie to within that noise.
+        """
+        states = list(states)
+        n = len(states)
+        if masks is None:
+            masks = [None] * n
+        if len(masks) != n:
+            raise ValueError(f"{n} states but {len(masks)} masks")
+        if isinstance(greedy, (bool, np.bool_)):
+            greedy_flags = [bool(greedy)] * n
+        else:
+            greedy_flags = [bool(flag) for flag in greedy]
+            if len(greedy_flags) != n:
+                raise ValueError(f"{n} states but {len(greedy_flags)} greedy flags")
+        if n == 0:
+            return []
+        validated = [self._validate_mask(mask) for mask in masks]
+        q_batch = self.online.predict(np.stack([np.asarray(s) for s in states]))
+        actions: List[int] = []
+        for q, mask, is_greedy in zip(q_batch, validated, greedy_flags):
+            valid = np.flatnonzero(mask)
+            if valid.size == 0:
+                raise ValueError("no valid actions available")
+            delta = 0.0 if is_greedy else self.exploration(self.total_steps)
+            if self._rng.random() < delta:
+                actions.append(int(self._rng.choice(valid)))
+            else:
+                actions.append(self._greedy_from_q(q, mask))
+        return actions
 
     def q_values(self, state: np.ndarray) -> np.ndarray:
         """Online-network Q-values for a single state."""

@@ -1,0 +1,48 @@
+"""``repro.serve`` — a multi-campaign decision server with dynamic micro-batching.
+
+The serving layer turns the library's batched kernels (stacked Q-network
+forwards, batched ALS completions, pooled LOO assessments) into a shared
+online service: any number of concurrently running campaigns submit
+``select_cell`` / ``assess_quality`` / ``complete_matrix`` requests to one
+:class:`DecisionServer`, which coalesces them into fused batched calls and
+memoises completions in an LRU :class:`CompletionCache`.
+
+* :mod:`repro.serve.batcher` — :class:`MicroBatcher`, the deterministic
+  :class:`TickClock`, and :class:`PendingResult` futures.
+* :mod:`repro.serve.cache` — content-fingerprint completion caching
+  (:class:`CompletionCache`, :class:`CachingInference`).
+* :mod:`repro.serve.server` — :class:`DecisionServer`, :class:`ServeConfig`,
+  and the cooperative :func:`drive` scheduler.
+* :mod:`repro.serve.stats` — :class:`ServerStats` telemetry.
+
+The campaign-side client adapter lives in :mod:`repro.mcs.served`
+(:class:`~repro.mcs.served.ServedCampaignRunner`), and
+:meth:`repro.api.session.Session.serve` drives a whole scenario — every
+slot, across datasets — through one server.
+"""
+
+from repro.serve.batcher import MicroBatcher, PendingResult, ServeRequest, TickClock
+from repro.serve.cache import (
+    CachingInference,
+    CompletionCache,
+    inference_fingerprint,
+    matrix_fingerprint,
+)
+from repro.serve.server import DecisionServer, ServeConfig, drive
+from repro.serve.stats import EndpointStats, ServerStats
+
+__all__ = [
+    "CachingInference",
+    "CompletionCache",
+    "DecisionServer",
+    "EndpointStats",
+    "MicroBatcher",
+    "PendingResult",
+    "ServeConfig",
+    "ServeRequest",
+    "ServerStats",
+    "TickClock",
+    "drive",
+    "inference_fingerprint",
+    "matrix_fingerprint",
+]

@@ -1,0 +1,193 @@
+"""Dynamic micro-batching primitives: requests, futures, clock, batcher.
+
+The decision server accepts requests from any number of concurrently
+running campaigns and answers them in fused batches.  The moving parts:
+
+* :class:`PendingResult` — the handle a client holds while its request sits
+  in a queue; resolved (value or exception) when the batch it joined is
+  flushed.
+* :class:`TickClock` — a deterministic logical clock.  The serving layer has
+  no wall-clock deadlines: "time" advances only when the scheduler says so,
+  which makes flush timing — and therefore every batched computation —
+  reproducible under a fixed request schedule.
+* :class:`MicroBatcher` — per-endpoint FIFO queues with the two classic
+  flush triggers: a queue is *due* when it holds ``max_batch`` requests
+  (flush for occupancy) or when its oldest request has waited
+  ``max_wait_ticks`` clock ticks (flush for latency).
+
+The batcher only decides *when* a batch is ready; *how* a batch of requests
+is fused into one computation is the :class:`~repro.serve.server.
+DecisionServer`'s job.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.utils.validation import check_positive_int
+
+_UNSET = object()
+
+
+class TickClock:
+    """A deterministic logical clock counting integer ticks."""
+
+    def __init__(self, start: int = 0) -> None:
+        self._now = int(start)
+
+    def now(self) -> int:
+        """The current tick."""
+        return self._now
+
+    def advance(self, ticks: int = 1) -> int:
+        """Advance the clock and return the new tick."""
+        if int(ticks) < 0:
+            raise ValueError(f"cannot advance by a negative tick count ({ticks})")
+        self._now += int(ticks)
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TickClock(now={self._now})"
+
+
+class PendingResult:
+    """A single-assignment future resolved when the request's batch flushes."""
+
+    __slots__ = ("_value", "_error")
+
+    def __init__(self) -> None:
+        self._value: Any = _UNSET
+        self._error: Optional[BaseException] = None
+
+    @property
+    def done(self) -> bool:
+        """True once a value or an exception has been set."""
+        return self._value is not _UNSET or self._error is not None
+
+    def set_result(self, value: Any) -> None:
+        if self.done:
+            raise RuntimeError("PendingResult is already resolved")
+        self._value = value
+
+    def set_exception(self, error: BaseException) -> None:
+        if self.done:
+            raise RuntimeError("PendingResult is already resolved")
+        self._error = error
+
+    def result(self) -> Any:
+        """The resolved value; raises the stored exception, or if unresolved."""
+        if self._error is not None:
+            raise self._error
+        if self._value is _UNSET:
+            raise RuntimeError(
+                "PendingResult is not resolved yet; flush or drain the server first"
+            )
+        return self._value
+
+
+@dataclass
+class ServeRequest:
+    """One queued request: endpoint kind, payload, and its client-facing future."""
+
+    kind: str
+    payload: Any
+    future: PendingResult = field(default_factory=PendingResult)
+    enqueued_at: int = 0
+    sequence: int = 0
+
+
+class MicroBatcher:
+    """Per-endpoint FIFO queues with size- and wait-based flush triggers.
+
+    Parameters
+    ----------
+    max_batch:
+        Flush a queue as soon as it holds this many requests.
+    max_wait_ticks:
+        Flush a queue once its oldest request has waited this many clock
+        ticks (0 = due immediately at the next poll).
+    clock:
+        The logical clock used to age requests; defaults to a fresh
+        :class:`TickClock`.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_batch: int = 32,
+        max_wait_ticks: int = 2,
+        clock: Optional[TickClock] = None,
+    ) -> None:
+        self.max_batch = check_positive_int(max_batch, "max_batch")
+        if int(max_wait_ticks) < 0:
+            raise ValueError(f"max_wait_ticks must be >= 0, got {max_wait_ticks}")
+        self.max_wait_ticks = int(max_wait_ticks)
+        self.clock = clock or TickClock()
+        self._queues: Dict[str, Deque[ServeRequest]] = {}
+        self._sequence = 0
+
+    # -- enqueueing -------------------------------------------------------------
+
+    def submit(self, kind: str, payload: Any) -> ServeRequest:
+        """Queue a request and return it (the caller keeps ``request.future``)."""
+        if not isinstance(kind, str) or not kind:
+            raise ValueError(f"request kind must be a non-empty string, got {kind!r}")
+        request = ServeRequest(
+            kind=kind,
+            payload=payload,
+            enqueued_at=self.clock.now(),
+            sequence=self._sequence,
+        )
+        self._sequence += 1
+        self._queues.setdefault(kind, deque()).append(request)
+        return request
+
+    # -- inspection -------------------------------------------------------------
+
+    def pending(self, kind: Optional[str] = None) -> int:
+        """Number of queued requests, for one kind or overall."""
+        if kind is not None:
+            return len(self._queues.get(kind, ()))
+        return sum(len(queue) for queue in self._queues.values())
+
+    def kinds(self) -> Tuple[str, ...]:
+        """Kinds with at least one pending request, in first-submission order."""
+        return tuple(kind for kind, queue in self._queues.items() if queue)
+
+    def is_full(self, kind: str) -> bool:
+        """True when ``kind``'s queue has reached ``max_batch``."""
+        return self.pending(kind) >= self.max_batch
+
+    def is_due(self, kind: str) -> bool:
+        """True when ``kind`` should flush: full, or its oldest request aged out."""
+        queue = self._queues.get(kind)
+        if not queue:
+            return False
+        if len(queue) >= self.max_batch:
+            return True
+        return self.clock.now() - queue[0].enqueued_at >= self.max_wait_ticks
+
+    def oldest_wait(self, kind: str) -> Optional[int]:
+        """Ticks the oldest pending request of ``kind`` has waited (None if empty)."""
+        queue = self._queues.get(kind)
+        if not queue:
+            return None
+        return self.clock.now() - queue[0].enqueued_at
+
+    # -- draining ---------------------------------------------------------------
+
+    def drain(self, kind: str, limit: Optional[int] = None) -> List[ServeRequest]:
+        """Pop up to ``limit`` (default ``max_batch``) requests of ``kind``, FIFO."""
+        queue = self._queues.get(kind)
+        if not queue:
+            return []
+        if limit is None:
+            limit = self.max_batch
+        batch = [queue.popleft() for _ in range(min(int(limit), len(queue)))]
+        return batch
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        depths = {kind: len(queue) for kind, queue in self._queues.items() if queue}
+        return f"MicroBatcher(max_batch={self.max_batch}, pending={depths})"

@@ -1,0 +1,395 @@
+"""The decision server: shared online endpoints for concurrent campaigns.
+
+:class:`DecisionServer` is the serving-layer counterpart of the lockstep
+runners: where :class:`~repro.mcs.campaign.BatchedCampaignRunner` fuses work
+*inside* one pre-declared fleet, the server fuses work across any number of
+independently running campaigns that happen to have requests in flight at
+the same time.  Three endpoints cover the hot paths of a Sparse MCS
+campaign:
+
+``select_cell``
+    A policy query against a (shared) DR-Cell agent.  All pending queries
+    for the same agent are answered with **one stacked Q-network forward**
+    (:meth:`~repro.rl.dqn.DQNAgent.select_actions`), preserving the agent's
+    exploration-RNG draw order of sequential calls.
+``assess_quality``
+    A quality-assessment request.  Pending requests are grouped by
+    (assessor, inference) *equivalence* — the same notion
+    :class:`~repro.mcs.campaign.BatchedCampaignRunner` pools by — and each
+    group is answered with one
+    :meth:`~repro.quality.loo_bayesian.QualityAssessor.assess_many` call,
+    which solves every slot's LOO completions in one batched ALS.
+``complete_matrix``
+    A raw matrix completion.  Pending requests are grouped by inference
+    equivalence and solved with one
+    :meth:`~repro.inference.base.InferenceAlgorithm.complete_batch` call.
+
+Both completion-backed endpoints route their inference through a shared
+:class:`~repro.serve.cache.CompletionCache`, so a partial matrix the server
+has completed before — the common case for replicated campaigns and repeated
+LOO loops — skips ALS entirely.
+
+Batching is *dynamic*: requests queue in a :class:`~repro.serve.batcher.
+MicroBatcher` and flush when a queue reaches ``max_batch`` or its oldest
+request has waited ``max_wait_ticks`` logical clock ticks.  The clock is a
+deterministic :class:`~repro.serve.batcher.TickClock`, so a fixed request
+schedule always produces the same batches — and therefore bitwise-identical
+results (the batched solvers are batch-composition independent).
+
+Clients that drive whole campaigns cooperatively (see
+:class:`~repro.mcs.served.ServedCampaignRunner`) are generators; the
+module-level :func:`drive` scheduler advances every client until it blocks
+on pending futures, then pumps the server until everything pending is
+resolved, and repeats.  Requests submitted by different clients in the same
+scheduling round land in the same batches — that is the cross-campaign
+fusion this package exists for.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.inference.base import InferenceAlgorithm
+from repro.serve.batcher import MicroBatcher, PendingResult, ServeRequest, TickClock
+from repro.serve.cache import CachingInference, CompletionCache
+from repro.serve.stats import ServerStats
+from repro.utils.validation import check_positive_int
+
+#: Endpoint kinds in flush-priority order: policy queries unblock clients that
+#: still have to reveal data this round, assessments decide whether a round
+#: continues, completions only close out cycles.
+KINDS = ("select", "assess", "complete")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Decision-server knobs.
+
+    Attributes
+    ----------
+    max_batch:
+        Flush an endpoint queue as soon as it holds this many requests.
+    max_wait_ticks:
+        Flush a queue once its oldest request has waited this many logical
+        clock ticks.
+    cache_capacity:
+        LRU capacity of the shared completion cache.
+    """
+
+    max_batch: int = 32
+    max_wait_ticks: int = 2
+    cache_capacity: int = 512
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.max_batch, "max_batch")
+        check_positive_int(self.cache_capacity, "cache_capacity")
+        if int(self.max_wait_ticks) < 0:
+            raise ValueError(f"max_wait_ticks must be >= 0, got {self.max_wait_ticks}")
+
+
+@dataclass
+class SelectQuery:
+    """Payload of a ``select_cell`` request."""
+
+    agent: Any  # DQNAgent (DRCellAgent is unwrapped at submission)
+    state: np.ndarray
+    mask: np.ndarray
+    greedy: bool
+
+
+@dataclass
+class AssessQuery:
+    """Payload of an ``assess_quality`` request."""
+
+    assessor: Any
+    inference: InferenceAlgorithm
+    observed: np.ndarray
+    cycle: int
+    requirement: Any
+
+
+@dataclass
+class CompleteQuery:
+    """Payload of a ``complete_matrix`` request."""
+
+    inference: InferenceAlgorithm
+    matrix: np.ndarray
+
+
+class DecisionServer:
+    """A shared decision server for concurrently running MCS campaigns.
+
+    Parameters
+    ----------
+    config:
+        Batching and caching knobs (:class:`ServeConfig`).
+    clock:
+        Logical clock used for wait-based flushing; injectable for tests.
+    cache:
+        Completion cache; a fresh LRU cache of ``config.cache_capacity``
+        entries by default.  Pass a shared cache to let several servers
+        (or a server and offline code) share completions.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        *,
+        clock: Optional[TickClock] = None,
+        cache: Optional[CompletionCache] = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.clock = clock or TickClock()
+        self.cache = cache or CompletionCache(self.config.cache_capacity)
+        self.batcher = MicroBatcher(
+            max_batch=self.config.max_batch,
+            max_wait_ticks=self.config.max_wait_ticks,
+            clock=self.clock,
+        )
+        self.stats = ServerStats(cache=self.cache)
+        # Bounded LRU of caching wrappers, keyed by inference instance id; a
+        # long-lived server serving many short-lived campaigns must not pin
+        # every inference instance it ever saw (completed work lives on in
+        # self.cache regardless — wrappers are cheap to rebuild).
+        self._cached_wrappers: "OrderedDict[int, CachingInference]" = OrderedDict()
+        self._max_wrappers = 512
+
+    # -- endpoints ---------------------------------------------------------------
+
+    def select_cell(
+        self,
+        agent: Any,
+        state: np.ndarray,
+        mask: np.ndarray,
+        *,
+        greedy: bool = True,
+    ) -> PendingResult:
+        """Queue a policy query; resolves to the selected cell index.
+
+        ``agent`` may be a :class:`~repro.core.drcell.DRCellAgent` or the
+        underlying :class:`~repro.rl.dqn.DQNAgent`; wrappers are unwrapped so
+        queries against the same shared agent always batch together.
+        """
+        if not hasattr(agent, "select_actions") and hasattr(agent, "agent"):
+            agent = agent.agent  # DRCellAgent -> DQNAgent
+        if not hasattr(agent, "select_actions"):
+            raise TypeError(
+                f"{type(agent).__name__} cannot serve policy queries; expected an "
+                "agent with a batched select_actions method"
+            )
+        payload = SelectQuery(agent=agent, state=state, mask=mask, greedy=bool(greedy))
+        return self._submit("select", payload)
+
+    def assess_quality(
+        self,
+        assessor: Any,
+        inference: InferenceAlgorithm,
+        observed: np.ndarray,
+        cycle: int,
+        requirement: Any,
+    ) -> PendingResult:
+        """Queue a quality assessment; resolves to a bool verdict."""
+        payload = AssessQuery(
+            assessor=assessor,
+            inference=inference,
+            observed=observed,
+            cycle=int(cycle),
+            requirement=requirement,
+        )
+        return self._submit("assess", payload)
+
+    def complete_matrix(
+        self, inference: InferenceAlgorithm, matrix: np.ndarray
+    ) -> PendingResult:
+        """Queue a matrix completion; resolves to the completed matrix."""
+        return self._submit("complete", CompleteQuery(inference=inference, matrix=matrix))
+
+    def _submit(self, kind: str, payload: Any) -> PendingResult:
+        self.stats.record_request(kind)
+        request = self.batcher.submit(kind, payload)
+        if self.batcher.is_full(kind):
+            self._flush_one_batch(kind)
+        return request.future
+
+    # -- pumping -----------------------------------------------------------------
+
+    def tick(self, ticks: int = 1) -> int:
+        """Advance the logical clock and flush every endpoint that became due.
+
+        Returns the number of requests resolved.
+        """
+        self.clock.advance(ticks)
+        self.stats.ticks = self.clock.now()
+        resolved = 0
+        for kind in KINDS:
+            while self.batcher.is_due(kind):
+                resolved += self._flush_one_batch(kind)
+        return resolved
+
+    def flush(self, kind: Optional[str] = None) -> int:
+        """Flush every pending request (of one kind, or all kinds), ignoring timers."""
+        kinds = (kind,) if kind is not None else KINDS
+        resolved = 0
+        for current in kinds:
+            while self.batcher.pending(current):
+                resolved += self._flush_one_batch(current)
+        return resolved
+
+    def run_pending(self) -> int:
+        """Resolve everything currently queued, advancing the clock once.
+
+        This is the scheduler's pump: one logical tick (so wait-based
+        telemetry stays meaningful), then a full priority-ordered flush.
+        """
+        if not self.batcher.pending():
+            return 0
+        resolved = self.tick()
+        resolved += self.flush()
+        return resolved
+
+    @property
+    def pending(self) -> int:
+        """Requests currently queued across all endpoints."""
+        return self.batcher.pending()
+
+    # -- batch handlers ----------------------------------------------------------
+
+    def _flush_one_batch(self, kind: str) -> int:
+        requests = self.batcher.drain(kind)
+        if not requests:
+            return 0
+        handler = {
+            "select": self._handle_select,
+            "assess": self._handle_assess,
+            "complete": self._handle_complete,
+        }[kind]
+        with self.stats.record_batch(kind, len(requests)):
+            handler(requests)
+        return len(requests)
+
+    def _handle_select(self, requests: List[ServeRequest]) -> None:
+        """Answer policy queries, one stacked forward per distinct agent."""
+        groups: Dict[int, List[ServeRequest]] = {}
+        for request in requests:
+            groups.setdefault(id(request.payload.agent), []).append(request)
+        for group in groups.values():
+            agent = group[0].payload.agent
+            try:
+                actions = agent.select_actions(
+                    [request.payload.state for request in group],
+                    masks=[request.payload.mask for request in group],
+                    greedy=[request.payload.greedy for request in group],
+                )
+            except Exception as error:  # propagate to every waiting client
+                self._fail_group(group, error)
+                continue
+            for request, action in zip(group, actions):
+                request.future.set_result(int(action))
+
+    def _handle_assess(self, requests: List[ServeRequest]) -> None:
+        """Answer assessments, one ``assess_many`` per (assessor, inference) class."""
+        from repro.mcs.campaign import (  # local import: avoids a package cycle
+            _equivalent_assessor,
+            _equivalent_inference,
+            _group_by_equivalence,
+        )
+
+        groups = _group_by_equivalence(
+            requests,
+            lambda a, b: _equivalent_assessor(a.payload.assessor, b.payload.assessor)
+            and _equivalent_inference(a.payload.inference, b.payload.inference),
+        )
+        for group in groups:
+            representative = group[0].payload
+            try:
+                verdicts = representative.assessor.assess_many(
+                    [request.payload.observed for request in group],
+                    [request.payload.cycle for request in group],
+                    [request.payload.requirement for request in group],
+                    self._cached(representative.inference),
+                )
+            except Exception as error:
+                self._fail_group(group, error)
+                continue
+            for request, verdict in zip(group, verdicts):
+                request.future.set_result(bool(verdict))
+
+    def _handle_complete(self, requests: List[ServeRequest]) -> None:
+        """Answer completions, one ``complete_batch`` per inference class."""
+        from repro.mcs.campaign import (  # local import: avoids a package cycle
+            _equivalent_inference,
+            _group_by_equivalence,
+        )
+
+        groups = _group_by_equivalence(
+            requests,
+            lambda a, b: _equivalent_inference(a.payload.inference, b.payload.inference),
+        )
+        for group in groups:
+            inference = self._cached(group[0].payload.inference)
+            try:
+                completed = inference.complete_batch(
+                    [request.payload.matrix for request in group]
+                )
+            except Exception as error:
+                self._fail_group(group, error)
+                continue
+            for request, matrix in zip(group, completed):
+                request.future.set_result(matrix)
+
+    @staticmethod
+    def _fail_group(group: Sequence[ServeRequest], error: BaseException) -> None:
+        for request in group:
+            if not request.future.done:
+                request.future.set_exception(error)
+
+    def _cached(self, inference: InferenceAlgorithm) -> InferenceAlgorithm:
+        """The caching wrapper for ``inference`` (one per live instance, shared cache)."""
+        if isinstance(inference, CachingInference):
+            return inference
+        wrapper = self._cached_wrappers.get(id(inference))
+        # The identity check guards against id() reuse after the original
+        # instance was garbage-collected.
+        if wrapper is None or wrapper.inner is not inference:
+            wrapper = CachingInference(inference, self.cache)
+            self._cached_wrappers[id(inference)] = wrapper
+        self._cached_wrappers.move_to_end(id(inference))
+        while len(self._cached_wrappers) > self._max_wrappers:
+            self._cached_wrappers.popitem(last=False)
+        return wrapper
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DecisionServer(pending={self.pending}, "
+            f"tick={self.clock.now()}, cache={self.cache!r})"
+        )
+
+
+def drive(server: DecisionServer, clients: Iterable[Iterator]) -> None:
+    """Cooperatively drive generator clients against one server to completion.
+
+    Each client is a generator that submits requests to ``server`` and
+    ``yield``\\ s whenever it needs pending futures resolved before it can
+    continue (see :class:`~repro.mcs.served.ServedCampaignRunner.launch`).
+    The scheduler round-robins: every live client is advanced once (letting
+    it submit its next phase of requests), then the server resolves
+    everything pending, then the cycle repeats.  Requests submitted by
+    different clients in the same round therefore share batches — campaigns
+    never wait on wall-clock time, and the schedule (hence every batched
+    result) is deterministic.
+    """
+    active: List[Iterator] = list(clients)
+    while active:
+        survivors: List[Iterator] = []
+        for client in active:
+            try:
+                next(client)
+            except StopIteration:
+                continue
+            survivors.append(client)
+        active = survivors
+        server.run_pending()

@@ -1,0 +1,124 @@
+"""Server telemetry: request counts, batch occupancy, latency, cache hit rate."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing aid only
+    from repro.serve.cache import CompletionCache
+
+
+@dataclass
+class EndpointStats:
+    """Counters for one endpoint (request kind)."""
+
+    requests: int = 0
+    batches: int = 0
+    batched_requests: int = 0
+    seconds: float = 0.0
+
+    @property
+    def mean_batch_occupancy(self) -> float:
+        """Mean number of requests fused per flushed batch (NaN before any flush)."""
+        if self.batches == 0:
+            return float("nan")
+        return self.batched_requests / self.batches
+
+    @property
+    def mean_latency_seconds(self) -> float:
+        """Mean handler wall-clock seconds per request (NaN before any flush)."""
+        if self.batched_requests == 0:
+            return float("nan")
+        return self.seconds / self.batched_requests
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "mean_batch_occupancy": round(self.mean_batch_occupancy, 3)
+            if self.batches
+            else None,
+            "seconds": round(self.seconds, 4),
+            "mean_latency_seconds": round(self.mean_latency_seconds, 6)
+            if self.batched_requests
+            else None,
+        }
+
+
+@dataclass
+class ServerStats:
+    """Aggregated decision-server telemetry.
+
+    Endpoint counters are recorded by the server as requests arrive and
+    batches flush; the cache's hit/miss counters are read live from the
+    attached :class:`~repro.serve.cache.CompletionCache`, so this object is
+    always current — snapshot it with :meth:`as_dict` for reporting.
+    """
+
+    endpoints: Dict[str, EndpointStats] = field(default_factory=dict)
+    ticks: int = 0
+    cache: Optional["CompletionCache"] = None
+
+    # -- recording (used by the server) -----------------------------------------
+
+    def endpoint(self, kind: str) -> EndpointStats:
+        """The (auto-created) counters for ``kind``."""
+        if kind not in self.endpoints:
+            self.endpoints[kind] = EndpointStats()
+        return self.endpoints[kind]
+
+    def record_request(self, kind: str) -> None:
+        self.endpoint(kind).requests += 1
+
+    @contextmanager
+    def record_batch(self, kind: str, size: int):
+        """Context manager timing one flushed batch of ``size`` requests."""
+        endpoint = self.endpoint(kind)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            endpoint.batches += 1
+            endpoint.batched_requests += int(size)
+            endpoint.seconds += time.perf_counter() - start
+
+    # -- cache passthroughs -----------------------------------------------------
+
+    @property
+    def cache_hits(self) -> int:
+        return self.cache.hits if self.cache is not None else 0
+
+    @property
+    def cache_misses(self) -> int:
+        return self.cache.misses if self.cache is not None else 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        if self.cache is None:
+            return float("nan")
+        return self.cache.hit_rate
+
+    # -- reporting --------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        """One JSON-friendly snapshot of everything."""
+        total = self.cache_hits + self.cache_misses
+        return {
+            "endpoints": {
+                kind: stats.as_dict() for kind, stats in self.endpoints.items()
+            },
+            "ticks": self.ticks,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": round(self.cache_hit_rate, 4) if total else None,
+        }
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Per-endpoint rows for tabular reporting (one dict per kind)."""
+        return [
+            {"endpoint": kind, **stats.as_dict()}
+            for kind, stats in self.endpoints.items()
+        ]

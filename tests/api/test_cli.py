@@ -85,3 +85,31 @@ class TestSlotLevelScaleConstraint:
         for slot in constrained.slots:
             assert slot.inference.params["iterations"] <= TINY_SCALE.als_iterations
             assert slot.assessor.params["max_loo_cells"] <= TINY_SCALE.max_loo_cells
+
+
+class TestServeCommand:
+    def test_serve_tiny_scenario(self, tiny_scenario_path, capsys):
+        code = main(
+            ["serve", str(tiny_scenario_path), "--scale", "tiny", "--replicas", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served evaluation" in out
+        assert "decision server" in out
+        assert "cache:" in out
+        # tiny scale: serve_campaigns=4 over 2 slots → 2 replicas fit exactly.
+        assert "temperature@1" in out and "pm25@1" in out
+
+    def test_serve_clamps_replicas_and_batch(self):
+        from repro.api.cli import clamp_serve_knobs
+
+        replicas, max_batch = clamp_serve_knobs(
+            TINY_SCALE, n_campaigns=2, replicas=100, max_batch=1024
+        )
+        assert replicas == TINY_SCALE.serve_campaigns // 2
+        assert max_batch == TINY_SCALE.serve_max_batch
+        # Never clamp below one replica, even for oversized scenarios.
+        replicas, _ = clamp_serve_knobs(
+            TINY_SCALE, n_campaigns=100, replicas=5, max_batch=8
+        )
+        assert replicas == 1

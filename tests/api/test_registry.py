@@ -86,8 +86,38 @@ class TestBuiltinRegistrations:
         )
 
     def test_policy_keys(self):
-        assert {"drcell", "random", "qbc"} <= set(POLICIES.names())
+        assert {"drcell", "random", "qbc", "online"} <= set(POLICIES.names())
         assert POLICIES.metadata("drcell").get("trains_agent") is True
+
+    def test_online_policy_round_trip(self):
+        from repro.core.online import OnlineDRCellPolicy
+
+        assert POLICIES.get("online") is OnlineDRCellPolicy
+        assert POLICIES.metadata("online").get("trains_agent") is True
+
+    def test_online_policy_reachable_from_scenario_spec(self):
+        from repro.api.specs import (
+            DatasetSpec,
+            PolicySpec,
+            RequirementSpec,
+            ScenarioSpec,
+            SlotSpec,
+        )
+
+        spec = ScenarioSpec(
+            name="online-round-trip",
+            slots=(
+                SlotSpec(
+                    name="adaptive",
+                    dataset=DatasetSpec("temporal", {"n_cells": 6, "n_cycles": 8}),
+                    requirement=RequirementSpec(epsilon=0.5),
+                    policy=PolicySpec("online", {"learn": True}),
+                ),
+            ),
+        )
+        round_tripped = ScenarioSpec.from_json(spec.to_json())
+        assert round_tripped == spec
+        assert POLICIES.entry(round_tripped.slots[0].policy.name) is not None
 
     def test_assessor_keys(self):
         assert {"loo_bayesian", "oracle"} <= set(ASSESSORS.names())

@@ -148,3 +148,76 @@ class TestCampaignCostAccounting:
             result.total_cost(np.array([1.0, 2.0]))
         with pytest.raises(ValueError):
             result.total_cost(np.array([1.0, -1.0, 2.0]))
+
+
+class TestRegistryIntegration:
+    """``"online"`` is a first-class policy registry key (PR 5 satellite)."""
+
+    def test_registered_under_online(self):
+        from repro.api.registry import POLICIES
+
+        assert POLICIES.get("online") is OnlineDRCellPolicy
+        assert POLICIES.metadata("online").get("trains_agent") is True
+
+    def test_builds_through_registry_with_injected_agent(self):
+        from repro.api.registry import POLICIES
+
+        agent = DRCellAgent.build(6, quick_config())
+        policy = POLICIES.create("online", agent=agent, learn=False)
+        assert isinstance(policy, OnlineDRCellPolicy)
+        assert policy.agent is agent
+        assert policy.learn is False
+
+    def test_session_evaluates_an_online_slot(self):
+        from repro.api.session import Session
+        from repro.api.specs import (
+            DatasetSpec,
+            PolicySpec,
+            RequirementSpec,
+            ScenarioSpec,
+            SlotSpec,
+            TrainingSpec,
+        )
+
+        spec = ScenarioSpec(
+            name="online-session",
+            seed=0,
+            history_window=4,
+            training_days=0.5,
+            min_cells_per_cycle=2,
+            assess_every=2,
+            max_test_cycles=2,
+            training=TrainingSpec(
+                episodes=1,
+                drcell={
+                    "window": 2,
+                    "lstm_hidden": 8,
+                    "dense_hidden": [8],
+                    "min_cells_before_check": 2,
+                    "dqn": {"batch_size": 4, "min_replay_size": 8, "learn_every": 1},
+                },
+            ),
+            slots=(
+                SlotSpec(
+                    name="adaptive",
+                    dataset=DatasetSpec(
+                        "sensorscope",
+                        {
+                            "kind": "temperature",
+                            "n_cells": 6,
+                            "duration_days": 1.0,
+                            "cycle_length_hours": 2.0,
+                            "seed": 0,
+                        },
+                    ),
+                    requirement=RequirementSpec(epsilon=1.0, p=0.8),
+                    policy=PolicySpec("online"),
+                ),
+            ),
+        )
+        session = Session.from_spec(spec)
+        session.train()
+        evaluation = session.evaluate()
+        row = evaluation.row("adaptive")
+        assert row.policy == "DR-Cell (online)"
+        assert row.n_cycles == 2

@@ -178,3 +178,75 @@ class TestCompleteBatch:
         second = inference.complete_batch(matrices)
         for a, b in zip(first, second):
             assert np.array_equal(a, b)
+
+
+class TestWidthBuckets:
+    """Mixed-width batches fuse via padding instead of per-shape calls."""
+
+    def _window(self, rng, n_cells, width, missing=0.4):
+        base = rng.normal(size=(n_cells, 1)) @ rng.normal(size=(1, width))
+        base = base + 0.05 * rng.normal(size=(n_cells, width))
+        return mask_entries(base, missing, rng)
+
+    def test_mixed_widths_match_per_shape_solves(self, rng):
+        inference = CompressiveSensingInference(rank=3, iterations=5, seed=0)
+        widths = [6, 4, 6, 5, 3, 8, 4]
+        matrices = [self._window(rng, 8, width) for width in widths]
+        bucketed = inference.complete_batch(matrices)
+        for matrix, out in zip(matrices, bucketed):
+            assert out.shape == matrix.shape
+            reference = inference.complete_batch([matrix])[0]
+            # The padded solve optimises the same objective; only float
+            # rounding from the longer batched reductions may differ.
+            assert np.allclose(out, reference, atol=1e-9, rtol=0)
+
+    def test_uniform_width_stays_bitwise_identical(self, rng):
+        inference = CompressiveSensingInference(rank=3, iterations=5, seed=0)
+        matrices = [self._window(rng, 8, 6) for _ in range(4)]
+        batch = inference.complete_batch(matrices)
+        for matrix, out in zip(matrices, batch):
+            assert np.array_equal(out, inference.complete_batch([matrix])[0])
+
+    def test_widths_below_rank_keep_exact_shape_groups(self, rng):
+        # A width-2 window clamps the rank to 2; padding it into a rank-3
+        # bucket would change results materially, so it must solve alone.
+        inference = CompressiveSensingInference(rank=3, iterations=5, seed=0)
+        narrow = self._window(rng, 8, 2, missing=0.2)
+        wide = self._window(rng, 8, 6)
+        out_narrow, out_wide = inference.complete_batch([narrow, wide])
+        assert np.array_equal(out_narrow, inference.complete_batch([narrow])[0])
+        assert out_narrow.shape == narrow.shape and out_wide.shape == wide.shape
+
+    def test_observed_entries_preserved_under_padding(self, rng):
+        inference = CompressiveSensingInference(rank=2, iterations=5, seed=0)
+        matrices = [self._window(rng, 6, width) for width in (5, 7, 4)]
+        for matrix, out in zip(matrices, inference.complete_batch(matrices)):
+            mask = ~np.isnan(matrix)
+            assert np.allclose(out[mask], matrix[mask])
+            assert not np.isnan(out).any()
+
+    def test_constant_slot_inside_a_mixed_bucket(self, rng):
+        inference = CompressiveSensingInference(rank=2, iterations=5, seed=0)
+        constant = np.full((6, 5), 7.0)
+        constant[1, 2] = np.nan
+        varied = self._window(rng, 6, 7)
+        out_constant, out_varied = inference.complete_batch([constant, varied])
+        assert np.allclose(out_constant, 7.0)
+        assert out_varied.shape == varied.shape
+
+    def test_different_cell_counts_never_share_a_bucket(self, rng):
+        inference = CompressiveSensingInference(rank=2, iterations=5, seed=0)
+        a = self._window(rng, 6, 5)
+        b = self._window(rng, 9, 7)
+        out_a, out_b = inference.complete_batch([a, b])
+        assert out_a.shape == a.shape and out_b.shape == b.shape
+        assert np.array_equal(out_a, inference.complete_batch([a])[0])
+
+    def test_zero_temporal_weight_bucket(self, rng):
+        inference = CompressiveSensingInference(
+            rank=2, iterations=5, temporal_weight=0.0, seed=0
+        )
+        matrices = [self._window(rng, 6, width) for width in (4, 6)]
+        for matrix, out in zip(matrices, inference.complete_batch(matrices)):
+            reference = inference.complete_batch([matrix])[0]
+            assert np.allclose(out, reference, atol=1e-9, rtol=0)

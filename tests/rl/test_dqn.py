@@ -101,6 +101,56 @@ class TestActionSelection:
             agent.select_action(np.zeros((1, 3)), mask=np.ones(2, dtype=bool))
 
 
+class TestBatchedSelection:
+    """select_actions: the decision server's stacked-forward selection path."""
+
+    def _agent(self, delta=0.0, seed=0):
+        network = FeedForwardQNetwork(3, 1, hidden_dims=(8,), seed=0)
+        return DQNAgent(
+            network, tiny_config(), exploration=ConstantSchedule(delta), seed=seed
+        )
+
+    def _states(self, count):
+        rng = np.random.default_rng(3)
+        return [rng.random((1, 3)) for _ in range(count)]
+
+    def test_matches_sequential_calls_including_rng_order(self):
+        states = self._states(5)
+        masks = [np.array([True, True, False])] * 5
+        sequential_agent = self._agent(delta=0.5, seed=11)
+        sequential = [
+            sequential_agent.select_action(state, mask=mask)
+            for state, mask in zip(states, masks)
+        ]
+        batched_agent = self._agent(delta=0.5, seed=11)
+        batched = batched_agent.select_actions(states, masks=masks)
+        assert batched == sequential
+
+    def test_scalar_and_per_request_greedy_flags(self):
+        states = self._states(3)
+        agent = self._agent(delta=1.0)
+        greedy_all = agent.select_actions(self._states(3), greedy=True)
+        best = [int(np.argmax(agent.q_values(state))) for state in states]
+        assert greedy_all == best
+        mixed = agent.select_actions(states, greedy=[True, False, True])
+        assert mixed[0] == best[0] and mixed[2] == best[2]
+
+    def test_empty_batch(self):
+        assert self._agent().select_actions([]) == []
+
+    def test_length_mismatches_raise(self):
+        agent = self._agent()
+        with pytest.raises(ValueError):
+            agent.select_actions(self._states(2), masks=[None])
+        with pytest.raises(ValueError):
+            agent.select_actions(self._states(2), greedy=[True])
+
+    def test_all_masked_raises(self):
+        agent = self._agent()
+        with pytest.raises(ValueError):
+            agent.select_actions(self._states(1), masks=[np.zeros(3, dtype=bool)])
+
+
 class TestLearning:
     def test_observe_returns_none_before_min_replay(self):
         network = FeedForwardQNetwork(2, 1, hidden_dims=(8,), seed=0)

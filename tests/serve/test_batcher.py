@@ -1,0 +1,113 @@
+"""Tests for the micro-batcher: flush triggers, FIFO order, deterministic clock."""
+
+import pytest
+
+from repro.serve.batcher import MicroBatcher, PendingResult, TickClock
+
+
+class TestTickClock:
+    def test_starts_and_advances(self):
+        clock = TickClock()
+        assert clock.now() == 0
+        assert clock.advance() == 1
+        assert clock.advance(3) == 4
+
+    def test_rejects_negative_advance(self):
+        with pytest.raises(ValueError):
+            TickClock().advance(-1)
+
+
+class TestPendingResult:
+    def test_result_before_resolution_raises(self):
+        future = PendingResult()
+        assert not future.done
+        with pytest.raises(RuntimeError):
+            future.result()
+
+    def test_single_assignment(self):
+        future = PendingResult()
+        future.set_result(7)
+        assert future.done and future.result() == 7
+        with pytest.raises(RuntimeError):
+            future.set_result(8)
+
+    def test_exception_propagates(self):
+        future = PendingResult()
+        future.set_exception(ValueError("boom"))
+        assert future.done
+        with pytest.raises(ValueError, match="boom"):
+            future.result()
+
+    def test_none_is_a_valid_result(self):
+        future = PendingResult()
+        future.set_result(None)
+        assert future.done and future.result() is None
+
+
+class TestMicroBatcher:
+    def test_fifo_order_preserved(self):
+        batcher = MicroBatcher(max_batch=8, max_wait_ticks=0)
+        for payload in range(5):
+            batcher.submit("assess", payload)
+        drained = batcher.drain("assess")
+        assert [request.payload for request in drained] == [0, 1, 2, 3, 4]
+        assert [request.sequence for request in drained] == [0, 1, 2, 3, 4]
+
+    def test_due_on_max_batch(self):
+        batcher = MicroBatcher(max_batch=3, max_wait_ticks=100)
+        batcher.submit("select", 0)
+        batcher.submit("select", 1)
+        assert not batcher.is_due("select")
+        batcher.submit("select", 2)
+        assert batcher.is_full("select") and batcher.is_due("select")
+
+    def test_due_on_max_wait_ticks(self):
+        clock = TickClock()
+        batcher = MicroBatcher(max_batch=100, max_wait_ticks=2, clock=clock)
+        batcher.submit("assess", 0)
+        assert not batcher.is_due("assess")
+        clock.advance()
+        assert not batcher.is_due("assess")
+        clock.advance()
+        assert batcher.is_due("assess")
+        assert batcher.oldest_wait("assess") == 2
+
+    def test_deterministic_under_a_fixed_schedule(self):
+        def schedule():
+            clock = TickClock()
+            batcher = MicroBatcher(max_batch=2, max_wait_ticks=3, clock=clock)
+            flushed = []
+            for step in range(10):
+                batcher.submit("assess", step)
+                if batcher.is_due("assess"):
+                    flushed.append([r.payload for r in batcher.drain("assess")])
+                clock.advance()
+            return flushed
+
+        assert schedule() == schedule()
+
+    def test_drain_respects_max_batch_and_limit(self):
+        batcher = MicroBatcher(max_batch=3, max_wait_ticks=0)
+        for payload in range(7):
+            batcher.submit("complete", payload)
+        assert [r.payload for r in batcher.drain("complete")] == [0, 1, 2]
+        assert [r.payload for r in batcher.drain("complete", limit=2)] == [3, 4]
+        assert batcher.pending("complete") == 2
+
+    def test_pending_counts_per_kind_and_total(self):
+        batcher = MicroBatcher(max_batch=8, max_wait_ticks=0)
+        batcher.submit("select", 0)
+        batcher.submit("assess", 1)
+        batcher.submit("assess", 2)
+        assert batcher.pending("select") == 1
+        assert batcher.pending("assess") == 2
+        assert batcher.pending() == 3
+        assert batcher.kinds() == ("select", "assess")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(max_wait_ticks=-1)
+        with pytest.raises(ValueError):
+            MicroBatcher().submit("", 0)

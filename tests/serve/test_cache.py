@@ -1,0 +1,183 @@
+"""Tests for the completion cache and its inference wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.inference.base import InferenceAlgorithm
+from repro.inference.compressive import CompressiveSensingInference
+from repro.serve.cache import (
+    CachingInference,
+    CompletionCache,
+    inference_fingerprint,
+    matrix_fingerprint,
+)
+
+
+def partial_matrix(seed=0, shape=(6, 5), density=0.6):
+    rng = np.random.default_rng(seed)
+    matrix = rng.normal(size=shape)
+    mask = rng.random(size=shape) < density
+    matrix = np.where(mask, matrix, np.nan)
+    matrix[0, 0] = 1.0  # never fully unobserved
+    return matrix
+
+
+class CountingInference(InferenceAlgorithm):
+    """Column-mean inference that counts how many matrices it really solves."""
+
+    name = "counting"
+
+    def __init__(self):
+        self.solved = 0
+
+    def _complete(self, matrix, mask):
+        self.solved += 1
+        fallback = float(matrix[mask].mean())
+        return np.full_like(matrix, fallback)
+
+
+class TestFingerprints:
+    def test_equal_matrices_collide(self):
+        a = partial_matrix(seed=1)
+        assert matrix_fingerprint(a) == matrix_fingerprint(a.copy())
+
+    def test_equal_masks_different_values_do_not_collide(self):
+        a = partial_matrix(seed=1)
+        b = a.copy()
+        observed = np.flatnonzero(~np.isnan(b.ravel()))
+        b.ravel()[observed[0]] += 1.0
+        assert np.array_equal(np.isnan(a), np.isnan(b))  # identical masks
+        assert matrix_fingerprint(a) != matrix_fingerprint(b)
+
+    def test_different_masks_same_values_do_not_collide(self):
+        a = partial_matrix(seed=1)
+        b = a.copy()
+        observed = np.argwhere(~np.isnan(b))
+        b[tuple(observed[0])] = np.nan
+        assert matrix_fingerprint(a) != matrix_fingerprint(b)
+
+    def test_shape_is_part_of_the_fingerprint(self):
+        a = np.ones((2, 3))
+        b = np.ones((3, 2))
+        assert matrix_fingerprint(a) != matrix_fingerprint(b)
+
+    def test_inference_fingerprint_tracks_configuration(self):
+        a = CompressiveSensingInference(rank=3, iterations=5, seed=0)
+        b = CompressiveSensingInference(rank=4, iterations=5, seed=0)
+        assert inference_fingerprint(a) != inference_fingerprint(b)
+
+    def test_inference_fingerprint_tracks_init_seed(self):
+        # Equivalent hyper-parameters but different frozen init seeds produce
+        # different completions, so they must not share cache entries.
+        a = CompressiveSensingInference(rank=3, iterations=5, seed=0)
+        b = CompressiveSensingInference(rank=3, iterations=5, seed=1)
+        assert inference_fingerprint(a) != inference_fingerprint(b)
+
+    def test_inference_fingerprint_ignores_rng_objects(self):
+        class WithRng(CountingInference):
+            def __init__(self, seed):
+                super().__init__()
+                self._rng = np.random.default_rng(seed)
+
+        assert inference_fingerprint(WithRng(0)) == inference_fingerprint(WithRng(1))
+
+
+class TestCompletionCache:
+    def test_round_trip(self):
+        cache = CompletionCache(capacity=4)
+        value = np.arange(6.0).reshape(2, 3)
+        cache.put(("inf", "mat"), value)
+        out = cache.get(("inf", "mat"))
+        assert np.array_equal(out, value)
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_miss_counted(self):
+        cache = CompletionCache(capacity=4)
+        assert cache.get(("inf", "nope")) is None
+        assert cache.misses == 1
+        assert cache.hit_rate == 0.0
+
+    def test_defensive_copies(self):
+        cache = CompletionCache(capacity=4)
+        value = np.ones((2, 2))
+        cache.put(("a", "b"), value)
+        value[0, 0] = 99.0  # caller mutates its array after insertion
+        out = cache.get(("a", "b"))
+        assert out[0, 0] == 1.0
+        out[0, 0] = 42.0  # caller mutates the returned array
+        assert cache.get(("a", "b"))[0, 0] == 1.0
+
+    def test_eviction_order_is_lru(self):
+        cache = CompletionCache(capacity=2)
+        cache.put(("i", "a"), np.zeros(1))
+        cache.put(("i", "b"), np.zeros(1))
+        assert cache.get(("i", "a")) is not None  # refresh "a"
+        cache.put(("i", "c"), np.zeros(1))  # evicts "b", the least recently used
+        assert ("i", "b") not in cache
+        assert ("i", "a") in cache and ("i", "c") in cache
+        assert cache.keys() == [("i", "a"), ("i", "c")]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            CompletionCache(capacity=0)
+
+    def test_clear_resets_counters(self):
+        cache = CompletionCache(capacity=2)
+        cache.put(("i", "a"), np.zeros(1))
+        cache.get(("i", "a"))
+        cache.get(("i", "zz"))
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+
+class TestCachingInference:
+    def test_complete_hit_skips_solver(self):
+        inner = CountingInference()
+        wrapped = CachingInference(inner, CompletionCache(capacity=8))
+        matrix = partial_matrix(seed=2)
+        first = wrapped.complete(matrix)
+        assert inner.solved == 1
+        second = wrapped.complete(matrix.copy())
+        assert inner.solved == 1  # spy: the solver did not run again
+        assert np.array_equal(first, second)
+
+    def test_complete_batch_hit_skips_solver(self):
+        inner = CountingInference()
+        wrapped = CachingInference(inner, CompletionCache(capacity=8))
+        a, b, c = (partial_matrix(seed=s) for s in (1, 2, 3))
+        wrapped.complete_batch([a, b])
+        assert inner.solved == 2
+        out = wrapped.complete_batch([b.copy(), c, a.copy()])
+        assert inner.solved == 3  # only c was new
+        assert np.array_equal(out[2], wrapped.complete(a))
+
+    def test_within_batch_deduplication(self):
+        inner = CountingInference()
+        cache = CompletionCache(capacity=8)
+        wrapped = CachingInference(inner, cache)
+        matrix = partial_matrix(seed=4)
+        out = wrapped.complete_batch([matrix, matrix.copy(), matrix.copy()])
+        assert inner.solved == 1  # one solve fanned out to three requests
+        assert cache.hits == 2
+        assert all(np.array_equal(o, out[0]) for o in out)
+
+    def test_als_results_bitwise_match_uncached(self):
+        als = CompressiveSensingInference(rank=2, iterations=4, seed=0)
+        wrapped = CachingInference(als, CompletionCache(capacity=8))
+        mats = [partial_matrix(seed=s) for s in (5, 6)]
+        direct = als.complete_batch(mats)
+        cached_cold = wrapped.complete_batch(mats)
+        cached_warm = wrapped.complete_batch(mats)
+        for d, cold, warm in zip(direct, cached_cold, cached_warm):
+            assert np.array_equal(d, cold)
+            assert np.array_equal(d, warm)
+
+    def test_proxies_batch_support_probe(self):
+        als = CompressiveSensingInference()
+        cache = CompletionCache()
+        assert CachingInference(als, cache).supports_batch_completion is True
+        assert CachingInference(CountingInference(), cache).supports_batch_completion is False
+
+    def test_rejects_non_inference(self):
+        with pytest.raises(TypeError):
+            CachingInference(object(), CompletionCache())
