@@ -31,6 +31,7 @@ from pathlib import Path
 from typing import Optional
 
 from repro.api.registry import ASSESSORS, DATASETS, INFERENCE, POLICIES
+from repro.inference.backends import BACKENDS, available_backends
 from repro.api.session import Session
 from repro.api.specs import ScenarioSpec
 from repro.experiments.config import ExperimentScale, get_scale
@@ -99,6 +100,34 @@ def constrain_to_scale(spec: ScenarioSpec, scale: ExperimentScale) -> ScenarioSp
     )
 
 
+def override_als_backend(spec: ScenarioSpec, backend: str) -> ScenarioSpec:
+    """Pin the ALS execution backend in every ``als`` component of the spec.
+
+    The backend key is validated against :data:`repro.inference.backends.
+    BACKENDS` up front (a typo fails fast with the available keys instead of
+    mid-training), then written into the scenario-level inference component
+    and every slot that pins its own ``als`` inference.  Note the
+    ``REPRO_ALS_BACKEND`` environment variable still outranks this flag —
+    precedence is env > spec > default, and this helper edits the spec.
+    """
+    BACKENDS.entry(backend)
+
+    def pin(component):
+        if component is None or component.name != "als":
+            return component
+        return dataclasses.replace(
+            component, params={**component.params, "backend": backend}
+        )
+
+    return spec.replace(
+        inference=pin(spec.inference),
+        slots=tuple(
+            dataclasses.replace(slot, inference=pin(slot.inference))
+            for slot in spec.slots
+        ),
+    )
+
+
 def clamp_serve_knobs(
     scale: ExperimentScale, *, n_campaigns: int, replicas: int, max_batch: int
 ) -> tuple:
@@ -117,6 +146,8 @@ def run_command(args: argparse.Namespace) -> int:
     spec = load_spec(args.scenario)
     if args.scale is not None:
         spec = constrain_to_scale(spec, get_scale(args.scale))
+    if args.als_backend is not None:
+        spec = override_als_backend(spec, args.als_backend)
     if args.seed is not None:
         spec = spec.replace(seed=args.seed)
 
@@ -144,6 +175,8 @@ def serve_command(args: argparse.Namespace) -> int:
             replicas=replicas,
             max_batch=max_batch,
         )
+    if args.als_backend is not None:
+        spec = override_als_backend(spec, args.als_backend)
     if args.seed is not None:
         spec = spec.replace(seed=args.seed)
 
@@ -194,6 +227,8 @@ def components_command(args: argparse.Namespace) -> int:
         ("assessors", ASSESSORS),
     ):
         print(f"{label}: {', '.join(registry.names())}")
+    backends = available_backends()
+    print(f"als backends: {', '.join(backends)}")
     return 0
 
 
@@ -212,6 +247,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--seed", type=int, default=None, help="override the scenario seed")
     run_parser.add_argument(
         "--save", type=Path, default=None, help="save the spec + trained agents here"
+    )
+    run_parser.add_argument(
+        "--als-backend",
+        default=None,
+        help="pin the ALS execution backend (see `components` for the keys)",
     )
     run_parser.set_defaults(func=run_command)
 
@@ -236,6 +276,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=32,
         help="decision-server micro-batch size (clamped by --scale)",
+    )
+    serve_parser.add_argument(
+        "--als-backend",
+        default=None,
+        help="pin the ALS execution backend (see `components` for the keys)",
     )
     # Note: max_wait_ticks is deliberately not exposed here — the cooperative
     # scheduler flushes everything pending once all campaigns block, so the

@@ -117,10 +117,21 @@ class ExperimentScale:
 
     # -- component builders -----------------------------------------------------
 
-    def inference(self, *, seed: int = 0) -> CompressiveSensingInference:
-        """The compressive-sensing inference algorithm at this scale's fidelity."""
+    def inference(
+        self, *, seed: int = 0, backend: Optional[str] = None
+    ) -> CompressiveSensingInference:
+        """The compressive-sensing inference algorithm at this scale's fidelity.
+
+        ``backend`` picks the ALS execution backend (a
+        :data:`repro.inference.backends.BACKENDS` key); ``None`` keeps the
+        default resolution (``REPRO_ALS_BACKEND`` environment variable, then
+        the bit-exact ``numpy`` baseline).
+        """
         return CompressiveSensingInference(
-            rank=3, iterations=self.als_iterations, seed=derive_rng(seed, 5)
+            rank=3,
+            iterations=self.als_iterations,
+            seed=derive_rng(seed, 5),
+            backend=backend,
         )
 
     def assessor(self) -> LeaveOneOutBayesianAssessor:

@@ -1,0 +1,135 @@
+"""Vectorized-grouped NumPy backend: bucket rows by observation count.
+
+The baseline backend's cell half-step assembles one gram per observed row in
+a Python loop — ~n_cells loop iterations per sweep, each doing a tiny
+``v.T @ v``.  At city scale (10⁴–10⁶ cells over a short history window) that
+loop *is* the ALS wall-clock.  This backend removes it: rows are bucketed by
+their observation count, each bucket's observed-column indices are gathered
+into one ``(B, count)`` integer array, and the bucket's grams, right-hand
+sides and solves all run as single stacked gufunc calls —
+
+    V_b   = cycle_factors[idx]                  # (B, count, rank) gather
+    grams = V_bᵀ V_b + λI                        # one batched matmul
+    rhs   = V_bᵀ t_b                             # one batched matmul
+    U_b   = solve(grams, rhs)                    # one stacked LAPACK call
+
+The per-slice arithmetic is the same solve the baseline runs (stacked-solve
+slices are independent), so results agree with the baseline to float
+rounding (typically bit-exact; ≤1e-10 guaranteed by the parity tests) —
+the sweep *order* is unchanged because the cycle half-step reuses the exact
+sequential Gauss–Seidel sweep.
+
+Row-block sharding composes naturally: buckets are built per block, so the
+``(B, count, rank)`` gathers never exceed ``shard_rows`` rows and peak
+memory stays bounded while the cycle factors are still solved from every
+block's contribution (the shared-cycle-factor solve).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.inference.backends import BACKENDS
+from repro.inference.backends.base import (
+    ALSBackend,
+    ALSProblem,
+    factor_delta,
+    gauss_seidel_cycle_sweep,
+    prepare_cycle_sweep,
+    row_blocks,
+)
+
+
+@dataclass
+class _RowBucket:
+    """Rows sharing one observation count, with their gathered structure."""
+
+    rows: np.ndarray  # (B,) int row indices
+    obs_columns: np.ndarray  # (B, count) int observed-column indices per row
+    targets: np.ndarray  # (B, count) observed values per row
+
+
+def bucket_rows(mask: np.ndarray, normalised: np.ndarray, rows: np.ndarray) -> List[_RowBucket]:
+    """Group ``rows`` by observation count and gather their index structure.
+
+    Runs once per solve (the observation pattern is constant across sweeps).
+    Rows with zero observations are dropped — they keep their prior factor,
+    exactly like the baseline.
+    """
+    counts = mask[rows].sum(axis=1)
+    buckets: List[_RowBucket] = []
+    for count in np.unique(counts):
+        if count == 0:
+            continue
+        members = rows[counts == count]
+        # np.nonzero is row-major, so reshaping recovers each row's sorted
+        # observed-column indices — the same order the baseline's
+        # per-row np.flatnonzero produces.
+        obs_columns = np.nonzero(mask[members])[1].reshape(members.size, int(count))
+        targets = normalised[members[:, None], obs_columns]
+        buckets.append(_RowBucket(rows=members, obs_columns=obs_columns, targets=targets))
+    return buckets
+
+
+@BACKENDS.register(
+    "numpy_grouped",
+    description="rows bucketed by observation count; stacked gufunc solves",
+    optional_dependency=None,
+)
+class GroupedNumpyBackend(ALSBackend):
+    """Bucketed batched cell half-step; Gauss–Seidel cycle half-step."""
+
+    name = "numpy_grouped"
+
+    def solve(self, problem: ALSProblem) -> Tuple[np.ndarray, np.ndarray, int]:
+        normalised, mask = problem.normalised, problem.mask
+        n_cells = normalised.shape[0]
+        rank = problem.rank
+        cell_factors, cycle_factors = problem.cell_init, problem.cycle_init
+        ridge = problem.regularization * np.eye(rank)
+        mu = problem.mu
+        prep = prepare_cycle_sweep(problem, ridge)
+
+        blocked_buckets = [
+            bucket_rows(mask, normalised, block)
+            for block in row_blocks(n_cells, problem.shard_rows, problem.shard_overlap)
+        ]
+
+        sweeps_run = 0
+        for _ in range(problem.iterations):
+            previous = (
+                (cell_factors.copy(), cycle_factors.copy())
+                if problem.tolerance > 0
+                else None
+            )
+            for buckets in blocked_buckets:
+                for bucket in buckets:
+                    v = cycle_factors[bucket.obs_columns]  # (B, count, rank)
+                    vt = v.transpose(0, 2, 1)
+                    grams = vt @ v + ridge
+                    rhs = (vt @ bucket.targets[..., None])[..., 0]
+                    cell_factors[bucket.rows] = np.linalg.solve(
+                        grams, rhs[..., None]
+                    )[..., 0]
+
+            with np.errstate(invalid="ignore", over="ignore", divide="ignore"):
+                gauss_seidel_cycle_sweep(
+                    cell_factors,
+                    cycle_factors,
+                    ridge,
+                    mu,
+                    prep.col_obs,
+                    prep.col_targets,
+                    prep.zero_rhs,
+                    prep.smooth_gram,
+                )
+
+            sweeps_run += 1
+            if previous is not None and (
+                factor_delta(cell_factors, cycle_factors, *previous) < problem.tolerance
+            ):
+                break
+        return cell_factors, cycle_factors, sweeps_run

@@ -16,6 +16,16 @@ where Ω is the set of observed entries.  The temporal-smoothness term links
 consecutive cycles' latent factors, which is what makes selections spread
 over time (paper Figure 1, case 2.2) more informative than repeatedly
 sensing the same cells.
+
+The sweep inner loops — the hot kernels of the whole system — execute
+behind the pluggable :mod:`repro.inference.backends` layer: this class owns
+normalisation, initialisation, width bucketing and post-conditions, while
+the registered backend (``numpy`` baseline, ``numpy_grouped``, optional
+``numba``/``torch``) runs the sweeps.  Selection precedence is the
+``REPRO_ALS_BACKEND`` environment variable, then the ``backend=``
+constructor argument (an ``InferenceSpec`` param in declarative scenarios),
+then the ``numpy`` default, which stays bit-exact with the pre-backend
+kernel.
 """
 
 from __future__ import annotations
@@ -26,35 +36,19 @@ import numpy as np
 
 from repro.api.registry import INFERENCE
 
+from repro.inference.backends import (
+    ALSProblem,
+    SolverStats,
+    StackedALSProblem,
+    get_backend,
+    resolve_backend_name,
+)
 from repro.inference.base import ColumnMeanFallbackMixin, InferenceAlgorithm, observed_mask
 from repro.utils.seeding import RngLike, as_rng
 from repro.utils.validation import check_non_negative, check_positive_int
 
-try:  # pragma: no cover - exercised indirectly on every solve
-    # The raw LAPACK gufunc behind np.linalg.solve for 1-D right-hand sides.
-    # Calling it directly skips ~10µs of per-call wrapper overhead, which
-    # dominates the ALS inner loop (tiny rank×rank systems).  Bit-for-bit
-    # identical to np.linalg.solve; falls back to the public API if the
-    # private module moves.
-    from numpy.linalg import _umath_linalg as _raw_linalg
 
-    _solve_vector = _raw_linalg.solve1
-except Exception:  # pragma: no cover - depends on numpy internals
-    _solve_vector = None
-
-
-def _solve_small(gram: np.ndarray, rhs: np.ndarray) -> np.ndarray:
-    """Solve one small dense system, minimising call overhead."""
-    if _solve_vector is not None:
-        out = _solve_vector(gram, rhs)
-        total = out.sum()
-        if total != total:  # NaN ⇒ singular system; match np.linalg.solve
-            raise np.linalg.LinAlgError("Singular matrix")
-        return out
-    return np.linalg.solve(gram, rhs)
-
-
-@INFERENCE.register("als", seed_stream=5)
+@INFERENCE.register("als", seed_stream=5, backend_registry="repro.inference.backends")
 class CompressiveSensingInference(ColumnMeanFallbackMixin, InferenceAlgorithm):
     """ALS low-rank matrix completion with optional temporal smoothness.
 
@@ -68,9 +62,31 @@ class CompressiveSensingInference(ColumnMeanFallbackMixin, InferenceAlgorithm):
         μ, the weight of the smoothness penalty tying consecutive cycles'
         factors together.  Zero disables the term.
     iterations:
-        Number of ALS sweeps.
+        Number of ALS sweeps (the budget; see ``tolerance``).
     seed:
         Seed or generator for factor initialisation.
+    backend:
+        Execution-backend key from :data:`repro.inference.backends.BACKENDS`
+        (``numpy``, ``numpy_grouped``, and — when their dependency is
+        installed — ``numba`` / ``torch``).  The ``REPRO_ALS_BACKEND``
+        environment variable overrides this; unset, the bit-exact ``numpy``
+        baseline is used.
+    tolerance:
+        Convergence early-exit: stop sweeping once the RMS change of the
+        (normalised-domain) factors falls below this value.  The default 0
+        disables the check entirely, preserving bit-exactness with the
+        fixed-budget protocol; saved sweeps are counted in
+        :attr:`solver_stats`.
+    shard_rows:
+        Block-sharded completion: bound the number of rows whose cell
+        half-step intermediates are materialised at once.  The cycle
+        factors are still solved from every block's contribution (a shared
+        cycle-factor solve), so sharding changes peak memory, not the
+        optimisation problem.  ``None`` (default) solves densely.
+    shard_overlap:
+        Boundary rows shared by consecutive row blocks (re-solved in both;
+        the cell half-step holds the cycle factors fixed, so the duplicate
+        solves are identical).  Must be smaller than ``shard_rows``.
     """
 
     name = "compressive_sensing"
@@ -83,11 +99,32 @@ class CompressiveSensingInference(ColumnMeanFallbackMixin, InferenceAlgorithm):
         iterations: int = 15,
         *,
         seed: RngLike = None,
+        backend: Optional[str] = None,
+        tolerance: float = 0.0,
+        shard_rows: Optional[int] = None,
+        shard_overlap: int = 0,
     ) -> None:
         self.rank = check_positive_int(rank, "rank")
         self.regularization = check_non_negative(regularization, "regularization")
         self.temporal_weight = check_non_negative(temporal_weight, "temporal_weight")
         self.iterations = check_positive_int(iterations, "iterations")
+        # Resolved once, here: the backend is part of this instance's frozen
+        # configuration (hence of completion-cache fingerprints and pooling
+        # equivalence) — numerically different backends must never share
+        # cached completions.
+        self.backend = resolve_backend_name(backend)
+        self.tolerance = check_non_negative(tolerance, "tolerance")
+        self.shard_rows = (
+            None if shard_rows is None else check_positive_int(shard_rows, "shard_rows")
+        )
+        self.shard_overlap = int(check_non_negative(shard_overlap, "shard_overlap"))
+        if self.shard_rows is not None and self.shard_overlap >= self.shard_rows:
+            raise ValueError(
+                f"shard_overlap ({self.shard_overlap}) must be smaller than "
+                f"shard_rows ({self.shard_rows})"
+            )
+        # Telemetry only — excluded from fingerprints and equivalence checks.
+        self.solver_stats = SolverStats()
         # Freeze the initialisation seed so that repeated `complete` calls on
         # the same instance (and the same input) return identical results.
         self._init_seed = int(as_rng(seed).integers(0, 2**31 - 1))
@@ -105,89 +142,27 @@ class CompressiveSensingInference(ColumnMeanFallbackMixin, InferenceAlgorithm):
         normalised = np.where(mask, (matrix - mean) / scale, 0.0)
 
         init_rng = np.random.default_rng(self._init_seed)
-        cell_factors = 0.1 * init_rng.standard_normal((n_cells, rank))
-        cycle_factors = 0.1 * init_rng.standard_normal((n_cycles, rank))
-        ridge = self.regularization * np.eye(rank)
-        mu = self.temporal_weight
-
-        # The observation pattern is constant across sweeps: hoist the
-        # per-row/per-column index sets, targets and smoothness terms out of
-        # the iteration loop.
-        row_obs = [np.flatnonzero(mask[i]) for i in range(n_cells)]
-        row_targets = [normalised[i, idx] for i, idx in enumerate(row_obs)]
-        obs_rows = np.array([i for i in range(n_cells) if row_obs[i].size], dtype=int)
-        col_obs = [np.flatnonzero(mask[:, j]) for j in range(n_cycles)]
-        col_targets = [normalised[idx, j] for j, idx in enumerate(col_obs)]
-        zero_rhs = np.zeros(rank)
-        if mu > 0:
-            smooth_gram = [
-                mu * ((j > 0) + (j < n_cycles - 1)) * np.eye(rank) for j in range(n_cycles)
-            ]
-
-        for _ in range(self.iterations):
-            # Cell half-step: every row's system depends only on the (fixed)
-            # cycle factors, so the solves are batched into one LAPACK call.
-            if obs_rows.size:
-                grams = np.empty((obs_rows.size, rank, rank))
-                rhs = np.empty((obs_rows.size, rank))
-                for k, i in enumerate(obs_rows):
-                    v = cycle_factors[row_obs[i]]
-                    grams[k] = v.T @ v + ridge
-                    rhs[k] = v.T @ row_targets[i]
-                cell_factors[obs_rows] = np.linalg.solve(grams, rhs[..., None])[..., 0]
-
-            # Cycle half-step: the temporal-smoothness coupling uses the
-            # neighbours' current values (Gauss–Seidel), so these solves stay
-            # sequential.  One errstate for the whole sweep keeps the raw
-            # solve gufunc from leaking FP warnings on singular systems (the
-            # NaN guard in _solve_small converts those to LinAlgError).
-            with np.errstate(invalid="ignore", over="ignore", divide="ignore"):
-                self._cycle_sweep(
-                    cell_factors, cycle_factors, ridge, mu,
-                    col_obs, col_targets, zero_rhs,
-                    smooth_gram if mu > 0 else None,
-                )
-
+        problem = ALSProblem(
+            normalised=normalised,
+            mask=mask,
+            cell_init=0.1 * init_rng.standard_normal((n_cells, rank)),
+            cycle_init=0.1 * init_rng.standard_normal((n_cycles, rank)),
+            regularization=self.regularization,
+            mu=self.temporal_weight,
+            iterations=self.iterations,
+            tolerance=self.tolerance,
+            shard_rows=self.shard_rows,
+            shard_overlap=self.shard_overlap,
+        )
+        cell_factors, cycle_factors, sweeps_run = get_backend(self.backend).solve(problem)
+        self.solver_stats.record(
+            matrices=1,
+            sweeps_run=sweeps_run,
+            budget=self.iterations,
+            sharded=self.shard_rows is not None and n_cells > self.shard_rows,
+        )
         completed = cell_factors @ cycle_factors.T
         return completed * scale + mean
-
-    def _cycle_sweep(
-        self,
-        cell_factors: np.ndarray,
-        cycle_factors: np.ndarray,
-        ridge: np.ndarray,
-        mu: float,
-        col_obs,
-        col_targets,
-        zero_rhs: np.ndarray,
-        smooth_gram,
-    ) -> None:
-        """One Gauss–Seidel sweep over the cycle factors (see ``_complete``)."""
-        n_cycles = cycle_factors.shape[0]
-        for j in range(n_cycles):
-            has_obs = col_obs[j].size > 0
-            u = cell_factors[col_obs[j]]
-            gram = u.T @ u + ridge
-            rhs_j = u.T @ col_targets[j] if has_obs else zero_rhs
-            neighbor_count = 0
-            if mu > 0:
-                if j > 0:
-                    if j < n_cycles - 1:
-                        neighbor_sum = cycle_factors[j - 1] + cycle_factors[j + 1]
-                        neighbor_count = 2
-                    else:
-                        neighbor_sum = cycle_factors[j - 1]
-                        neighbor_count = 1
-                elif j < n_cycles - 1:
-                    neighbor_sum = cycle_factors[j + 1]
-                    neighbor_count = 1
-                else:
-                    neighbor_sum = zero_rhs
-                gram = gram + smooth_gram[j]
-                rhs_j = rhs_j + mu * neighbor_sum
-            if not has_obs and neighbor_count == 0:
-                continue
-            cycle_factors[j] = _solve_small(gram, rhs_j)
 
     # -- batched fast path ---------------------------------------------------
 
@@ -298,6 +273,11 @@ class CompressiveSensingInference(ColumnMeanFallbackMixin, InferenceAlgorithm):
         columns, so the padded solve optimises exactly the per-shape
         objective (padded columns contribute only zero terms; see
         :meth:`complete_batch` for the resulting ~1e-15 rounding caveat).
+
+        The sweep loop itself runs through the active backend's
+        ``solve_stacked`` (all built-in backends share the NumPy Jacobi
+        implementation); this method owns normalisation, degenerate-slot
+        short-circuiting and the width-gating setup.
         """
         n_batch, n_cells, n_cycles = data.shape
         rank = min(self.rank, n_cells, n_cycles)
@@ -333,7 +313,6 @@ class CompressiveSensingInference(ColumnMeanFallbackMixin, InferenceAlgorithm):
         U = np.broadcast_to(cell_init, (n_batch, n_cells, rank)).copy()
         V = np.broadcast_to(cycle_init, (n_batch, n_cycles, rank)).copy()
 
-        ridge = self.regularization * np.eye(rank)
         mu = self.temporal_weight
         row_has_obs = mask.any(axis=2)[..., None]
         col_has_obs = mask.any(axis=1)
@@ -360,33 +339,28 @@ class CompressiveSensingInference(ColumnMeanFallbackMixin, InferenceAlgorithm):
                 ..., None
             ]
 
-        for _ in range(self.iterations):
-            # Cell half-step: gram_i = Σ_j m_ij V_j V_jᵀ, batched over (K, i).
-            grams = np.einsum("kij,kjr,kjs->kirs", maskf, V, V) + ridge
-            # Rows with no observation keep their prior factor; give them an
-            # identity system so the stacked solve cannot hit a singular slot.
-            grams = np.where(row_has_obs[..., None], grams, np.eye(rank))
-            rhs = normalised @ V
-            solved = np.linalg.solve(grams, rhs[..., None])[..., 0]
-            U = np.where(row_has_obs, solved, U)
-
-            # Cycle half-step (Jacobi): neighbours come from the previous
-            # sweep's V, so all columns solve in one stacked call.
-            grams = np.einsum("kij,kir,kis->kjrs", maskf, U, U) + ridge
-            rhs = np.einsum("kij,kir->kjr", normalised, U)
-            if mu > 0:
-                neighbor_sum = np.zeros_like(V)
-                if widths is None:
-                    neighbor_sum[:, :-1] += V[:, 1:]
-                    neighbor_sum[:, 1:] += V[:, :-1]
-                else:
-                    neighbor_sum[:, :-1] += V[:, 1:] * right_gate[:, :-1, None]
-                    neighbor_sum[:, 1:] += V[:, :-1] * left_gate[:, 1:, None]
-                grams = grams + smooth
-                rhs = rhs + mu * neighbor_sum
-            grams = np.where(col_update[..., None], grams, np.eye(rank))
-            solved = np.linalg.solve(grams, rhs[..., None])[..., 0]
-            V = np.where(col_update, solved, V)
-
+        problem = StackedALSProblem(
+            normalised=normalised,
+            maskf=maskf,
+            cell_init=U,
+            cycle_init=V,
+            regularization=self.regularization,
+            mu=mu,
+            iterations=self.iterations,
+            row_has_obs=row_has_obs,
+            col_update=col_update,
+            smooth=smooth,
+            left_gate=left_gate,
+            right_gate=right_gate,
+            tolerance=self.tolerance,
+            shard_rows=self.shard_rows,
+        )
+        U, V, sweeps_run = get_backend(self.backend).solve_stacked(problem)
+        self.solver_stats.record(
+            matrices=n_batch,
+            sweeps_run=sweeps_run,
+            budget=self.iterations,
+            sharded=self.shard_rows is not None and n_cells > self.shard_rows,
+        )
         completed = U @ V.transpose(0, 2, 1)
         return completed * scales[:, None, None] + means[:, None, None]

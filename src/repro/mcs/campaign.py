@@ -17,6 +17,7 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.inference.backends import SolverStats
 from repro.mcs.policies import CellSelectionPolicy
 from repro.mcs.results import CampaignResult, CycleRecord
 from repro.mcs.task import SensingTask
@@ -30,11 +31,13 @@ logger = get_logger(__name__)
 def _same_attributes(a, b, *, skip: frozenset = frozenset()) -> bool:
     """Attribute-wise equality of two same-type component instances.
 
-    RNG state (``numpy.random.Generator`` attributes) is deliberately ignored
-    — it never changes *what* a component computes, only which random draws
-    it makes; arrays compare by value; everything else by ``==`` (objects
-    without a value-based ``__eq__``, e.g. committee containers, therefore
-    only match themselves, which keeps the comparison conservative).
+    RNG state (``numpy.random.Generator`` attributes) and
+    :class:`~repro.inference.backends.SolverStats` telemetry are deliberately
+    ignored — neither changes *what* a component computes (stats counters
+    merely diverge as instances run); arrays compare by value; everything
+    else by ``==`` (objects without a value-based ``__eq__``, e.g. committee
+    containers, therefore only match themselves, which keeps the comparison
+    conservative).
     """
     state_a, state_b = vars(a), vars(b)
     if set(state_a) != set(state_b):
@@ -43,8 +46,8 @@ def _same_attributes(a, b, *, skip: frozenset = frozenset()) -> bool:
         if key in skip:
             continue
         value_b = state_b[key]
-        if isinstance(value_a, np.random.Generator) or isinstance(
-            value_b, np.random.Generator
+        if isinstance(value_a, (np.random.Generator, SolverStats)) or isinstance(
+            value_b, (np.random.Generator, SolverStats)
         ):
             continue
         if isinstance(value_a, np.ndarray) or isinstance(value_b, np.ndarray):
