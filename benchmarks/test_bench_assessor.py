@@ -14,13 +14,13 @@ batched path fail fast without paying the full measurement.
 """
 
 import os
-import time
 
 import numpy as np
 
 from repro.inference.compressive import CompressiveSensingInference
 from repro.quality.epsilon_p import QualityRequirement
 from repro.quality.loo_bayesian import LeaveOneOutBayesianAssessor
+from repro.utils.timing import monotonic
 
 from benchmarks.conftest import write_result
 
@@ -57,17 +57,17 @@ def _assessment_inputs(n_states: int, seed: int = 0):
 
 
 def _throughput(assessor, states, inference, repeats):
-    start = time.perf_counter()
+    start = monotonic()
     for _ in range(repeats):
         for observed, cycle in states:
             assessor.probability_error_below(observed, cycle, REQUIREMENT, inference)
-    elapsed = time.perf_counter() - start
+    elapsed = monotonic() - start
     n_assessments = repeats * len(states)
     return n_assessments, elapsed
 
 
 def _pooled_throughput(assessor, states, inference, repeats):
-    start = time.perf_counter()
+    start = monotonic()
     for _ in range(repeats):
         assessor.probabilities_error_below(
             [observed for observed, _ in states],
@@ -75,7 +75,7 @@ def _pooled_throughput(assessor, states, inference, repeats):
             [REQUIREMENT] * len(states),
             inference,
         )
-    elapsed = time.perf_counter() - start
+    elapsed = monotonic() - start
     return repeats * len(states), elapsed
 
 

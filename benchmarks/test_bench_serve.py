@@ -25,7 +25,6 @@ fleet and skips the speedup assertions (they need the full-size run).
 """
 
 import os
-import time
 
 import numpy as np
 
@@ -36,6 +35,7 @@ from repro.mcs.served import ServedCampaignRunner
 from repro.quality.epsilon_p import QualityRequirement
 from repro.quality.loo_bayesian import LeaveOneOutBayesianAssessor
 from repro.serve import DecisionServer, ServeConfig, drive
+from repro.utils.timing import monotonic
 
 from benchmarks.conftest import write_result
 
@@ -83,12 +83,12 @@ def _config() -> CampaignConfig:
 def _run_sequential(n_campaigns: int, *, replicated: bool):
     """Per-campaign sequential dispatch: one isolated runner after another."""
     campaigns = [_campaign(k, replicated=replicated) for k in range(n_campaigns)]
-    start = time.perf_counter()
+    start = monotonic()
     results = [
         CampaignRunner(task, _config()).run(policy, n_cycles=N_CYCLES)
         for task, policy in campaigns
     ]
-    return results, time.perf_counter() - start, None
+    return results, monotonic() - start, None
 
 
 def _run_served(n_campaigns: int, *, replicated: bool, max_batch: int = 64):
@@ -99,7 +99,7 @@ def _run_served(n_campaigns: int, *, replicated: bool, max_batch: int = 64):
         ServedCampaignRunner([task], _config(), server=server)
         for task, _ in campaigns
     ]
-    start = time.perf_counter()
+    start = monotonic()
     drive(
         server,
         [
@@ -107,7 +107,7 @@ def _run_served(n_campaigns: int, *, replicated: bool, max_batch: int = 64):
             for runner, (_, policy) in zip(runners, campaigns)
         ],
     )
-    elapsed = time.perf_counter() - start
+    elapsed = monotonic() - start
     results = [runner.results[0] for runner in runners]
     return results, elapsed, server
 

@@ -1,0 +1,86 @@
+"""repro.analysis — the AST-based invariant linter for this repository.
+
+The linter enforces the contracts the test suite cannot see locally:
+determinism (``rng-discipline``, ``clock-discipline``), cache/pooling
+coherence (``fingerprint-completeness``), wiring coherence
+(``registry-spec-drift``), import hygiene (``lazy-import-hygiene``) and the
+honesty of its own escape hatch (``suppression-hygiene``).
+
+Run it as ``python -m repro.analysis [paths...]`` or programmatically::
+
+    from repro.analysis import analyze
+    report = analyze(["src"], root=Path("."))
+
+Like :mod:`repro.api`, the package facade resolves its exports lazily
+(PEP 562) so importing ``repro.analysis`` stays cheap and cycle-free.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing aid only
+    from repro.analysis.baseline import Baseline
+    from repro.analysis.engine import Report
+
+__all__ = [
+    "AnalysisRule",
+    "Baseline",
+    "Finding",
+    "Project",
+    "RULES",
+    "Report",
+    "analyze",
+    "main",
+    "run_analysis",
+]
+
+_EXPORTS = {
+    "AnalysisRule": ("repro.analysis.registry", "AnalysisRule"),
+    "Baseline": ("repro.analysis.baseline", "Baseline"),
+    "Finding": ("repro.analysis.finding", "Finding"),
+    "Project": ("repro.analysis.project", "Project"),
+    "RULES": ("repro.analysis.registry", "RULES"),
+    "Report": ("repro.analysis.engine", "Report"),
+    "main": ("repro.analysis.cli", "main"),
+    "run_analysis": ("repro.analysis.engine", "run_analysis"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attribute)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))
+
+
+def analyze(
+    paths: Sequence[str],
+    *,
+    root: Optional[Path] = None,
+    rule_ids: Optional[Sequence[str]] = None,
+    baseline_path: Optional[Path] = None,
+) -> "Report":
+    """Run the linter programmatically and return the :class:`Report`.
+
+    ``baseline_path=None`` means no baseline is applied (every finding is
+    active); pass the committed file explicitly to reproduce CI behaviour.
+    """
+    from repro.analysis.baseline import Baseline
+    from repro.analysis.engine import run_analysis
+    from repro.analysis.project import Project
+
+    resolved_root = (root or Path.cwd()).resolve()
+    project = Project(resolved_root, [Path(path) for path in paths])
+    baseline: Optional["Baseline"] = None
+    if baseline_path is not None:
+        baseline = Baseline.load(baseline_path)
+    return run_analysis(project, rule_ids=rule_ids, baseline=baseline)

@@ -1,0 +1,131 @@
+"""Small AST helpers shared by the analysis rules.
+
+Nothing here is rule-specific: dotted-name flattening, literal extraction,
+a top-level import map that expands aliases (``np.random.default_rng`` →
+``numpy.random.default_rng``), and a walker that tracks the enclosing
+scope chain so rules can tell module-level code from function bodies.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Tuple
+
+__all__ = [
+    "ImportMap",
+    "dotted_name",
+    "in_function",
+    "literal_strings",
+    "walk_scoped",
+]
+
+#: AST nodes that open a new symbol scope.
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Flatten a ``Name``/``Attribute`` chain to ``"a.b.c"``; None otherwise."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def literal_strings(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """The strings of a literal ``(...)``/``[...]``/``{...}`` of constants.
+
+    Also looks through ``frozenset(...)``/``set(...)``/``tuple(...)`` calls
+    wrapping such a literal.  Returns ``None`` when the node is anything
+    else (comprehensions, names, mixed types) so callers stay conservative.
+    """
+    if isinstance(node, ast.Call):
+        callee = dotted_name(node.func)
+        if callee in ("frozenset", "set", "tuple", "list") and len(node.args) == 1:
+            return literal_strings(node.args[0])
+        return None
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        values = []
+        for element in node.elts:
+            if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
+                return None
+            values.append(element.value)
+        return tuple(values)
+    return None
+
+
+def walk_scoped(
+    tree: ast.AST,
+) -> Iterator[Tuple[ast.AST, Tuple[ast.AST, ...]]]:
+    """Yield ``(node, enclosing_scopes)`` for every node in ``tree``.
+
+    ``enclosing_scopes`` is the chain of scope-opening nodes *around* the
+    node (outermost first), excluding the module itself and excluding the
+    node even when it opens a scope of its own.
+    """
+
+    def visit(node: ast.AST, scopes: Tuple[ast.AST, ...]) -> Iterator:
+        for child in ast.iter_child_nodes(node):
+            yield child, scopes
+            child_scopes = scopes + (child,) if isinstance(child, _SCOPE_NODES) else scopes
+            yield from visit(child, child_scopes)
+
+    yield from visit(tree, ())
+
+
+def in_function(scopes: Tuple[ast.AST, ...]) -> bool:
+    """True when the scope chain passes through a function or lambda."""
+    return any(isinstance(scope, _FUNCTION_NODES) for scope in scopes)
+
+
+class ImportMap:
+    """Alias resolution for a module's **top-level** imports.
+
+    ``import numpy as np`` binds ``np`` → ``numpy``; ``from repro.utils
+    import seeding as s`` binds ``s`` → ``repro.utils.seeding``.  Function-
+    local imports are deliberately excluded: the map answers "what does this
+    module-level name refer to", which is what the discipline rules need
+    (locals are checked against the symbol table instead).
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.aliases: Dict[str, str] = {}
+        for statement in tree.body:
+            self._collect(statement)
+
+    def _collect(self, statement: ast.stmt) -> None:
+        if isinstance(statement, ast.Import):
+            for alias in statement.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                self.aliases[bound] = target
+        elif isinstance(statement, ast.ImportFrom) and statement.level == 0:
+            module = statement.module or ""
+            for alias in statement.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                self.aliases[bound] = f"{module}.{alias.name}" if module else alias.name
+        elif isinstance(statement, (ast.If, ast.Try)):
+            # Imports under module-level guards (TYPE_CHECKING blocks,
+            # try/except ImportError) still bind the module-level name.
+            for child in ast.iter_child_nodes(statement):
+                if isinstance(child, ast.stmt):
+                    self._collect(child)
+
+    def expand(self, dotted: str) -> str:
+        """Expand the first segment of ``dotted`` through the alias map."""
+        head, _, rest = dotted.partition(".")
+        target = self.aliases.get(head)
+        if target is None:
+            return dotted
+        return f"{target}.{rest}" if rest else target
+
+    def resolve_call(self, func: ast.AST) -> Optional[str]:
+        """The fully expanded dotted name of a call target, or ``None``."""
+        name = dotted_name(func)
+        return None if name is None else self.expand(name)

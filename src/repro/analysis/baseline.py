@@ -1,0 +1,79 @@
+"""The committed baseline: grandfathered findings that do not gate CI.
+
+Introducing a new rule to a living codebase surfaces pre-existing findings
+that should not block unrelated work; rather than weakening the rule, the
+findings are recorded in a committed baseline file (``analysis-baseline.json``
+at the project root) and reported separately.  The contract:
+
+* a finding whose :attr:`~repro.analysis.finding.Finding.baseline_key`
+  appears in the baseline is *baselined* — reported, but exit-code neutral;
+* anything not in the baseline is *active* and fails the run;
+* ``python -m repro.analysis --write-baseline`` regenerates the file from
+  the current findings (use it once when introducing a rule, then burn the
+  entries down — entries that stop matching are dropped on the next
+  ``--write-baseline``, so the file only ever shrinks under honest edits).
+
+Matching ignores line numbers (see ``baseline_key``), so unrelated edits
+that shift code do not un-grandfather old findings.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.analysis.finding import Finding
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_NAME"]
+
+#: File name looked up at the project root when ``--baseline`` is not given.
+DEFAULT_BASELINE_NAME = "analysis-baseline.json"
+
+_VERSION = 1
+
+
+class Baseline:
+    """A set of grandfathered finding keys, read from / written to JSON."""
+
+    def __init__(self, findings: Iterable[Finding] = ()) -> None:
+        self._entries: List[Finding] = sorted(set(findings))
+        self._keys: Set[Tuple[str, str, str]] = {
+            finding.baseline_key for finding in self._entries
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.baseline_key in self._keys
+
+    def split(self, findings: Sequence[Finding]) -> Tuple[List[Finding], List[Finding]]:
+        """Partition ``findings`` into (active, baselined)."""
+        active = [finding for finding in findings if finding not in self]
+        baselined = [finding for finding in findings if finding in self]
+        return active, baselined
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        version = payload.get("version")
+        if version != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r} in {path} "
+                f"(expected {_VERSION})"
+            )
+        return cls(Finding.from_dict(entry) for entry in payload.get("findings", []))
+
+    @staticmethod
+    def write(path: Path, findings: Sequence[Finding]) -> None:
+        """Write ``findings`` as the new baseline (sorted, line numbers kept
+        for human readers even though matching ignores them)."""
+        payload = {
+            "version": _VERSION,
+            "findings": [finding.to_dict() for finding in sorted(set(findings))],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

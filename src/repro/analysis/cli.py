@@ -1,0 +1,171 @@
+"""Command-line entry point: ``python -m repro.analysis [paths...]``.
+
+Mirrors the :mod:`repro.api.cli` conventions: argparse, a ``--list-rules``
+listing in the same spirit as ``components``, and exit codes that CI can
+gate on — ``0`` when no active findings remain (suppressed/baselined ones
+are reported but grandfathered), ``1`` when active findings exist, ``2``
+for usage errors such as an unknown rule id or a missing path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.baseline import Baseline, DEFAULT_BASELINE_NAME
+from repro.analysis.engine import Report, run_analysis
+from repro.analysis.project import DEFAULT_EXCLUDES, Project
+from repro.analysis.registry import RULES
+from repro.api.registry import UnknownComponentError
+
+__all__ = ["build_parser", "main"]
+
+#: Paths analysed when none are given (existing ones only).
+DEFAULT_PATHS = ("src", "tests", "benchmarks")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based invariant linter for the repro codebase",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help=f"files or directories to analyse (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path.cwd(),
+        help="repository root for relative paths, docs and the baseline (default: cwd)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all registered rules)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file of grandfathered findings (default: <root>/{DEFAULT_BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: every finding gates",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit clean",
+    )
+    parser.add_argument(
+        "--exclude",
+        action="append",
+        default=[],
+        metavar="PREFIX",
+        help="additional root-relative path prefix to skip during directory discovery",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rule ids (components-style) and exit",
+    )
+    return parser
+
+
+def _list_rules() -> int:
+    names = sorted(RULES.names())
+    print(f"rules: {', '.join(names)}")
+    for name in names:
+        rule = RULES.create(name)
+        print(f"  {name}: {rule.description}")
+    return 0
+
+
+def _print_text(report: Report) -> None:
+    for finding in report.active:
+        print(finding.format())
+    for finding in report.baselined:
+        print(f"{finding.format()} [baselined]")
+    for finding in report.suppressed:
+        print(f"{finding.format()} [suppressed]")
+    print(
+        f"{len(report.active)} active finding(s), "
+        f"{len(report.baselined)} baselined, "
+        f"{len(report.suppressed)} suppressed "
+        f"({len(report.rules)} rule(s))"
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        return _list_rules()
+
+    root = args.root.resolve()
+    paths: List[Path] = list(args.paths)
+    if not paths:
+        paths = [root / name for name in DEFAULT_PATHS if (root / name).is_dir()]
+        if not paths:
+            print(
+                f"error: none of the default paths ({', '.join(DEFAULT_PATHS)}) "
+                f"exist under {root}",
+                file=sys.stderr,
+            )
+            return 2
+
+    rule_ids = None
+    if args.rules is not None:
+        rule_ids = [rule.strip() for rule in args.rules.split(",") if rule.strip()]
+        if not rule_ids:
+            print("error: --rules given but no rule ids parsed", file=sys.stderr)
+            return 2
+
+    excludes = tuple(DEFAULT_EXCLUDES) + tuple(args.exclude)
+    try:
+        project = Project(root, paths, excludes=excludes)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline if args.baseline is not None else root / DEFAULT_BASELINE_NAME
+    baseline = None if args.no_baseline else Baseline.load(baseline_path)
+
+    try:
+        report = run_analysis(project, rule_ids=rule_ids, baseline=baseline)
+    except UnknownComponentError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        Baseline.write(baseline_path, report.active + report.baselined)
+        print(
+            f"wrote {len(report.active) + len(report.baselined)} finding(s) "
+            f"to {baseline_path}"
+        )
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        _print_text(report)
+    return report.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""The analysis engine: run rules, apply suppressions, split against baseline.
+
+Finding flow, in order:
+
+1. every selected rule runs over the :class:`~repro.analysis.project.Project`
+   (parse errors surface as ``parse-error`` findings alongside);
+2. inline suppressions are applied — only *well-formed* ones
+   (``# repro: allow[rule-id] reason`` with a non-empty reason) suppress
+   anything, so a malformed comment can never silence a finding;
+3. what remains is split against the committed baseline: baselined findings
+   are reported but do not gate, active findings do.
+
+The exit-code policy lives with the report: a run is *clean* (exit 0) when
+no active findings remain — suppressed and baselined findings are visible
+in the output but grandfathered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.finding import Finding
+from repro.analysis.project import Project
+from repro.analysis.registry import RULES
+
+__all__ = ["Report", "run_analysis"]
+
+
+@dataclass
+class Report:
+    """Outcome of one analysis run."""
+
+    rules: List[str]
+    active: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.active
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.clean else 1
+
+    def to_dict(self) -> Dict:
+        return {
+            "rules": list(self.rules),
+            "counts": {
+                "active": len(self.active),
+                "baselined": len(self.baselined),
+                "suppressed": len(self.suppressed),
+            },
+            "active": [finding.to_dict() for finding in self.active],
+            "baselined": [finding.to_dict() for finding in self.baselined],
+            "suppressed": [finding.to_dict() for finding in self.suppressed],
+        }
+
+
+def run_analysis(
+    project: Project,
+    *,
+    rule_ids: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
+) -> Report:
+    """Run ``rule_ids`` (default: every registered rule) over ``project``."""
+    selected = list(rule_ids) if rule_ids is not None else sorted(RULES.names())
+    findings = set(project.errors)
+    for rule_id in selected:
+        rule = RULES.create(rule_id)  # raises UnknownComponentError for typos
+        findings.update(rule.check(project))
+
+    suppressions = {
+        source.rel_path: [s for s in source.suppressions if s.has_reason]
+        for source in project.files
+    }
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in sorted(findings):
+        if any(
+            suppression.covers(finding.rule, finding.line)
+            for suppression in suppressions.get(finding.path, ())
+        ):
+            suppressed.append(finding)
+        else:
+            kept.append(finding)
+
+    if baseline is None:
+        active, baselined = kept, []
+    else:
+        active, baselined = baseline.split(kept)
+    return Report(
+        rules=selected, active=active, baselined=baselined, suppressed=suppressed
+    )

@@ -1,0 +1,76 @@
+"""The unit of analysis output: one :class:`Finding` per violated invariant.
+
+Findings are plain data — JSON-round-trippable so the CLI's ``--format
+json`` artifact and the committed baseline file share one representation.
+The *baseline key* deliberately omits the line number: grandfathered
+findings keep matching while unrelated edits shift code up and down, and
+only a change to the finding itself (rule, file, or message) un-grandfathers
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Tuple
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a location.
+
+    Attributes
+    ----------
+    path:
+        Path of the offending file, relative to the project root (POSIX
+        separators, so baselines are portable).
+    line / col:
+        1-based line and 0-based column of the offending node; ``line`` 0
+        means the finding concerns the file (or project) as a whole.
+    rule:
+        Id of the rule that produced the finding (see
+        :data:`repro.analysis.registry.RULES`).
+    message:
+        Human-readable description of the violated invariant.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def __post_init__(self) -> None:
+        if not self.rule:
+            raise ValueError("a finding needs a rule id")
+        if not self.message:
+            raise ValueError("a finding needs a message")
+
+    @property
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """Line-independent identity used to match the committed baseline."""
+        return (self.rule, self.path, self.message)
+
+    def format(self) -> str:
+        """The one-line text form: ``path:line:col: rule: message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Finding":
+        return cls(
+            path=str(payload["path"]),
+            line=int(payload.get("line", 0)),
+            col=int(payload.get("col", 0)),
+            rule=str(payload["rule"]),
+            message=str(payload["message"]),
+        )

@@ -1,0 +1,231 @@
+"""Project model: the files the analysis pass sees, parsed once.
+
+A :class:`Project` owns a root directory, the Python files collected from
+the paths handed to the engine (each parsed to an AST, with its symbol
+table, import map and inline suppressions computed lazily), and the
+documentation sources (``README.md``, ``docs/*.md``,
+``examples/scenarios/*.json``) that cross-cutting rules such as
+``registry-spec-drift`` audit regardless of which source paths were given.
+
+Files that fail to parse are not dropped silently: they surface as
+``parse-error`` findings through :attr:`Project.errors`, because a linter
+that skips unparseable files is a linter that can be turned off with a
+stray bracket.
+"""
+
+from __future__ import annotations
+
+import ast
+import symtable
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.astutil import ImportMap, _FUNCTION_NODES
+from repro.analysis.finding import Finding
+from repro.analysis.suppress import Suppression, parse_suppressions
+
+__all__ = ["DEFAULT_EXCLUDES", "Project", "SourceFile"]
+
+#: Directory prefixes (relative to the root) skipped during *directory*
+#: discovery.  The analysis test fixtures are deliberately-bad snippets that
+#: must not fail the self-scan; passing a file path explicitly bypasses
+#: exclusion, which is how the fixture tests run the rules on them.
+DEFAULT_EXCLUDES = ("tests/analysis/fixtures",)
+
+_SKIP_DIR_NAMES = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+
+class SourceFile:
+    """One parsed Python source file."""
+
+    def __init__(self, path: Path, root: Path) -> None:
+        self.path = path
+        try:
+            self.rel_path = path.relative_to(root).as_posix()
+        except ValueError:  # outside the root (explicit file argument)
+            self.rel_path = path.as_posix()
+        self.text = path.read_text(encoding="utf-8")
+        self.tree: Optional[ast.Module] = None
+        self.parse_error: Optional[SyntaxError] = None
+        try:
+            self.tree = ast.parse(self.text, filename=str(path))
+        except SyntaxError as error:
+            self.parse_error = error
+        self._imports: Optional[ImportMap] = None
+        self._suppressions: Optional[List[Suppression]] = None
+        self._symtables: Optional[Dict[Tuple[str, int], symtable.SymbolTable]] = None
+
+    # -- derived views, computed lazily -------------------------------------
+
+    @property
+    def module_name(self) -> Optional[str]:
+        """Dotted module name for files inside a ``repro`` package tree.
+
+        ``src/repro/mcs/vector.py`` → ``repro.mcs.vector``;
+        ``__init__.py`` names the package itself.  Files not under a
+        ``repro`` directory (tests, benchmarks) have no module name and do
+        not participate in the import-graph checks.
+        """
+        parts = self.rel_path.split("/")
+        if "repro" not in parts:
+            return None
+        parts = parts[parts.index("repro") :]
+        if parts[-1] == "__init__.py":
+            parts = parts[:-1]
+        elif parts[-1].endswith(".py"):
+            parts = parts[:-1] + [parts[-1][: -len(".py")]]
+        else:
+            return None
+        return ".".join(parts)
+
+    @property
+    def imports(self) -> ImportMap:
+        if self._imports is None:
+            self._imports = ImportMap(self.tree if self.tree is not None else ast.Module(body=[], type_ignores=[]))
+        return self._imports
+
+    @property
+    def suppressions(self) -> List[Suppression]:
+        if self._suppressions is None:
+            self._suppressions = parse_suppressions(self.text)
+        return self._suppressions
+
+    # -- symbol tables -------------------------------------------------------
+
+    def _symtable_index(self) -> Dict[Tuple[str, int], symtable.SymbolTable]:
+        """Map ``(scope name, first line)`` to its :mod:`symtable` scope."""
+        if self._symtables is None:
+            index: Dict[Tuple[str, int], symtable.SymbolTable] = {}
+            try:
+                top = symtable.symtable(self.text, str(self.path), "exec")
+            except SyntaxError:
+                self._symtables = {}
+                return self._symtables
+            stack = [top]
+            while stack:
+                table = stack.pop()
+                index[(table.get_name(), table.get_lineno())] = table
+                stack.extend(table.get_children())
+            self._symtables = index
+        return self._symtables
+
+    def name_is_module_ref(self, name: str, scopes: Sequence[ast.AST]) -> bool:
+        """Whether ``name`` used under ``scopes`` refers to a module-level binding.
+
+        Looks the name up in the innermost enclosing *function* scope's
+        symbol table: a name that is local there (parameter, assignment,
+        comprehension target) shadows the module-level import, so discipline
+        rules must not attribute the call to the imported module.  Falls
+        back to ``True`` when no symbol information is available — the rules
+        stay conservative rather than silently missing violations.
+        """
+        innermost = None
+        for scope in reversed(list(scopes)):
+            if isinstance(scope, _FUNCTION_NODES):
+                innermost = scope
+                break
+        if innermost is None:
+            return True  # module / class level: only the import map applies
+        scope_name = getattr(innermost, "name", "lambda")
+        table = self._symtable_index().get((scope_name, innermost.lineno))
+        if table is None:
+            return True
+        try:
+            symbol = table.lookup(name)
+        except KeyError:
+            return True
+        return symbol.is_global() or (not symbol.is_local() and not symbol.is_parameter())
+
+    def finding(self, rule: str, node: Optional[ast.AST], message: str) -> Finding:
+        """Build a :class:`Finding` in this file, anchored at ``node``."""
+        return Finding(
+            path=self.rel_path,
+            line=getattr(node, "lineno", 0) if node is not None else 0,
+            col=getattr(node, "col_offset", 0) if node is not None else 0,
+            rule=rule,
+            message=message,
+        )
+
+
+class Project:
+    """Everything one analysis run looks at."""
+
+    def __init__(
+        self,
+        root: Path,
+        paths: Sequence[Path],
+        *,
+        excludes: Sequence[str] = DEFAULT_EXCLUDES,
+    ) -> None:
+        self.root = root.resolve()
+        self.excludes = tuple(excludes)
+        self.files: List[SourceFile] = []
+        self.errors: List[Finding] = []
+        for path in self._collect(paths):
+            source = SourceFile(path, self.root)
+            if source.parse_error is not None:
+                self.errors.append(
+                    Finding(
+                        path=source.rel_path,
+                        line=source.parse_error.lineno or 0,
+                        col=(source.parse_error.offset or 1) - 1,
+                        rule="parse-error",
+                        message=f"file does not parse: {source.parse_error.msg}",
+                    )
+                )
+            else:
+                self.files.append(source)
+
+    def _collect(self, paths: Sequence[Path]) -> List[Path]:
+        collected: List[Path] = []
+        seen = set()
+        for path in paths:
+            path = path if path.is_absolute() else self.root / path
+            if path.is_file():
+                candidates = [path]  # explicit files bypass the excludes
+            elif path.is_dir():
+                candidates = [
+                    candidate
+                    for candidate in sorted(path.rglob("*.py"))
+                    if not self._excluded(candidate)
+                ]
+            else:
+                raise FileNotFoundError(f"no such file or directory: {path}")
+            for candidate in candidates:
+                resolved = candidate.resolve()
+                if resolved not in seen:
+                    seen.add(resolved)
+                    collected.append(candidate)
+        return collected
+
+    def _excluded(self, path: Path) -> bool:
+        if any(part in _SKIP_DIR_NAMES for part in path.parts):
+            return True
+        try:
+            rel = path.relative_to(self.root).as_posix()
+        except ValueError:
+            return False
+        return any(rel == prefix or rel.startswith(prefix + "/") for prefix in self.excludes)
+
+    # -- documentation sources (for cross-cutting rules) ---------------------
+
+    def doc_paths(self) -> List[Path]:
+        """Markdown files audited for registry references: README + docs/."""
+        candidates = [self.root / "README.md"]
+        docs = self.root / "docs"
+        if docs.is_dir():
+            candidates.extend(sorted(docs.glob("*.md")))
+        return [path for path in candidates if path.is_file()]
+
+    def scenario_paths(self) -> List[Path]:
+        """Checked-in scenario files audited for registry references."""
+        scenarios = self.root / "examples" / "scenarios"
+        if not scenarios.is_dir():
+            return []
+        return sorted(scenarios.glob("*.json"))
+
+    def rel(self, path: Path) -> str:
+        try:
+            return path.relative_to(self.root).as_posix()
+        except ValueError:
+            return path.as_posix()

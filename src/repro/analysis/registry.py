@@ -1,0 +1,61 @@
+"""The string-keyed rule registry, mirroring :mod:`repro.api.registry`.
+
+Rules are components exactly like datasets or inference algorithms: they
+self-register under a short id with the :meth:`Registry.register` decorator
+and are looked up by that id from the CLI (``--rules``), the engine and the
+docs.  Reusing :class:`repro.api.registry.Registry` (which imports nothing
+from the rest of the library) keeps the conventions — lazy bootstrap of the
+built-in rule modules, ``UnknownComponentError`` listing the available ids,
+re-registration tolerance — identical across the codebase, and means the
+``--list-rules`` output can never drift from what actually runs.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Iterator
+
+from repro.api.registry import Registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing aid only
+    from repro.analysis.finding import Finding
+    from repro.analysis.project import Project
+
+__all__ = ["AnalysisRule", "RULES"]
+
+
+class AnalysisRule(abc.ABC):
+    """Base class for analysis rules.
+
+    A rule sees the whole :class:`~repro.analysis.project.Project` (not one
+    file at a time) because the interesting invariants are cross-file:
+    constructor parameters in one module vs. the pooling predicate in
+    another, registry decorators vs. scenario JSON, the import graph as a
+    whole.  Per-file rules simply loop over ``project.files``.
+    """
+
+    #: Short kebab-case id used on the CLI, in suppressions and baselines.
+    id: str = ""
+
+    #: One-line description shown by ``--list-rules``.
+    description: str = ""
+
+    @abc.abstractmethod
+    def check(self, project: "Project") -> Iterator["Finding"]:
+        """Yield every violation of this rule's invariant in ``project``."""
+
+
+#: Analysis rules: ``factory() -> AnalysisRule``.  The bootstrap modules
+#: register the built-in rules on first lookup, exactly like the component
+#: registries in :mod:`repro.api.registry`.
+RULES = Registry(
+    "analysis rule",
+    bootstrap_modules=(
+        "repro.analysis.rules.rng",
+        "repro.analysis.rules.clock",
+        "repro.analysis.rules.fingerprint",
+        "repro.analysis.rules.registry_drift",
+        "repro.analysis.rules.imports",
+        "repro.analysis.rules.suppression",
+    ),
+)

@@ -1,0 +1,7 @@
+"""Built-in analysis rules.
+
+One module per rule; each registers itself on the
+:data:`repro.analysis.registry.RULES` registry at import time, and the
+registry's bootstrap list names every module here.  The rule catalogue with
+the rationale behind each invariant lives in ``docs/analysis.md``.
+"""

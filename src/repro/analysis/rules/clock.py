@@ -1,0 +1,90 @@
+"""``clock-discipline``: wall-clock reads only in :mod:`repro.utils.timing`.
+
+Deterministic paths — anything driven by the serve layer's logical
+``TickClock``, fingerprinted completions, record/replay of campaigns — must
+not observe wall-clock time: a ``time.time()`` that sneaks into such a path
+produces results that can never be reproduced or replayed.  The repository
+therefore funnels every legitimate timing need (trainer reports, server
+latency telemetry, benchmarks) through
+:func:`repro.utils.timing.monotonic`, which tests can also fake
+deterministically.  This rule enforces the funnel: any direct read of
+``time.*`` clocks or ``datetime`` "now" constructors outside the one
+allowlisted module is a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.analysis.astutil import dotted_name, walk_scoped
+from repro.analysis.finding import Finding
+from repro.analysis.project import Project
+from repro.analysis.registry import AnalysisRule, RULES
+
+#: The single module allowed to read the wall clock (path suffixes).
+ALLOWED_MODULES: Tuple[str, ...] = ("repro/utils/timing.py",)
+
+#: ``time`` module functions that read a clock.
+_TIME_READS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "clock_gettime",
+        "clock_gettime_ns",
+        "localtime",
+        "gmtime",
+    }
+)
+
+#: ``datetime`` constructors that read a clock.
+_DATETIME_READS = frozenset({"now", "utcnow", "today"})
+
+
+@RULES.register("clock-discipline")
+class ClockDisciplineRule(AnalysisRule):
+    id = "clock-discipline"
+    description = (
+        "wall-clock reads (time.*, datetime.now/utcnow/today) are only allowed in "
+        "repro/utils/timing.py — everything else uses repro.utils.timing.monotonic()"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for source in project.files:
+            if source.rel_path.endswith(ALLOWED_MODULES):
+                continue
+            for node, scopes in walk_scoped(source.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                raw = dotted_name(node.func)
+                if raw is None:
+                    continue
+                # Judge shadowing on the source-level name, not the expanded
+                # alias: a local named `time` hides the module.
+                if not source.name_is_module_ref(raw.split(".")[0], scopes):
+                    continue
+                target = source.imports.expand(raw)
+                if target.startswith("time.") and target[len("time.") :] in _TIME_READS:
+                    yield source.finding(
+                        self.id,
+                        node,
+                        f"wall-clock read `{target}()` outside repro/utils/timing.py; "
+                        "use repro.utils.timing.monotonic() so the read stays "
+                        "centralised and fakeable in tests",
+                    )
+                elif (
+                    target.startswith("datetime.")
+                    and target.split(".")[-1] in _DATETIME_READS
+                ):
+                    yield source.finding(
+                        self.id,
+                        node,
+                        f"wall-clock read `{target}()` outside repro/utils/timing.py; "
+                        "deterministic paths must not observe calendar time",
+                    )

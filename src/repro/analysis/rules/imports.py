@@ -1,0 +1,210 @@
+"""``lazy-import-hygiene``: the import graph stays lazy, guarded and acyclic.
+
+The library's import-time contract has three legs:
+
+* ``repro/api/__init__.py`` is the PEP-562 façade: component modules do
+  ``from repro.api.registry import DATASETS`` at import time, so the façade
+  itself may only import the registry module (everything else resolves
+  lazily through ``__getattr__``).  One eager import of ``session`` or
+  ``specs`` there and every component registration becomes a cycle;
+* optional accelerators (``numba``, ``torch``) must never be imported
+  eagerly by a ``repro`` module outside a ``try/except ImportError`` guard —
+  the library has to import (and the CPU paths have to run) on machines
+  without them;
+* the explicit top-level import graph between ``repro`` modules must stay
+  acyclic.  Implicit package-parent edges are normal Python and ignored;
+  it is the *explicit* ``import repro.x`` edges that, once circular, make
+  import order start to matter and turn refactors into landmines.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.finding import Finding
+from repro.analysis.project import Project, SourceFile
+from repro.analysis.registry import AnalysisRule, RULES
+
+#: Path suffix of the PEP-562 façade.
+API_FACADE_SUFFIX = "repro/api/__init__.py"
+
+#: The only modules the façade may import eagerly.
+API_FACADE_ALLOWED = frozenset({"__future__", "typing", "repro.api.registry"})
+
+#: Optional heavy dependencies that must stay behind ImportError guards.
+GUARDED_MODULES = frozenset({"numba", "torch"})
+
+
+def _is_type_checking_guard(node: ast.If) -> bool:
+    test = node.test
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def _handles_import_error(node: ast.Try) -> bool:
+    for handler in node.handlers:
+        types = handler.type
+        if types is None:
+            return True  # bare except catches ImportError too
+        elements = types.elts if isinstance(types, ast.Tuple) else [types]
+        for element in elements:
+            name = element.attr if isinstance(element, ast.Attribute) else getattr(element, "id", "")
+            if name in ("ImportError", "ModuleNotFoundError", "Exception", "BaseException"):
+                return True
+    return False
+
+
+def _top_level_imports(
+    tree: ast.Module,
+) -> Iterator[Tuple[ast.AST, str, bool, bool]]:
+    """Yield ``(node, module, guarded, type_checking)`` for top-level imports.
+
+    Recurses through ``if``/``try`` statements (still import time) but not
+    into functions or classes (lazy by construction).
+    """
+
+    def visit(
+        statements: List[ast.stmt], guarded: bool, type_checking: bool
+    ) -> Iterator[Tuple[ast.AST, str, bool, bool]]:
+        for statement in statements:
+            if isinstance(statement, ast.Import):
+                for alias in statement.names:
+                    yield statement, alias.name, guarded, type_checking
+            elif isinstance(statement, ast.ImportFrom):
+                if statement.level == 0 and statement.module:
+                    yield statement, statement.module, guarded, type_checking
+            elif isinstance(statement, ast.If):
+                checking = type_checking or _is_type_checking_guard(statement)
+                yield from visit(statement.body, guarded, checking)
+                yield from visit(statement.orelse, guarded, type_checking)
+            elif isinstance(statement, ast.Try):
+                shields = _handles_import_error(statement)
+                yield from visit(statement.body, guarded or shields, type_checking)
+                for handler in statement.handlers:
+                    yield from visit(handler.body, guarded, type_checking)
+                yield from visit(statement.orelse, guarded, type_checking)
+                yield from visit(statement.finalbody, guarded, type_checking)
+
+    yield from visit(tree.body, False, False)
+
+
+@RULES.register("lazy-import-hygiene")
+class LazyImportHygieneRule(AnalysisRule):
+    id = "lazy-import-hygiene"
+    description = (
+        "repro.api facade imports only the registry eagerly, numba/torch stay behind "
+        "ImportError guards, and the explicit top-level import graph is acyclic"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        modules: Dict[str, SourceFile] = {}
+        edges: Dict[str, List[Tuple[str, SourceFile, ast.AST]]] = {}
+
+        for source in project.files:
+            module = source.module_name
+            if module is not None:
+                modules[module] = source
+
+        for source in project.files:
+            yield from self._check_file(source, modules, edges)
+
+        yield from self._check_cycles(edges)
+
+    def _check_file(
+        self,
+        source: SourceFile,
+        modules: Dict[str, SourceFile],
+        edges: Dict[str, List[Tuple[str, SourceFile, ast.AST]]],
+    ) -> Iterator[Finding]:
+        is_facade = source.rel_path.endswith(API_FACADE_SUFFIX)
+        module = source.module_name
+        in_repro = module is not None
+
+        for node, imported, guarded, type_checking in _top_level_imports(source.tree):
+            if type_checking:
+                continue  # never executed at runtime
+            root = imported.split(".")[0]
+            if in_repro and root in GUARDED_MODULES and not guarded:
+                yield source.finding(
+                    self.id,
+                    node,
+                    f"eager top-level import of optional dependency `{root}`; wrap "
+                    "it in try/except ImportError so the library imports without it",
+                )
+            if is_facade and imported not in API_FACADE_ALLOWED:
+                yield source.finding(
+                    self.id,
+                    node,
+                    f"repro.api facade eagerly imports `{imported}`; only "
+                    f"{sorted(API_FACADE_ALLOWED)} may load at import time — "
+                    "everything else goes through the PEP-562 __getattr__",
+                )
+            if module is not None:
+                target = self._resolve_project_module(imported, modules)
+                if target is not None and target != module:
+                    edges.setdefault(module, []).append((target, source, node))
+
+    @staticmethod
+    def _resolve_project_module(
+        imported: str, modules: Dict[str, SourceFile]
+    ) -> Optional[str]:
+        """Map an imported dotted name onto a scanned project module.
+
+        ``from repro.api.registry import Registry`` hits ``repro.api.registry``
+        directly; ``from repro.utils import seeding`` can only be resolved to
+        the package, which is close enough for cycle purposes.
+        """
+        if imported in modules:
+            return imported
+        # ``from package import submodule`` — try one level down is not
+        # distinguishable from importing a name; stay with the longest prefix.
+        parts = imported.split(".")
+        for length in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:length])
+            if prefix in modules:
+                return prefix
+        return None
+
+    def _check_cycles(
+        self, edges: Dict[str, List[Tuple[str, SourceFile, ast.AST]]]
+    ) -> Iterator[Finding]:
+        graph = {
+            module: sorted({target for target, _, _ in targets})
+            for module, targets in edges.items()
+        }
+        seen: Set[str] = set()
+        reported: Set[frozenset] = set()
+
+        def dfs(module: str, stack: List[str], on_stack: Set[str]) -> Iterator[List[str]]:
+            seen.add(module)
+            stack.append(module)
+            on_stack.add(module)
+            for target in graph.get(module, ()):
+                if target in on_stack:
+                    yield stack[stack.index(target) :] + [target]
+                elif target not in seen:
+                    yield from dfs(target, stack, on_stack)
+            stack.pop()
+            on_stack.remove(module)
+
+        for module in sorted(graph):
+            if module in seen:
+                continue
+            for cycle in dfs(module, [], set()):
+                members = frozenset(cycle)
+                if members in reported:
+                    continue
+                reported.add(members)
+                first = cycle[0]
+                _, source, node = next(
+                    entry for entry in edges[first] if entry[0] == cycle[1]
+                )
+                yield source.finding(
+                    self.id,
+                    node,
+                    "explicit top-level import cycle: " + " -> ".join(cycle),
+                )

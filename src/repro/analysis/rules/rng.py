@@ -1,0 +1,151 @@
+"""``rng-discipline``: every random number flows through the seeding helpers.
+
+The repository's reproducibility story rests on one convention: randomness
+comes from explicitly seeded :class:`numpy.random.Generator` streams derived
+via :mod:`repro.utils.seeding`, never from global or unseeded state.  This
+rule flags the ways that convention erodes:
+
+* **module-level RNG calls** — randomness drawn at import time depends on
+  import order, which no seed pins;
+* **unseeded ``default_rng()``** — fresh OS entropy in library code makes a
+  run unreproducible no matter what the experiment seed was;
+* **legacy ``np.random.*`` API** — ``np.random.seed``/``rand``/``choice``
+  etc. share one hidden global stream, so unrelated components consume each
+  other's randomness and results depend on call order;
+* **stdlib ``random``** — a second, differently-seeded source of randomness
+  that the seeding helpers cannot derive child streams from;
+* **truthiness RNG defaulting** — ``rng or default_rng(0)`` silently
+  discards the legitimate seed ``0`` (falsy!) and stores bare ints when a
+  truthy seed is passed; the actual bug class behind the
+  ``LeaveOneOutBayesianAssessor`` fix, which
+  :func:`repro.utils.seeding.as_rng` exists to prevent.
+
+:mod:`repro.utils.seeding` itself is the single allowlisted module — it is
+where ``default_rng`` is *supposed* to be wrapped.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.analysis.astutil import dotted_name, in_function, walk_scoped
+from repro.analysis.finding import Finding
+from repro.analysis.project import Project, SourceFile
+from repro.analysis.registry import AnalysisRule, RULES
+
+#: Modules (path suffixes) exempt from this rule.
+ALLOWED_MODULES: Tuple[str, ...] = ("repro/utils/seeding.py",)
+
+#: numpy.random attributes that are fine anywhere: the Generator API itself.
+_GENERATOR_API = frozenset({"default_rng", "Generator", "SeedSequence", "BitGenerator"})
+
+#: Call targets whose result is an RNG; used by the truthiness check.
+_RNG_FACTORIES = frozenset(
+    {"numpy.random.default_rng", "repro.utils.seeding.as_rng", "repro.utils.seeding.derive_rng"}
+)
+
+
+@RULES.register("rng-discipline")
+class RngDisciplineRule(AnalysisRule):
+    id = "rng-discipline"
+    description = (
+        "randomness must come from seeded Generator streams via repro.utils.seeding — "
+        "no module-level RNG, no unseeded default_rng(), no legacy np.random.*, "
+        "no stdlib random, no `x or default_rng(...)` defaulting"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for source in project.files:
+            if source.rel_path.endswith(ALLOWED_MODULES):
+                continue
+            yield from self._check_file(source)
+
+    def _check_file(self, source: SourceFile) -> Iterator[Finding]:
+        for node, scopes in walk_scoped(source.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                yield from self._check_import(source, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(source, node, scopes)
+            elif isinstance(node, ast.BoolOp) and isinstance(node.op, ast.Or):
+                yield from self._check_truthiness_default(source, node)
+
+    def _check_import(self, source: SourceFile, node: ast.AST) -> Iterator[Finding]:
+        if isinstance(node, ast.Import):
+            modules = [alias.name for alias in node.names]
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            modules = [node.module or ""]
+        else:
+            return
+        for module in modules:
+            if module == "random" or module.startswith("random."):
+                yield source.finding(
+                    self.id,
+                    node,
+                    "stdlib `random` is a second, unseedable randomness source; "
+                    "use a numpy Generator from repro.utils.seeding instead",
+                )
+
+    def _check_call(
+        self, source: SourceFile, node: ast.Call, scopes: Tuple[ast.AST, ...]
+    ) -> Iterator[Finding]:
+        raw = dotted_name(node.func)
+        if raw is None:
+            return
+        # Shadowing must be judged on the *source-level* name (`np`), not the
+        # alias-expanded one (`numpy`): a parameter named `np` hides the import.
+        if not source.name_is_module_ref(raw.split(".")[0], scopes):
+            return
+        target = source.imports.expand(raw)
+        if target.startswith("random."):
+            yield source.finding(
+                self.id,
+                node,
+                f"stdlib `{target}` draws from an unseedable global stream; "
+                "use a numpy Generator from repro.utils.seeding instead",
+            )
+            return
+        if not target.startswith("numpy.random."):
+            return
+        attribute = target[len("numpy.random.") :]
+        if not in_function(scopes):
+            yield source.finding(
+                self.id,
+                node,
+                f"module-level `{target}` call: randomness drawn at import time "
+                "depends on import order and escapes every experiment seed",
+            )
+        elif attribute == "default_rng" and not node.args and not node.keywords:
+            yield source.finding(
+                self.id,
+                node,
+                "unseeded `default_rng()` draws OS entropy, making results "
+                "unreproducible; pass a seed or derive a stream via "
+                "repro.utils.seeding",
+            )
+        elif attribute.split(".")[0] not in _GENERATOR_API:
+            yield source.finding(
+                self.id,
+                node,
+                f"legacy `{target}` uses numpy's hidden global stream, so results "
+                "depend on call order; use an explicit Generator instead",
+            )
+
+    def _check_truthiness_default(
+        self, source: SourceFile, node: ast.BoolOp
+    ) -> Iterator[Finding]:
+        has_name = any(isinstance(value, ast.Name) for value in node.values[:-1])
+        last = node.values[-1]
+        if not (has_name and isinstance(last, ast.Call)):
+            return
+        target = source.imports.resolve_call(last.func)
+        if target in _RNG_FACTORIES or (
+            target is not None and target.split(".")[-1] in ("as_rng", "default_rng")
+        ):
+            yield source.finding(
+                self.id,
+                node,
+                "truthiness-based RNG defaulting (`x or <rng factory>(...)`) "
+                "discards the legitimate seed 0 and keeps bare ints; use "
+                "`as_rng(default if x is None else x)` from repro.utils.seeding",
+            )

@@ -1,0 +1,65 @@
+"""``suppression-hygiene``: every suppression names a real rule and a reason.
+
+Inline ``# repro: allow[rule-id] reason`` comments are the escape hatch for
+deliberate, reviewed exceptions.  An escape hatch without a paper trail
+becomes the default path: a reasonless ``allow`` tells the next reader
+nothing, and an ``allow`` for a misspelled rule id silences nothing while
+*looking* like it does.  Malformed suppressions therefore never suppress
+(the engine ignores them) — and this rule additionally reports them, so the
+broken comment is fixed rather than silently inert.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.finding import Finding
+from repro.analysis.project import Project
+from repro.analysis.registry import AnalysisRule, RULES
+
+
+@RULES.register("suppression-hygiene")
+class SuppressionHygieneRule(AnalysisRule):
+    id = "suppression-hygiene"
+    description = (
+        "every `# repro: allow[rule-id] reason` comment must name a registered rule "
+        "and give a non-empty reason"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        known = set(RULES.names()) | {"parse-error"}
+        for source in project.files:
+            for suppression in source.suppressions:
+                if not suppression.rule:
+                    yield Finding(
+                        path=source.rel_path,
+                        line=suppression.line,
+                        col=0,
+                        rule=self.id,
+                        message="suppression names no rule id; use "
+                        "`# repro: allow[rule-id] reason`",
+                    )
+                    continue
+                if suppression.rule not in known:
+                    yield Finding(
+                        path=source.rel_path,
+                        line=suppression.line,
+                        col=0,
+                        rule=self.id,
+                        message=(
+                            f"suppression names unknown rule `{suppression.rule}` "
+                            f"(known: {', '.join(sorted(known))}); it suppresses "
+                            "nothing"
+                        ),
+                    )
+                if not suppression.has_reason:
+                    yield Finding(
+                        path=source.rel_path,
+                        line=suppression.line,
+                        col=0,
+                        rule=self.id,
+                        message=(
+                            f"suppression of `{suppression.rule}` gives no reason; "
+                            "a reviewed exception must say why it is safe"
+                        ),
+                    )

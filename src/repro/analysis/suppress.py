@@ -1,0 +1,77 @@
+"""Inline suppressions: ``# repro: allow[rule-id] reason``.
+
+A finding can be silenced exactly where it occurs — on the offending line or
+on a comment line directly above it — but only with a written reason::
+
+    elapsed = time.perf_counter() - start  # repro: allow[clock-discipline] benchmark harness
+
+A reason is **mandatory**: an ``allow`` without one does not suppress
+anything and is itself reported by the ``suppression-hygiene`` rule, as is
+an ``allow`` naming a rule id that does not exist.  This keeps every
+exemption auditable — ``git grep 'repro: allow'`` is the complete list of
+deliberate exceptions, each with its justification next to it.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["Suppression", "parse_suppressions"]
+
+#: Matches an ``allow`` comment (see the module docstring for the syntax).
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([^\]\s]*)\]\s*(.*?)\s*$")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``allow`` comment."""
+
+    line: int  # 1-based line the comment sits on
+    rule: str
+    reason: str
+
+    @property
+    def has_reason(self) -> bool:
+        return bool(self.reason)
+
+    def covers(self, rule: str, line: int) -> bool:
+        """Whether this suppression silences ``rule`` findings on ``line``.
+
+        A suppression applies to its own line and to the line directly below
+        it (the comment-above form); reasonless suppressions cover nothing.
+        """
+        return (
+            self.has_reason
+            and self.rule == rule
+            and line in (self.line, self.line + 1)
+        )
+
+
+def parse_suppressions(text: str) -> List[Suppression]:
+    """Every ``allow`` comment in ``text``, malformed ones included.
+
+    Only real COMMENT tokens count — the pattern spelled out inside a string
+    or docstring (as this module's own documentation does) is prose, not a
+    suppression.  Files that cannot be tokenised yield no suppressions; the
+    engine reports them as parse errors anyway.
+    """
+    found: List[Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return found
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _ALLOW_RE.search(token.string)
+        if match is not None:
+            found.append(
+                Suppression(
+                    line=token.start[0], rule=match.group(1), reason=match.group(2)
+                )
+            )
+    return found

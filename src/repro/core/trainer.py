@@ -9,7 +9,6 @@ Q-learning loop, and a :class:`TrainingReport` of what happened.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Union
 
@@ -25,6 +24,7 @@ from repro.quality.epsilon_p import QualityRequirement
 from repro.rl.dqn import EpisodeStats
 from repro.utils.logging import get_logger
 from repro.utils.seeding import derive_rng
+from repro.utils.timing import monotonic
 from repro.utils.validation import check_positive_int
 
 logger = get_logger(__name__)
@@ -146,7 +146,7 @@ class DRCellTrainer:
 
         episode_rewards: List[float] = []
         episode_selections: List[float] = []
-        start = time.perf_counter()
+        start = monotonic()
         if self.config.vector_envs > 1 or self.config.fused_learning:
             # Fused global-step learning only exists in the vectorized
             # engine, so `fused_learning` with `vector_envs = 1` still routes
@@ -173,7 +173,7 @@ class DRCellTrainer:
                     stats.total_reward,
                     stats.steps / cycles,
                 )
-        elapsed = time.perf_counter() - start
+        elapsed = monotonic() - start
 
         report = TrainingReport(
             episodes=episodes,
@@ -265,9 +265,9 @@ class DRCellTrainer:
         ]
         episode_rewards: List[float] = []
         episode_selections: List[float] = []
-        start = time.perf_counter()
+        start = monotonic()
         self._run_lockstep(agent, environments, episodes, episode_rewards, episode_selections)
-        elapsed = time.perf_counter() - start
+        elapsed = monotonic() - start
 
         report = TrainingReport(
             episodes=episodes,

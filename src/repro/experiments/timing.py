@@ -17,7 +17,6 @@ result.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -28,6 +27,7 @@ from repro.experiments.config import ExperimentScale, SMALL_SCALE
 from repro.inference.backends import available_backends
 from repro.inference.compressive import CompressiveSensingInference
 from repro.quality.epsilon_p import QualityRequirement
+from repro.utils.timing import monotonic
 
 
 @dataclass(frozen=True)
@@ -206,9 +206,9 @@ def run_als_backends(
             inference = CompressiveSensingInference(
                 rank=rank, iterations=iterations, seed=seed, backend=backend
             )
-            start = time.perf_counter()
+            start = monotonic()
             completed = inference.complete(observed)
-            elapsed = time.perf_counter() - start
+            elapsed = monotonic() - start
             if backend == "numpy":
                 baseline_seconds, baseline_result = elapsed, completed
             rows.append(

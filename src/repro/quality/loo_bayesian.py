@@ -43,6 +43,7 @@ from scipy import stats
 from repro.api.registry import ASSESSORS
 from repro.inference.base import InferenceAlgorithm
 from repro.quality.epsilon_p import QualityRequirement
+from repro.utils.seeding import RngLike, as_rng
 from repro.utils.validation import check_positive_int
 
 
@@ -127,13 +128,15 @@ class LeaveOneOutBayesianAssessor(QualityAssessor):
         history_window: int = 24,
         *,
         batched: bool = True,
-        rng: Optional[np.random.Generator] = None,
+        rng: RngLike = None,
     ) -> None:
         self.min_observations = check_positive_int(min_observations, "min_observations")
         self.max_loo_cells = check_positive_int(max_loo_cells, "max_loo_cells")
         self.history_window = check_positive_int(history_window, "history_window")
         self.batched = bool(batched)
-        self._rng = rng or np.random.default_rng(0)
+        # `rng or default_rng(0)` would silently discard falsy seeds (0) and
+        # crash on truthy ints; normalise through the seeding helpers instead.
+        self._rng = as_rng(0 if rng is None else rng)
 
     def assess(
         self,

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.utils.timing import monotonic
 
 if TYPE_CHECKING:  # pragma: no cover - typing aid only
     from repro.serve.cache import CompletionCache
@@ -77,13 +78,13 @@ class ServerStats:
     def record_batch(self, kind: str, size: int):
         """Context manager timing one flushed batch of ``size`` requests."""
         endpoint = self.endpoint(kind)
-        start = time.perf_counter()
+        start = monotonic()
         try:
             yield
         finally:
             endpoint.batches += 1
             endpoint.batched_requests += int(size)
-            endpoint.seconds += time.perf_counter() - start
+            endpoint.seconds += monotonic() - start
 
     # -- cache passthroughs -----------------------------------------------------
 

@@ -1,0 +1,75 @@
+"""Centralised wall-clock access: the library's only wall-clock read.
+
+Everything that measures elapsed wall-clock time — trainer reports, the
+decision server's latency telemetry, the benchmark harness — calls
+:func:`monotonic` instead of :mod:`time` directly.  Two invariants hang off
+this single choke point:
+
+* **Determinism**: the ``clock-discipline`` rule of :mod:`repro.analysis`
+  allowlists exactly this module, so a wall-clock read cannot quietly leak
+  into a deterministic path (anything the serve layer's ``TickClock``
+  drives, record/replay, fingerprinted completions).  New timing needs go
+  through here or they fail the analysis gate.
+* **Testability**: :func:`fake_clock` swaps the underlying clock for a
+  manually advanced one, so latency-derived telemetry (e.g.
+  :class:`repro.serve.stats.ServerStats`) can be asserted exactly instead
+  of via sleeps and tolerances.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["FakeClock", "fake_clock", "monotonic"]
+
+# The active clock callable.  time.perf_counter is the highest-resolution
+# monotonic clock Python offers; fake_clock() swaps it out temporarily.
+_clock = time.perf_counter
+
+
+def monotonic() -> float:
+    """Seconds from a monotonic clock (only meaningful as a difference).
+
+    This is the single sanctioned wall-clock read in the library; use it for
+    *measuring* elapsed time only, never to influence algorithmic behaviour.
+    """
+    return _clock()
+
+
+class FakeClock:
+    """A manually advanced clock, handed out by :func:`fake_clock`."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward by ``seconds`` (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance a monotonic clock by {seconds}")
+        self.now += float(seconds)
+
+
+@contextmanager
+def fake_clock(start: float = 0.0) -> Iterator[FakeClock]:
+    """Replace :func:`monotonic`'s clock with a :class:`FakeClock`.
+
+    >>> from repro.utils import timing
+    >>> with timing.fake_clock() as clock:
+    ...     begin = timing.monotonic()
+    ...     clock.advance(1.5)
+    ...     timing.monotonic() - begin
+    1.5
+    """
+    global _clock
+    clock = FakeClock(start)
+    previous = _clock
+    _clock = clock
+    try:
+        yield clock
+    finally:
+        _clock = previous

@@ -1,0 +1,33 @@
+"""Shared helpers for the analysis-linter tests.
+
+The fixture snippets under ``fixtures/`` are deliberately-bad (or
+deliberately-clean) code that is never imported; each test points the
+engine at one fixture directory as its project root, which bypasses the
+self-scan exclusion (that exclusion only applies when discovery starts at
+the real repository root).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import Report, run_analysis
+from repro.analysis.project import Project
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def run_fixture():
+    """Run selected rules over one fixture directory and return the Report."""
+
+    def run(subdir: str, rule_ids) -> Report:
+        root = FIXTURES / subdir
+        assert root.is_dir(), f"missing fixture directory {root}"
+        project = Project(root, [root])
+        return run_analysis(project, rule_ids=list(rule_ids))
+
+    return run

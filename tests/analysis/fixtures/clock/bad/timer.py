@@ -1,0 +1,11 @@
+"""Known-bad snippet for the ``clock-discipline`` rule (never imported)."""
+
+import time
+from datetime import datetime
+
+
+def elapsed():
+    start = time.perf_counter()
+    wall = time.time()
+    stamp = datetime.now()
+    return start, wall, stamp

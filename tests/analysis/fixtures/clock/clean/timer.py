@@ -1,0 +1,11 @@
+"""Known-clean snippet for the ``clock-discipline`` rule (never imported)."""
+
+import time
+
+from repro.utils.timing import monotonic
+
+
+def elapsed():
+    start = monotonic()
+    time.sleep(0.0)  # sleeping is not a clock *read*
+    return monotonic() - start

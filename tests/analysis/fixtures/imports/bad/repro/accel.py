@@ -1,0 +1,7 @@
+"""Known-bad optional-dependency import (never imported)."""
+
+import torch  # eager: the library must import on machines without torch
+
+
+def device():
+    return torch.device("cpu")

@@ -1,0 +1,7 @@
+"""Half of an explicit top-level import cycle (never imported)."""
+
+import repro.beta
+
+
+def ping():
+    return repro.beta.pong()

@@ -1,0 +1,4 @@
+"""Known-bad facade for the ``lazy-import-hygiene`` rule (never imported)."""
+
+from repro.api.registry import DATASETS
+from repro.api.session import Session  # eager: breaks the PEP-562 contract

@@ -1,0 +1,7 @@
+"""Other half of the explicit top-level import cycle (never imported)."""
+
+import repro.alpha
+
+
+def pong():
+    return repro.alpha.ping()

@@ -1,0 +1,10 @@
+"""Known-clean optional-dependency import (never imported)."""
+
+try:
+    import torch
+except ImportError:  # the CPU paths must run without the accelerator
+    torch = None
+
+
+def device():
+    return None if torch is None else torch.device("cpu")

@@ -1,0 +1,7 @@
+"""Acyclic explicit import edge (never imported)."""
+
+import repro.beta
+
+
+def ping():
+    return repro.beta.pong()

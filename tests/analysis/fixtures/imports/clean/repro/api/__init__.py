@@ -1,0 +1,16 @@
+"""Known-clean facade for the ``lazy-import-hygiene`` rule (never imported)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.api.registry import DATASETS
+
+if TYPE_CHECKING:
+    from repro.api.session import Session  # typing-only: never executed
+
+
+def __getattr__(name):
+    import importlib
+
+    return getattr(importlib.import_module("repro.api.session"), name)

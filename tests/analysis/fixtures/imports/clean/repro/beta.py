@@ -1,0 +1,5 @@
+"""Leaf module of the acyclic import chain (never imported)."""
+
+
+def pong():
+    return "pong"

@@ -1,0 +1,23 @@
+"""Known-bad snippet for the ``registry-spec-drift`` rule (never imported)."""
+
+from repro.api.registry import DATASETS, POLICIES
+
+
+@DATASETS.register("fixture-seedless", seed_stream="dataset")
+class SeedlessDataset:
+    """Declares seed_stream metadata but accepts no seed argument."""
+
+    def __init__(self, n_cells=4):
+        self.n_cells = n_cells
+
+
+@POLICIES.register("fixture-varargs")
+def make_varargs_policy(*layers):
+    """Spec params are keywords; *args can never be reached."""
+    return layers
+
+
+@POLICIES.register("fixture-positional-only")
+def make_positional_policy(width, /):
+    """Positional-only parameters are unreachable from scenario params."""
+    return width

@@ -1,0 +1,17 @@
+"""Known-clean snippet for the ``registry-spec-drift`` rule (never imported)."""
+
+from repro.api.registry import DATASETS, POLICIES
+
+
+@DATASETS.register("fixture-clean-dataset", seed_stream="dataset")
+class CleanDataset:
+    """Keyword-reachable parameters, seed accepted for the derived stream."""
+
+    def __init__(self, n_cells=4, seed=None):
+        self.n_cells = n_cells
+        self.seed = seed
+
+
+@POLICIES.register("fixture-clean-policy")
+def make_clean_policy(width=8, **extras):
+    return width, extras

@@ -1,0 +1,19 @@
+"""Known-bad snippet for the ``rng-discipline`` rule (never imported)."""
+
+import random
+
+import numpy as np
+
+MODULE_LEVEL = np.random.default_rng(0).normal()  # import-time randomness
+
+
+def draw():
+    unseeded = np.random.default_rng()  # OS entropy
+    legacy = np.random.rand(3)  # hidden global stream
+    stdlib = random.choice([1, 2])  # unseedable stdlib source
+    return unseeded, legacy, stdlib
+
+
+def fallback(rng=None):
+    rng = rng or np.random.default_rng(0)  # truthiness drops seed 0
+    return rng

@@ -1,0 +1,20 @@
+"""Known-clean snippet for the ``rng-discipline`` rule (never imported)."""
+
+import numpy as np
+
+from repro.utils.seeding import as_rng
+
+
+def draw(seed):
+    rng = as_rng(seed)
+    seeded = np.random.default_rng(seed)  # seeded: fine inside a function
+    return rng.normal(), seeded.normal()
+
+
+def shadowed(np):
+    # The parameter shadows the numpy import; this is not numpy.random.
+    return np.random.rand(3)
+
+
+def proper_default(rng=None):
+    return as_rng(0 if rng is None else rng)

@@ -1,0 +1,12 @@
+"""Known-bad suppressions (never imported)."""
+
+import time
+
+
+def elapsed():
+    return time.time()  # repro: allow[clock-discipline]
+
+
+def stamped():
+    # repro: allow[not-a-real-rule] misspelled ids silence nothing
+    return time.time()

@@ -1,0 +1,7 @@
+"""Known-clean suppression (never imported)."""
+
+import time
+
+
+def elapsed():
+    return time.time()  # repro: allow[clock-discipline] fixture demonstrating a reasoned exception

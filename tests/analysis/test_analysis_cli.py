@@ -1,0 +1,99 @@
+"""CLI behaviour: exit codes, output formats, rule selection, baselines."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.cli import main
+from repro.analysis.registry import RULES
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_cli(*argv):
+    return main([str(arg) for arg in argv])
+
+
+def test_bad_fixture_exits_one(capsys):
+    code = run_cli(
+        "--root", FIXTURES / "clock" / "bad", "--rules", "clock-discipline", "."
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "clock-discipline" in out
+    assert "active finding(s)" in out
+
+
+def test_clean_fixture_exits_zero(capsys):
+    code = run_cli(
+        "--root", FIXTURES / "clock" / "clean", "--rules", "clock-discipline", "."
+    )
+    assert code == 0
+    assert "0 active finding(s)" in capsys.readouterr().out
+
+
+def test_json_format_is_machine_readable(capsys):
+    code = run_cli(
+        "--root",
+        FIXTURES / "rng" / "bad",
+        "--rules",
+        "rng-discipline",
+        "--format",
+        "json",
+        ".",
+    )
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["rules"] == ["rng-discipline"]
+    assert payload["counts"]["active"] == len(payload["active"]) > 0
+    for entry in payload["active"]:
+        assert set(entry) == {"path", "line", "col", "rule", "message"}
+
+
+def test_unknown_rule_is_usage_error(capsys):
+    code = run_cli("--root", FIXTURES / "clock" / "bad", "--rules", "no-such-rule", ".")
+    assert code == 2
+    assert "no-such-rule" in capsys.readouterr().err
+
+
+def test_missing_path_is_usage_error(capsys):
+    code = run_cli("--root", FIXTURES, "definitely/not/here.py")
+    assert code == 2
+    assert "no such file or directory" in capsys.readouterr().err
+
+
+def test_list_rules_matches_registry(capsys):
+    assert run_cli("--list-rules") == 0
+    out = capsys.readouterr().out
+    names = sorted(RULES.names())
+    assert out.splitlines()[0] == "rules: " + ", ".join(names)
+    for name in names:
+        assert f"  {name}: " in out
+
+
+def test_write_baseline_then_rerun_is_clean(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    root = FIXTURES / "clock" / "bad"
+    args = ("--root", root, "--rules", "clock-discipline", "--baseline", baseline)
+
+    assert run_cli(*args, ".") == 1  # gate fails before the baseline exists
+    assert run_cli(*args, "--write-baseline", ".") == 0
+    assert baseline.exists()
+
+    capsys.readouterr()
+    assert run_cli(*args, ".") == 0  # grandfathered now
+    out = capsys.readouterr().out
+    assert "[baselined]" in out
+    assert "0 active finding(s), 3 baselined" in out
+
+    # --no-baseline ignores the grandfathering again.
+    assert run_cli(*args, "--no-baseline", ".") == 1
+
+
+def test_default_paths_scan_the_repo(capsys):
+    """No positional paths: src/tests/benchmarks under --root, committed
+    baseline applied — the exact CI invocation, and it must be clean."""
+    code = run_cli("--root", REPO_ROOT)
+    assert code == 0, capsys.readouterr().out

@@ -1,0 +1,138 @@
+"""The acceptance-criterion tests for ``fingerprint-completeness``.
+
+The headline guarantee: deleting *any* key from an ``inference_fingerprint``
+implementation — whether the explicit key-list style or a skip added to the
+real generic ``vars()`` loop in ``repro/serve/cache.py`` — makes the rule
+fail.  These tests build tiny single-file projects in ``tmp_path`` (and a
+mutated copy of the real cache module) and run the rule directly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import run_analysis
+from repro.analysis.project import Project
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+RULE = ["fingerprint-completeness"]
+
+EXPLICIT_TEMPLATE = '''\
+class TinyInference(InferenceAlgorithm):
+    def __init__(self, rank, iterations, backend):
+        self.rank = rank
+        self.iterations = iterations
+        self.backend = backend
+
+
+def inference_fingerprint(inference):
+    parts = []
+    for key in ({keys}):
+        parts.append(key + "=" + repr(getattr(inference, key)))
+    return "|".join(parts)
+'''
+
+ALL_KEYS = ("rank", "iterations", "backend")
+
+
+def run_on(tmp_path: Path, text: str):
+    path = tmp_path / "algo.py"
+    path.write_text(text, encoding="utf-8")
+    project = Project(tmp_path, [path])
+    return run_analysis(project, rule_ids=RULE)
+
+
+def render(keys) -> str:
+    quoted = ", ".join(f'"{key}"' for key in keys)
+    if len(keys) == 1:
+        quoted += ","
+    return EXPLICIT_TEMPLATE.format(keys=quoted)
+
+
+def test_complete_key_list_passes(tmp_path):
+    report = run_on(tmp_path, render(ALL_KEYS))
+    assert report.active == [], [finding.format() for finding in report.active]
+
+
+@pytest.mark.parametrize("dropped", ALL_KEYS)
+def test_deleting_any_key_fails(tmp_path, dropped):
+    keys = tuple(key for key in ALL_KEYS if key != dropped)
+    report = run_on(tmp_path, render(keys))
+    assert len(report.active) == 1
+    message = report.active[0].message
+    assert "omits stored `TinyInference`" in message
+    assert f"'{dropped}'" in message
+
+
+def test_real_cache_fingerprint_with_skipped_key_fails(tmp_path):
+    """Adding a semantic-key skip to the live vars() loop is caught."""
+    original = (REPO_ROOT / "src/repro/serve/cache.py").read_text(encoding="utf-8")
+    anchor = "        if isinstance(value, (np.random.Generator, SolverStats)):"
+    assert anchor in original, "cache.py fingerprint loop changed; update this test"
+    mutated = original.replace(
+        anchor,
+        '        if key == "backend":\n            continue\n' + anchor,
+        1,
+    )
+    path = tmp_path / "cache.py"
+    path.write_text(mutated, encoding="utf-8")
+    report = run_analysis(Project(tmp_path, [path]), rule_ids=RULE)
+    assert any(
+        "skips attribute(s) ['backend']" in finding.message
+        for finding in report.active
+    ), [finding.format() for finding in report.active]
+
+
+def test_real_cache_fingerprint_passes_unmutated(tmp_path):
+    original = (REPO_ROOT / "src/repro/serve/cache.py").read_text(encoding="utf-8")
+    path = tmp_path / "cache.py"
+    path.write_text(original, encoding="utf-8")
+    report = run_analysis(Project(tmp_path, [path]), rule_ids=RULE)
+    assert report.active == [], [finding.format() for finding in report.active]
+
+
+def test_unauditable_fingerprint_is_itself_a_finding(tmp_path):
+    text = (
+        "def inference_fingerprint(inference):\n"
+        "    return repr(inference)\n"
+    )
+    report = run_on(tmp_path, text)
+    assert len(report.active) == 1
+    assert "not statically auditable" in report.active[0].message
+
+
+def test_solver_params_must_cover_pooled_attrs(tmp_path):
+    """A batch-pooled class attribute missing from solver_params is caught."""
+    text = (
+        "class CompressiveSensingInference(InferenceAlgorithm):\n"
+        "    def __init__(self, rank, backend):\n"
+        "        self.rank = rank\n"
+        "        self.backend = backend\n"
+        "\n"
+        "\n"
+        "def _equivalent_inference(a, b):\n"
+        '    solver_params = ("rank",)\n'
+        "    return all(getattr(a, p) == getattr(b, p) for p in solver_params)\n"
+    )
+    report = run_on(tmp_path, text)
+    assert any(
+        "solver_params omits stored `CompressiveSensingInference` attribute(s) "
+        "['backend']" in finding.message
+        for finding in report.active
+    ), [finding.format() for finding in report.active]
+
+
+def test_skip_set_may_only_skip_covered_attrs(tmp_path):
+    text = (
+        "def _equivalent_assessor(a, b):\n"
+        '    skip = frozenset(("history_window",))\n'
+        "    return True\n"
+    )
+    report = run_on(tmp_path, text)
+    assert len(report.active) == 1
+    assert "pooling skip-set ignores attribute(s) ['history_window']" in (
+        report.active[0].message
+    )

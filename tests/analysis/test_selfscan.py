@@ -1,0 +1,64 @@
+"""The linter's own gate: the live tree must scan clean.
+
+This is the in-process twin of the CI ``analysis`` job: running every rule
+over ``src tests benchmarks`` with the committed baseline must produce zero
+active findings.  If this test fails, either fix the finding, suppress it
+inline with a reasoned ``# repro: allow[rule-id] ...``, or (last resort)
+regenerate the baseline with ``--write-baseline`` and justify the entry in
+the PR.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import analyze
+from repro.analysis.project import Project
+from repro.analysis.registry import RULES
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_live_tree_has_no_active_findings():
+    report = analyze(
+        ["src", "tests", "benchmarks"],
+        root=REPO_ROOT,
+        baseline_path=REPO_ROOT / "analysis-baseline.json",
+    )
+    assert report.active == [], "\n".join(
+        finding.format() for finding in report.active
+    )
+
+
+def test_at_least_five_rules_registered():
+    names = sorted(RULES.names())
+    assert len(names) >= 5, names
+    for name in names:
+        rule = RULES.create(name)
+        assert rule.id == name
+        assert rule.description  # --list-rules must have something to print
+
+
+def test_fixture_snippets_are_excluded_from_discovery():
+    """The deliberately-bad fixtures never leak into a directory scan."""
+    project = Project(REPO_ROOT, [Path("tests")])
+    fixture_files = [
+        source.rel_path
+        for source in project.files
+        if source.rel_path.startswith("tests/analysis/fixtures/")
+    ]
+    assert fixture_files == []
+    # ... but this test module itself is scanned.
+    assert any(
+        source.rel_path == "tests/analysis/test_selfscan.py"
+        for source in project.files
+    )
+
+
+def test_rule_catalogue_documented():
+    """Every registered rule id appears in docs/analysis.md (and vice versa
+    the doc's rule table is linted by registry-spec-drift), so the docs and
+    the registry cannot drift apart."""
+    doc = (REPO_ROOT / "docs" / "analysis.md").read_text(encoding="utf-8")
+    for name in RULES.names():
+        assert f"`{name}`" in doc, f"rule `{name}` missing from docs/analysis.md"

@@ -1,0 +1,81 @@
+"""Unit tests for the suppression parser and the baseline file."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.finding import Finding
+from repro.analysis.suppress import parse_suppressions
+
+
+def finding(rule="clock-discipline", path="a.py", line=3, message="boom"):
+    return Finding(path=path, line=line, col=0, rule=rule, message=message)
+
+
+class TestSuppressions:
+    def test_parses_rule_and_reason(self):
+        text = "x = 1  # repro: allow[rng-discipline] fixed legacy seed\n"
+        (suppression,) = parse_suppressions(text)
+        assert suppression.rule == "rng-discipline"
+        assert suppression.reason == "fixed legacy seed"
+        assert suppression.line == 1
+
+    def test_covers_own_line_and_line_below(self):
+        text = "# repro: allow[clock-discipline] benchmark harness\nx = 1\n"
+        (suppression,) = parse_suppressions(text)
+        assert suppression.covers("clock-discipline", 1)
+        assert suppression.covers("clock-discipline", 2)
+        assert not suppression.covers("clock-discipline", 3)
+        assert not suppression.covers("rng-discipline", 1)
+
+    def test_reasonless_covers_nothing(self):
+        (suppression,) = parse_suppressions("x = 1  # repro: allow[clock-discipline]\n")
+        assert not suppression.has_reason
+        assert not suppression.covers("clock-discipline", 1)
+
+    def test_pattern_inside_string_is_not_a_suppression(self):
+        text = 'syntax = "# repro: allow[clock-discipline] reason"\n'
+        assert parse_suppressions(text) == []
+
+    def test_pattern_inside_docstring_is_not_a_suppression(self):
+        text = '"""Docs show # repro: allow[rng-discipline] why syntax."""\n'
+        assert parse_suppressions(text) == []
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        entries = [finding(line=3), finding(rule="rng-discipline", path="b.py")]
+        Baseline.write(path, entries)
+        loaded = Baseline.load(path)
+        assert len(loaded) == 2
+        assert finding(line=3) in loaded
+
+    def test_matching_ignores_line_numbers(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.write(path, [finding(line=3)])
+        loaded = Baseline.load(path)
+        shifted = finding(line=99)  # same rule/path/message, code moved
+        active, baselined = loaded.split([shifted, finding(message="new bug")])
+        assert baselined == [shifted]
+        assert [f.message for f in active] == ["new bug"]
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        loaded = Baseline.load(tmp_path / "nope.json")
+        assert len(loaded) == 0
+        assert finding() not in loaded
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError, match="unsupported baseline version"):
+            Baseline.load(path)
+
+    def test_finding_requires_rule_and_message(self):
+        with pytest.raises(ValueError):
+            Finding(path="a.py", line=1, col=0, rule="", message="m")
+        with pytest.raises(ValueError):
+            Finding(path="a.py", line=1, col=0, rule="r", message="")

@@ -148,3 +148,59 @@ class TestOracleAssessor:
         observed = observe(matrix, 5, [0])
         requirement = QualityRequirement(epsilon=1e-6, p=0.9)
         assert not oracle.assess(observed, 5, requirement, SpatialMeanInference())
+
+
+class TestRngNormalisation:
+    """Regression: the constructor used `rng or default_rng(0)`, which kept
+    bare truthy ints (crashing at first use) and special-cased falsy inputs
+    by truthiness instead of by `is None`.  The rng-discipline analysis rule
+    now bans that pattern; these tests pin the corrected semantics."""
+
+    def sparse_assessment(self, assessor):
+        """Force the subsampling path that actually draws from the rng."""
+        matrix = smooth_matrix()
+        observed = observe(matrix, 4, list(range(matrix.shape[0])))
+        return assessor.probability_error_below(
+            observed, 4, QualityRequirement(epsilon=0.5, p=0.9), SpatialMeanInference()
+        )
+
+    def test_default_stream_is_seed_zero(self):
+        assessor = LeaveOneOutBayesianAssessor()
+        assert isinstance(assessor._rng, np.random.Generator)
+        assert (
+            assessor._rng.bit_generator.state
+            == np.random.default_rng(0).bit_generator.state
+        )
+
+    def test_int_seed_becomes_a_generator(self):
+        # Previously `7 or default_rng(0)` stored the bare int 7, which
+        # crashed with AttributeError at the first `.choice` draw.
+        assessor = LeaveOneOutBayesianAssessor(max_loo_cells=2, rng=7)
+        assert isinstance(assessor._rng, np.random.Generator)
+        assert (
+            assessor._rng.bit_generator.state
+            == np.random.default_rng(7).bit_generator.state
+        )
+        probability = self.sparse_assessment(assessor)
+        assert 0.0 <= probability <= 1.0
+
+    def test_seed_zero_matches_default(self):
+        seeded = LeaveOneOutBayesianAssessor(rng=0)
+        default = LeaveOneOutBayesianAssessor()
+        assert (
+            seeded._rng.bit_generator.state == default._rng.bit_generator.state
+        )
+
+    def test_generator_is_used_as_is(self):
+        generator = np.random.default_rng(123)
+        assessor = LeaveOneOutBayesianAssessor(rng=generator)
+        assert assessor._rng is generator
+
+    def test_same_seed_same_assessment(self):
+        first = self.sparse_assessment(
+            LeaveOneOutBayesianAssessor(max_loo_cells=2, rng=11)
+        )
+        second = self.sparse_assessment(
+            LeaveOneOutBayesianAssessor(max_loo_cells=2, rng=11)
+        )
+        assert first == second

@@ -1,0 +1,74 @@
+"""ServerStats latency telemetry, asserted exactly via the fake clock.
+
+Before wall-clock access was centralised in :mod:`repro.utils.timing`,
+latency numbers could only be tested with sleeps and tolerances; with
+:func:`~repro.utils.timing.fake_clock` the recorded seconds are exact.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.serve.stats import EndpointStats, ServerStats
+from repro.utils.timing import fake_clock
+
+
+class TestRecordBatchLatency:
+    def test_batch_seconds_are_exact_under_fake_clock(self):
+        stats = ServerStats()
+        with fake_clock() as clock:
+            with stats.record_batch("select_cell", size=4):
+                clock.advance(1.5)
+        endpoint = stats.endpoint("select_cell")
+        assert endpoint.seconds == 1.5
+        assert endpoint.batches == 1
+        assert endpoint.batched_requests == 4
+        assert endpoint.mean_latency_seconds == 1.5 / 4
+
+    def test_latency_accumulates_across_batches(self):
+        stats = ServerStats()
+        with fake_clock() as clock:
+            for seconds, size in ((0.25, 2), (0.75, 6)):
+                with stats.record_batch("assess_quality", size=size):
+                    clock.advance(seconds)
+        endpoint = stats.endpoint("assess_quality")
+        assert endpoint.seconds == 1.0
+        assert endpoint.batches == 2
+        assert endpoint.mean_batch_occupancy == 4.0
+        assert endpoint.mean_latency_seconds == 1.0 / 8
+
+    def test_batch_timed_even_when_handler_raises(self):
+        stats = ServerStats()
+        with fake_clock() as clock:
+            try:
+                with stats.record_batch("complete_matrix", size=1):
+                    clock.advance(2.0)
+                    raise RuntimeError("handler blew up")
+            except RuntimeError:
+                pass
+        endpoint = stats.endpoint("complete_matrix")
+        assert endpoint.seconds == 2.0
+        assert endpoint.batches == 1
+
+    def test_as_dict_reports_exact_latency(self):
+        stats = ServerStats()
+        with fake_clock() as clock:
+            with stats.record_batch("select_cell", size=2):
+                clock.advance(0.5)
+        snapshot = stats.as_dict()["endpoints"]["select_cell"]
+        assert snapshot["seconds"] == 0.5
+        assert snapshot["mean_latency_seconds"] == 0.25
+
+
+class TestEndpointStatsEdges:
+    def test_no_flushes_means_nan_not_division_error(self):
+        endpoint = EndpointStats()
+        assert math.isnan(endpoint.mean_batch_occupancy)
+        assert math.isnan(endpoint.mean_latency_seconds)
+
+    def test_record_request_counts_independently_of_batches(self):
+        stats = ServerStats()
+        stats.record_request("select_cell")
+        stats.record_request("select_cell")
+        assert stats.endpoint("select_cell").requests == 2
+        assert stats.endpoint("select_cell").batches == 0

@@ -1,4 +1,4 @@
-"""Tests for repro.utils (seeding, validation, logging)."""
+"""Tests for repro.utils (seeding, validation, logging, timing)."""
 
 import logging
 
@@ -133,3 +133,47 @@ class TestLogging:
             and not isinstance(handler, logging.NullHandler)
         ]
         assert len(console_handlers) == 1
+
+
+class TestTiming:
+    def test_monotonic_advances_on_the_real_clock(self):
+        from repro.utils.timing import monotonic
+
+        first = monotonic()
+        second = monotonic()
+        assert second >= first
+
+    def test_fake_clock_is_manually_advanced(self):
+        from repro.utils.timing import fake_clock, monotonic
+
+        with fake_clock(start=10.0) as clock:
+            assert monotonic() == 10.0
+            assert monotonic() == 10.0  # frozen until advanced
+            clock.advance(2.5)
+            assert monotonic() == 12.5
+
+    def test_fake_clock_restores_previous_clock(self):
+        from repro.utils import timing
+        from repro.utils.timing import fake_clock, monotonic
+
+        before = timing._clock
+        with fake_clock():
+            assert monotonic() == 0.0
+        assert timing._clock is before
+
+    def test_fake_clock_restores_on_error(self):
+        from repro.utils import timing
+        from repro.utils.timing import fake_clock
+
+        before = timing._clock
+        with pytest.raises(RuntimeError):
+            with fake_clock():
+                raise RuntimeError("boom")
+        assert timing._clock is before
+
+    def test_fake_clock_rejects_negative_advance(self):
+        from repro.utils.timing import fake_clock
+
+        with fake_clock() as clock:
+            with pytest.raises(ValueError):
+                clock.advance(-1.0)
