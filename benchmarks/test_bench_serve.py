@@ -19,9 +19,10 @@ Two fleets are measured:
   / A-B comparison regime the completion cache targets): fusion plus
   within-batch deduplication, so N campaigns cost barely more than one.
 
-Results go to ``benchmarks/results/serve.json`` with cache hit rates and
-batch occupancy.  Smoke mode for CI: ``SERVE_BENCH_SMOKE=1`` shrinks the
-fleet and skips the speedup assertions (they need the full-size run).
+Results go to ``benchmarks/results/serve.json`` with cache hit rates, batch
+occupancy, and p50/p99 per-request latency.  Smoke mode for CI:
+``SERVE_BENCH_SMOKE=1`` shrinks the fleet and skips the speedup assertions
+(they need the full-size run).
 """
 
 import os
@@ -129,10 +130,13 @@ def _row(mode, n_campaigns, results, elapsed, server, baseline_rate):
     }
     if server is not None:
         stats = server.stats
-        row["assess_requests"] = stats.endpoint("assess").requests
+        assess = stats.endpoint("assess").as_dict()
+        row["assess_requests"] = assess["requests"]
         row["assess_mean_batch_occupancy"] = round(
             stats.endpoint("assess").mean_batch_occupancy, 2
         )
+        row["assess_p50_latency_seconds"] = assess["p50_latency_seconds"]
+        row["assess_p99_latency_seconds"] = assess["p99_latency_seconds"]
         total_lookups = stats.cache_hits + stats.cache_misses
         row["cache_hits"] = stats.cache_hits
         row["cache_misses"] = stats.cache_misses

@@ -16,8 +16,12 @@ runs every slot's campaign server-backed: one
 :class:`~repro.serve.server.DecisionServer` serves all slots (and optional
 ``--replicas`` copies of them) concurrently, printing the evaluation rows
 and the server's telemetry.  ``--scale`` additionally bounds the serving
-knobs — the total concurrent campaign count (``scale.serve_campaigns``) and
-the micro-batch size (``scale.serve_max_batch``).
+knobs — the total concurrent campaign count (``scale.serve_campaigns``),
+the micro-batch size (``scale.serve_max_batch``), and, for
+``served_online`` slots, the central learner's publish cadence, shared
+replay capacity, and minibatch (``--learner-publish-every`` /
+``--learner-replay`` / ``--learner-minibatch``, each clamped at the
+scale's ``learner_*`` caps).
 
 ``python -m repro.api.cli components`` lists every registered component key.
 """
@@ -142,6 +146,74 @@ def clamp_serve_knobs(
     return min(replicas, max_replicas), min(max_batch, scale.serve_max_batch)
 
 
+def clamp_learner_knobs(
+    scale: ExperimentScale,
+    *,
+    publish_every: Optional[int] = None,
+    replay_capacity: Optional[int] = None,
+    minibatch: Optional[int] = None,
+) -> tuple:
+    """Bound the central learner's knobs at a scale's limits.
+
+    The serve-side twin of :func:`clamp_serve_knobs` for ``served_online``
+    slots: each requested knob is capped at the scale's value (and floored
+    at one); ``None`` means "use the scale's value".  Returns
+    ``(publish_every, replay_capacity, minibatch)`` as concrete ints.
+    """
+
+    def bound(requested: Optional[int], limit: int) -> int:
+        if requested is None:
+            return limit
+        return max(1, min(int(requested), limit))
+
+    return (
+        bound(publish_every, scale.learner_publish_every),
+        bound(replay_capacity, scale.learner_replay_capacity),
+        bound(minibatch, scale.learner_minibatch),
+    )
+
+
+def apply_learner_knobs(
+    spec: ScenarioSpec,
+    *,
+    steps_per_publish: Optional[int] = None,
+    replay_capacity: Optional[int] = None,
+    minibatch: Optional[int] = None,
+) -> ScenarioSpec:
+    """Cap the learner knobs of every ``served_online`` slot in the spec.
+
+    Each non-``None`` knob acts as a ceiling: a slot that already pins a
+    smaller value keeps it, a larger pin is clamped down, and an unpinned
+    knob is filled in — the same semantics :func:`constrain_to_scale` uses
+    for ALS iterations and the LOO budget.  Slots with other policies are
+    untouched.
+    """
+    knobs = {
+        "steps_per_publish": steps_per_publish,
+        "replay_capacity": replay_capacity,
+        "minibatch": minibatch,
+    }
+    overrides = {key: int(value) for key, value in knobs.items() if value is not None}
+    if not overrides:
+        return spec
+
+    def clamp_policy(component):
+        if component.name != "served_online":
+            return component
+        params = dict(component.params)
+        for key, ceiling in overrides.items():
+            pinned = params.get(key)
+            params[key] = ceiling if pinned is None else min(int(pinned), ceiling)
+        return dataclasses.replace(component, params=params)
+
+    return spec.replace(
+        slots=tuple(
+            dataclasses.replace(slot, policy=clamp_policy(slot.policy))
+            for slot in spec.slots
+        )
+    )
+
+
 def run_command(args: argparse.Namespace) -> int:
     spec = load_spec(args.scenario)
     if args.scale is not None:
@@ -166,6 +238,7 @@ def run_command(args: argparse.Namespace) -> int:
 def serve_command(args: argparse.Namespace) -> int:
     spec = load_spec(args.scenario)
     replicas, max_batch = args.replicas, args.max_batch
+    learner_knobs = (args.learner_publish_every, args.learner_replay, args.learner_minibatch)
     if args.scale is not None:
         scale = get_scale(args.scale)
         spec = constrain_to_scale(spec, scale)
@@ -175,6 +248,18 @@ def serve_command(args: argparse.Namespace) -> int:
             replicas=replicas,
             max_batch=max_batch,
         )
+        learner_knobs = clamp_learner_knobs(
+            scale,
+            publish_every=learner_knobs[0],
+            replay_capacity=learner_knobs[1],
+            minibatch=learner_knobs[2],
+        )
+    spec = apply_learner_knobs(
+        spec,
+        steps_per_publish=learner_knobs[0],
+        replay_capacity=learner_knobs[1],
+        minibatch=learner_knobs[2],
+    )
     if args.als_backend is not None:
         spec = override_als_backend(spec, args.als_backend)
     if args.seed is not None:
@@ -281,6 +366,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--als-backend",
         default=None,
         help="pin the ALS execution backend (see `components` for the keys)",
+    )
+    serve_parser.add_argument(
+        "--learner-publish-every",
+        type=int,
+        default=None,
+        help="weight-publish cadence for served_online slots (clamped by --scale)",
+    )
+    serve_parser.add_argument(
+        "--learner-replay",
+        type=int,
+        default=None,
+        help="shared replay-buffer capacity for served_online slots (clamped by --scale)",
+    )
+    serve_parser.add_argument(
+        "--learner-minibatch",
+        type=int,
+        default=None,
+        help="central-learner minibatch size for served_online slots (clamped by --scale)",
     )
     # Note: max_wait_ticks is deliberately not exposed here — the cooperative
     # scheduler flushes everything pending once all campaigns block, so the

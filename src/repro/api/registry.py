@@ -198,6 +198,7 @@ POLICIES = Registry(
         "repro.mcs.qbc",
         "repro.core.drcell",
         "repro.core.online",
+        "repro.learner.actor",
     ),
 )
 

@@ -40,6 +40,53 @@ from repro.utils.logging import get_logger
 logger = get_logger(__name__)
 
 
+def build_cycle_transitions(
+    agent: DRCellAgent,
+    reward_model: RewardModel,
+    states: List[np.ndarray],
+    actions: List[int],
+    cycle: int,
+    observed_matrix: np.ndarray,
+) -> List[Transition]:
+    """Convert one finished cycle's (state, action) trajectory into transitions.
+
+    The paper's reward attribution: every submission is charged its cost,
+    and the final submission of the cycle — the one after which the
+    campaign's quality assessment let the cycle stop — additionally earns
+    the bonus.  Each non-final step transitions to the state with its cell
+    added to the current selection; the final step transitions to the next
+    cycle's empty-selection state.
+
+    This is the single source of truth for the online reward shape, shared
+    by :class:`OnlineDRCellPolicy` (which observes the transitions into its
+    own agent) and :class:`~repro.learner.actor.ActorPolicy` (which ships
+    them to the central learner as a tagged batch).  Construction consumes
+    no randomness, so building transitions up front is RNG-order neutral.
+    """
+    n_steps = len(actions)
+    transitions: List[Transition] = []
+    sensed_after = np.zeros(agent.n_cells, dtype=bool)
+    for index, (state, action) in enumerate(zip(states, actions)):
+        sensed_after = sensed_after.copy()
+        sensed_after[action] = True
+        is_last = index == n_steps - 1
+        # The campaign stopped collecting after the last submission, which
+        # means the quality assessment passed (or coverage is complete):
+        # that submission earns the bonus, the others only pay their cost.
+        reward = reward_model.reward(is_last, cell=action)
+        if is_last:
+            # The next cycle starts with an empty current-selection row.
+            next_state = agent.state_model.from_observations(
+                observed_matrix, cycle + 1, np.zeros(agent.n_cells, dtype=bool)
+            ) if cycle + 1 <= observed_matrix.shape[1] else state
+        else:
+            next_state = agent.state_model.from_observations(
+                observed_matrix, cycle, sensed_after
+            )
+        transitions.append(Transition(state, action, reward, next_state, done=False))
+    return transitions
+
+
 @POLICIES.register("online", trains_agent=True)
 class OnlineDRCellPolicy(CellSelectionPolicy):
     """DR-Cell that learns online, during the sensing campaign itself.
@@ -125,28 +172,17 @@ class OnlineDRCellPolicy(CellSelectionPolicy):
     def _replay_cycle(self, cycle: int, observed_matrix: np.ndarray) -> None:
         """Convert the finished cycle's selections into transitions and learn."""
         n_steps = len(self._cycle_actions)
-        sensed_after = np.zeros(self.agent.n_cells, dtype=bool)
+        transitions = build_cycle_transitions(
+            self.agent,
+            self.reward_model,
+            self._cycle_states,
+            self._cycle_actions,
+            cycle,
+            observed_matrix,
+        )
         losses = []
-        for index, (state, action) in enumerate(zip(self._cycle_states, self._cycle_actions)):
-            sensed_after = sensed_after.copy()
-            sensed_after[action] = True
-            is_last = index == n_steps - 1
-            # The campaign stopped collecting after the last submission, which
-            # means the quality assessment passed (or coverage is complete):
-            # that submission earns the bonus, the others only pay their cost.
-            reward = self.reward_model.reward(is_last, cell=action)
-            if is_last:
-                # The next cycle starts with an empty current-selection row.
-                next_state = self.agent.state_model.from_observations(
-                    observed_matrix, cycle + 1, np.zeros(self.agent.n_cells, dtype=bool)
-                ) if cycle + 1 <= observed_matrix.shape[1] else state
-            else:
-                next_state = self.agent.state_model.from_observations(
-                    observed_matrix, cycle, sensed_after
-                )
-            loss = self.agent.agent.observe(
-                Transition(state, action, reward, next_state, done=False)
-            )
+        for transition in transitions:
+            loss = self.agent.agent.observe(transition)
             if loss is not None:
                 losses.append(loss)
         if losses:

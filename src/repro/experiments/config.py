@@ -71,6 +71,15 @@ class ExperimentScale:
         subcommand (and the serve benchmark) drives at this scale.
     serve_max_batch:
         Cap on the decision server's micro-batch size at this scale.
+    learner_publish_every:
+        Cap on the central learner's publish cadence (learner global steps
+        between consecutive weight-snapshot publications) for
+        ``served_online`` slots at this scale.
+    learner_replay_capacity:
+        Cap on the shared cross-campaign replay buffer size at this scale.
+    learner_minibatch:
+        Cap on the central learner's fused-update minibatch size at this
+        scale.
     """
 
     name: str
@@ -93,6 +102,9 @@ class ExperimentScale:
     max_test_cycles: Optional[int] = None
     serve_campaigns: int = 32
     serve_max_batch: int = 64
+    learner_publish_every: int = 64
+    learner_replay_capacity: int = 20_000
+    learner_minibatch: int = 64
 
     # -- dataset builders ------------------------------------------------------
 
@@ -209,6 +221,9 @@ TINY_SCALE = ExperimentScale(
     max_test_cycles=4,
     serve_campaigns=4,
     serve_max_batch=8,
+    learner_publish_every=8,
+    learner_replay_capacity=512,
+    learner_minibatch=16,
 )
 
 SMALL_SCALE = ExperimentScale(
@@ -232,6 +247,9 @@ SMALL_SCALE = ExperimentScale(
     max_test_cycles=20,
     serve_campaigns=8,
     serve_max_batch=16,
+    learner_publish_every=16,
+    learner_replay_capacity=2_048,
+    learner_minibatch=32,
 )
 
 MEDIUM_SCALE = ExperimentScale(
@@ -254,6 +272,9 @@ MEDIUM_SCALE = ExperimentScale(
     max_test_cycles=48,
     serve_campaigns=16,
     serve_max_batch=32,
+    learner_publish_every=32,
+    learner_replay_capacity=8_192,
+    learner_minibatch=32,
 )
 
 FULL_SCALE = ExperimentScale(name="full")

@@ -1,0 +1,43 @@
+"""``repro.learner`` — the actor/learner split for served online policies.
+
+Direct :class:`~repro.core.online.OnlineDRCellPolicy` execution cannot be
+served: its ``select_cell`` has learning side effects, so the decision
+server could not batch queries across campaigns without entangling their
+training.  This package splits the online policy into the standard
+distributed actor/learner shape:
+
+* :mod:`repro.learner.replay` — :class:`TransitionBatch` (one tagged
+  campaign-cycle of transitions) and :class:`ReplayService` (the shared
+  cross-campaign replay ring with per-campaign accounting).
+* :mod:`repro.learner.core` — :class:`Learner` / :class:`LearnerConfig`:
+  fused minibatch updates over the shared ring, versioned weight
+  publication at a configurable cadence, plus a bit-exact synchronous mode.
+* :mod:`repro.learner.weights` — :class:`WeightStore` /
+  :class:`WeightSnapshot`: immutable copy-on-publish snapshots with
+  monotonic versions and pull-side staleness telemetry.
+* :mod:`repro.learner.actor` — :class:`ServingActor` (side-effect-free
+  δ-greedy selection against the latest snapshot) and :class:`ActorPolicy`
+  (the servable campaign policy, registry key ``"served_online"``).
+
+The server side — the ``learn_batch`` endpoint and learner telemetry in
+``ServerStats`` — lives in :mod:`repro.serve.server`; the campaign side in
+:class:`~repro.mcs.served.ServedCampaignRunner`.
+"""
+
+from repro.learner.actor import ActorPolicy, ServingActor, build_served_online_policy
+from repro.learner.core import Learner, LearnerConfig
+from repro.learner.replay import CampaignAccount, ReplayService, TransitionBatch
+from repro.learner.weights import WeightSnapshot, WeightStore
+
+__all__ = [
+    "ActorPolicy",
+    "CampaignAccount",
+    "Learner",
+    "LearnerConfig",
+    "ReplayService",
+    "ServingActor",
+    "TransitionBatch",
+    "WeightSnapshot",
+    "WeightStore",
+    "build_served_online_policy",
+]

@@ -1,0 +1,153 @@
+"""Cross-campaign experience ingestion: transition batches and the replay service.
+
+Served campaigns do not own replay buffers.  At each cycle boundary an
+:class:`~repro.learner.actor.ActorPolicy` packs the cycle's transitions into
+one :class:`TransitionBatch` tagged with its campaign id, and the server's
+``learn_batch`` endpoint hands the batch to the central learner, whose
+:class:`ReplayService` appends it to the *shared* ring
+(:meth:`~repro.rl.replay.ArrayReplayBuffer.add_batch` — one strided write
+per storage array) while keeping per-campaign ingestion accounting for
+telemetry.
+
+The service wraps the learner agent's **own** buffer rather than allocating
+a private one: replay sampling must come from the same
+``numpy.random.Generator`` the agent's exploration uses, or the
+single-campaign synchronous mode could not reproduce direct
+:class:`~repro.core.online.OnlineDRCellPolicy` execution bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.rl.environment import Transition
+from repro.rl.replay import ArrayReplayBuffer
+
+
+@dataclass(frozen=True)
+class TransitionBatch:
+    """One campaign-cycle's worth of transitions, stacked for batched ingestion.
+
+    Attributes
+    ----------
+    campaign:
+        Identifier of the originating campaign (scenario slot / runner tag);
+        used for per-campaign accounting in the learner telemetry.
+    states, actions, rewards, next_states, dones:
+        Stacked transition arrays in submission order, shaped ``(K, …)`` /
+        ``(K,)`` exactly as :meth:`ArrayReplayBuffer.add_batch` expects.
+    """
+
+    campaign: str
+    states: np.ndarray
+    actions: np.ndarray
+    rewards: np.ndarray
+    next_states: np.ndarray
+    dones: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.actions.shape[0])
+
+    @classmethod
+    def from_transitions(
+        cls, campaign: str, transitions: Sequence[Transition]
+    ) -> "TransitionBatch":
+        """Stack a sequence of :class:`Transition` objects into one batch."""
+        transitions = list(transitions)
+        if not transitions:
+            raise ValueError("cannot build a TransitionBatch from zero transitions")
+        return cls(
+            campaign=str(campaign),
+            states=np.stack([np.asarray(t.state, dtype=float) for t in transitions]),
+            actions=np.asarray([int(t.action) for t in transitions], dtype=int),
+            rewards=np.asarray([float(t.reward) for t in transitions], dtype=float),
+            next_states=np.stack(
+                [np.asarray(t.next_state, dtype=float) for t in transitions]
+            ),
+            dones=np.asarray([bool(t.done) for t in transitions], dtype=bool),
+        )
+
+
+@dataclass
+class CampaignAccount:
+    """Ingestion counters for one campaign."""
+
+    batches: int = 0
+    transitions: int = 0
+
+
+class ReplayService:
+    """Shared cross-campaign replay: batched ingestion plus per-campaign accounting.
+
+    Parameters
+    ----------
+    buffer:
+        The ring all campaigns share — the learner agent's own replay
+        buffer, so sampling stays on the agent's RNG stream.
+    """
+
+    def __init__(self, buffer: ArrayReplayBuffer) -> None:
+        self.buffer = buffer
+        self._accounts: Dict[str, CampaignAccount] = {}
+        self._total_batches = 0
+        self._total_transitions = 0
+
+    def __len__(self) -> int:
+        return len(self.buffer)
+
+    @property
+    def campaigns(self) -> List[str]:
+        """Campaign ids seen so far, in first-ingestion order."""
+        return list(self._accounts)
+
+    def add_batch(self, batch: TransitionBatch) -> int:
+        """Append one campaign batch to the shared ring; returns its size."""
+        if not isinstance(batch, TransitionBatch):
+            raise TypeError(f"expected TransitionBatch, got {type(batch).__name__}")
+        self.buffer.add_batch(
+            batch.states, batch.actions, batch.rewards, batch.next_states, batch.dones
+        )
+        self.record(batch.campaign, transitions=len(batch))
+        return len(batch)
+
+    def record(self, campaign: str, *, transitions: int, batches: int = 1) -> None:
+        """Account ingested transitions without touching the ring.
+
+        The synchronous learner mode inserts through the agent's own
+        ``observe_step`` (to preserve the per-transition protocol bit for
+        bit) and records the accounting separately through this method.
+        """
+        account = self._accounts.setdefault(str(campaign), CampaignAccount())
+        account.batches += int(batches)
+        account.transitions += int(transitions)
+        self._total_batches += int(batches)
+        self._total_transitions += int(transitions)
+
+    def account(self, campaign: str) -> CampaignAccount:
+        """The (possibly zeroed) ingestion account for ``campaign``."""
+        return self._accounts.get(str(campaign), CampaignAccount())
+
+    def telemetry(self) -> Dict[str, object]:
+        """JSON-friendly ingestion counters, including the per-campaign split."""
+        return {
+            "capacity": self.buffer.capacity,
+            "size": len(self.buffer),
+            "batches": self._total_batches,
+            "transitions": self._total_transitions,
+            "campaigns": {
+                campaign: {
+                    "batches": account.batches,
+                    "transitions": account.transitions,
+                }
+                for campaign, account in self._accounts.items()
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ReplayService(size={len(self.buffer)}/{self.buffer.capacity}, "
+            f"campaigns={len(self._accounts)})"
+        )

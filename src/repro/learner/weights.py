@@ -1,0 +1,153 @@
+"""Versioned weight publication: the learner→actor half of the split.
+
+The central :class:`~repro.learner.core.Learner` publishes immutable
+:class:`WeightSnapshot`\\ s into a :class:`WeightStore`; serving actors pull
+the latest snapshot on flush boundaries and load it into their own forward
+network.  Publication is copy-on-publish — the stored weights are deep
+copies, so neither continued learning nor a misbehaving actor can mutate a
+snapshot after the fact — and version ids are strictly monotonic, which is
+what makes staleness a well-defined quantity: an actor holding version ``v``
+while the store is at ``V`` is exactly ``V - v`` versions behind.
+
+The store also owns the staleness telemetry.  Every actor pull is recorded
+(how many versions behind the actor had fallen, how many logical clock ticks
+have passed since the pulled snapshot was published), so the serving layer
+can report weight freshness through
+:class:`~repro.serve.stats.ServerStats` without the actors having to carry
+counters of their own.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.serve.batcher import TickClock
+
+
+@dataclass(frozen=True)
+class WeightSnapshot:
+    """One immutable published version of the learner's online network.
+
+    Attributes
+    ----------
+    version:
+        Strictly monotonic publication counter (the first publish is 1).
+    weights:
+        A deep copy of the network weights at publication time; treat as
+        read-only.
+    total_steps:
+        The learner agent's transition counter at publication time.  Actors
+        evaluate their δ-greedy exploration schedule at this value, so a
+        synchronously published snapshot reproduces the direct online
+        policy's exploration exactly.
+    learn_steps:
+        The learner agent's gradient-update counter at publication time.
+    published_tick:
+        The logical :class:`~repro.serve.batcher.TickClock` time of
+        publication.
+    """
+
+    version: int
+    weights: Any
+    total_steps: int
+    learn_steps: int
+    published_tick: int
+
+
+class WeightStore:
+    """Single-writer, many-reader store of versioned weight snapshots.
+
+    Parameters
+    ----------
+    clock:
+        The deterministic logical clock whose ticks stamp publications;
+        share the decision server's clock so ``ticks_since_publish`` is
+        measured in server scheduling rounds.  A private clock (always at
+        tick 0) is used when omitted.
+    """
+
+    def __init__(self, clock: Optional[TickClock] = None) -> None:
+        self._clock = clock or TickClock()
+        self._latest: Optional[WeightSnapshot] = None
+        self._publishes = 0
+        self._pulls = 0
+        self._stale_pulls = 0
+        self._versions_behind_total = 0
+        self._max_versions_behind = 0
+        self._last_ticks_since_publish = 0
+        self._max_ticks_since_publish = 0
+
+    # -- publication (learner side) ----------------------------------------------
+
+    def use_clock(self, clock: TickClock) -> None:
+        """Adopt ``clock`` for publication timestamps (e.g. the server's)."""
+        self._clock = clock
+
+    def publish(self, weights: Any, *, total_steps: int, learn_steps: int) -> WeightSnapshot:
+        """Publish a new snapshot; returns it.  The weights are deep-copied."""
+        snapshot = WeightSnapshot(
+            version=self.version + 1,
+            weights=copy.deepcopy(weights),
+            total_steps=int(total_steps),
+            learn_steps=int(learn_steps),
+            published_tick=int(self._clock.now()),
+        )
+        self._latest = snapshot
+        self._publishes += 1
+        return snapshot
+
+    # -- pulling (actor side) ----------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """The latest published version (0 before the first publish)."""
+        return 0 if self._latest is None else self._latest.version
+
+    @property
+    def latest(self) -> WeightSnapshot:
+        """The latest snapshot; raises before the first publish."""
+        if self._latest is None:
+            raise RuntimeError("no snapshot published yet")
+        return self._latest
+
+    def record_pull(self, held_version: int) -> WeightSnapshot:
+        """Record one actor pull and return the latest snapshot.
+
+        ``held_version`` is the version the actor served from before this
+        pull; the difference to the latest version is the actor's staleness
+        at the moment it refreshed.
+        """
+        snapshot = self.latest
+        behind = snapshot.version - int(held_version)
+        self._pulls += 1
+        if behind > 0:
+            self._stale_pulls += 1
+        self._versions_behind_total += behind
+        self._max_versions_behind = max(self._max_versions_behind, behind)
+        since = int(self._clock.now()) - snapshot.published_tick
+        self._last_ticks_since_publish = since
+        self._max_ticks_since_publish = max(self._max_ticks_since_publish, since)
+        return snapshot
+
+    # -- telemetry ---------------------------------------------------------------
+
+    def telemetry(self) -> Dict[str, object]:
+        """JSON-friendly staleness counters for :class:`ServerStats` surfacing."""
+        mean_behind = (
+            self._versions_behind_total / self._pulls if self._pulls else 0.0
+        )
+        return {
+            "version": self.version,
+            "publishes": self._publishes,
+            "pulls": self._pulls,
+            "stale_pulls": self._stale_pulls,
+            "mean_versions_behind": round(mean_behind, 4),
+            "max_versions_behind": self._max_versions_behind,
+            "last_ticks_since_publish": self._last_ticks_since_publish,
+            "max_ticks_since_publish": self._max_ticks_since_publish,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WeightStore(version={self.version}, publishes={self._publishes})"

@@ -476,11 +476,17 @@ class BatchedCampaignRunner:
             and _equivalent_inference(a.task.inference, b.task.inference),
         )
         for group in groups:
+            # Per-slot RNG partitioning: the representative runs the pooled
+            # pass, but each slot's subsampling draws come from its own
+            # assessor's stream (slots sharing one instance share one stream,
+            # consumed in slot order — identical to the pre-partitioning
+            # behaviour).
             verdicts = group[0].task.assessor.assess_many(
                 [slot.observed[:, : cycle + 1] for slot in group],
                 [cycle] * len(group),
                 [slot.task.requirement for slot in group],
                 group[0].task.inference,
+                rngs=[getattr(slot.task.assessor, "rng", None) for slot in group],
             )
             for slot, verdict in zip(group, verdicts):
                 if verdict:

@@ -13,7 +13,11 @@ DecisionServer` instead of calling the components directly:
   by the same (assessor, inference) equivalence classes, answered with one
   pooled ``assess_many`` per class);
 * end-of-cycle completions become ``complete_matrix`` requests (one
-  ``complete_batch`` per inference class).
+  ``complete_batch`` per inference class);
+* for served online policies (:class:`~repro.learner.actor.ActorPolicy`),
+  each finished cycle's transitions are shipped to the central learner as a
+  ``learn_batch`` request, resolved before the next cycle's selections are
+  submitted.
 
 Because requests are submitted in slot order and the server processes each
 batch FIFO with the same equivalence grouping, a single runner driven alone
@@ -176,6 +180,13 @@ class ServedCampaignRunner(BatchedCampaignRunner):
             for task, policy in zip(tasks, policies)
         ]
 
+        # Actor policies defer their end-of-cycle learning to the server's
+        # learn_batch endpoint (and adopt its clock for publication stamps).
+        for slot in slots:
+            bind = getattr(slot.policy, "bind_server", None)
+            if bind is not None:
+                bind(self.server)
+
         for cycle in range(total_cycles):
             for slot in slots:
                 slot.policy.begin_cycle(cycle, slot.observed)
@@ -211,7 +222,15 @@ class ServedCampaignRunner(BatchedCampaignRunner):
                 if pending_select:
                     yield  # resolve the selection batch
                     for slot, future in pending_select:
-                        self._apply_selection(slot, future.result(), ground_truth, cycle)
+                        cell = self._apply_selection(
+                            slot, future.result(), ground_truth, cycle
+                        )
+                        # Actor policies record the trajectory policy-side:
+                        # report the server-resolved action back so states
+                        # and actions stay aligned in submission order.
+                        notify = getattr(slot.policy, "observe_selection", None)
+                        if notify is not None:
+                            notify(cell)
 
                 # Phase 2 — assessment of every due slot, submitted in slot
                 # order so the server's equivalence grouping and the pooled
@@ -276,6 +295,24 @@ class ServedCampaignRunner(BatchedCampaignRunner):
                     )
                 )
 
+            # Phase 4 — stream the cycle's transitions to the central
+            # learner.  Batches are submitted in slot order and the yield
+            # guarantees they resolve (and, under synchronous publication,
+            # the updated weights are published) before any next-cycle
+            # selection is submitted — matching direct execution's
+            # learn-then-select ordering.
+            pending_learn: List[Tuple[_CampaignSlot, PendingResult]] = []
+            for slot in slots:
+                take = getattr(slot.policy, "take_transition_batch", None)
+                batch = take() if take is not None else None
+                if batch is not None:
+                    future = self.server.learn_batch(slot.policy.learner, batch)
+                    pending_learn.append((slot, future))
+            if pending_learn:
+                yield  # resolve the learn batch
+                for slot, future in pending_learn:
+                    future.result()
+
         for slot in slots:
             slot.result.inferred_matrix = slot.inferred
         self._results = [slot.result for slot in slots]
@@ -285,16 +322,23 @@ class ServedCampaignRunner(BatchedCampaignRunner):
     ) -> Optional[PendingResult]:
         """Submit a server-side policy query for the slot, if its policy supports it.
 
-        Only plain :class:`~repro.core.drcell.DRCellPolicy` queries are
-        servable — policies with selection-time side effects (e.g. the online
-        learner, which records its cycle trajectory) keep their own
-        ``select_cell`` protocol and run locally.
+        Plain :class:`~repro.core.drcell.DRCellPolicy` queries are servable,
+        and so are :class:`~repro.learner.actor.ActorPolicy` queries — the
+        actor's selection is side-effect free (its learning streams through
+        ``learn_batch`` at cycle boundaries instead).  Other policies with
+        selection-time side effects (e.g. the direct online learner) keep
+        their own ``select_cell`` protocol and run locally.
         """
-        # Local import: repro.core.drcell reaches back into repro.mcs for the
-        # policy interface, so importing it at module scope would cycle.
+        # Local imports: repro.core.drcell and repro.learner.actor reach back
+        # into repro.mcs for the policy interface, so importing them at
+        # module scope would cycle.
         from repro.core.drcell import DRCellPolicy
+        from repro.learner.actor import ActorPolicy
 
         policy = slot.policy
+        if isinstance(policy, ActorPolicy):
+            state, mask = policy.prepare_query(slot.observed, cycle, slot.sensed_mask)
+            return self.server.select_cell(policy.actor, state, mask, greedy=False)
         if type(policy) is not DRCellPolicy:
             return None
         agent = policy.agent
@@ -307,8 +351,9 @@ class ServedCampaignRunner(BatchedCampaignRunner):
     @staticmethod
     def _apply_selection(
         slot: _CampaignSlot, cell: int, ground_truth: np.ndarray, cycle: int
-    ) -> None:
+    ) -> int:
         cell = CellSelectionPolicy._validate_selection(cell, slot.sensed_mask)
         slot.sensed_mask[cell] = True
         slot.selected_order.append(cell)
         slot.observed[cell, cycle] = ground_truth[cell, cycle]
+        return cell

@@ -81,6 +81,8 @@ class QualityAssessor(abc.ABC):
         cycles: Sequence[int],
         requirements: Sequence[QualityRequirement],
         inference: InferenceAlgorithm,
+        *,
+        rngs: Optional[Sequence[Optional[np.random.Generator]]] = None,
     ) -> List[bool]:
         """Assess several campaign slots in one call.
 
@@ -88,7 +90,15 @@ class QualityAssessor(abc.ABC):
         assessors override it to pool every slot's matrix completions into a
         single :meth:`InferenceAlgorithm.complete_batch` call, which is what
         makes lockstep multi-policy campaigns cheap.
+
+        ``rngs`` optionally carries one generator per slot (None entries
+        fall back to the assessor's own stream).  When several *equivalent*
+        assessor instances are pooled through one representative, passing
+        each slot's own generator keeps every campaign's assessment
+        randomness independent of who shares its batch.  Deterministic
+        assessors ignore it.
         """
+        del rngs  # the base protocol draws no randomness per slot
         return [
             self.assess(observed, cycle, requirement, inference)
             for observed, cycle, requirement in zip(observed_matrices, cycles, requirements)
@@ -138,6 +148,16 @@ class LeaveOneOutBayesianAssessor(QualityAssessor):
         # crash on truthy ints; normalise through the seeding helpers instead.
         self._rng = as_rng(0 if rng is None else rng)
 
+    @property
+    def rng(self) -> np.random.Generator:
+        """The assessor's LOO-subsampling stream.
+
+        Public so pooled ``assess_many`` callers (the decision server, the
+        lockstep runner) can thread each slot's own stream through a shared
+        representative instance — per-campaign RNG partitioning.
+        """
+        return self._rng
+
     def assess(
         self,
         observed_matrix: np.ndarray,
@@ -156,9 +176,11 @@ class LeaveOneOutBayesianAssessor(QualityAssessor):
         cycles: Sequence[int],
         requirements: Sequence[QualityRequirement],
         inference: InferenceAlgorithm,
+        *,
+        rngs: Optional[Sequence[Optional[np.random.Generator]]] = None,
     ) -> List[bool]:
         probabilities = self.probabilities_error_below(
-            observed_matrices, cycles, requirements, inference
+            observed_matrices, cycles, requirements, inference, rngs=rngs
         )
         return [
             bool(probability >= requirement.p)
@@ -183,6 +205,8 @@ class LeaveOneOutBayesianAssessor(QualityAssessor):
         cycles: Sequence[int],
         requirements: Sequence[QualityRequirement],
         inference: InferenceAlgorithm,
+        *,
+        rngs: Optional[Sequence[Optional[np.random.Generator]]] = None,
     ) -> List[float]:
         """Posterior probabilities for several slots, with pooled completions.
 
@@ -190,10 +214,17 @@ class LeaveOneOutBayesianAssessor(QualityAssessor):
         completed in one :meth:`InferenceAlgorithm.complete_batch` call, so P
         lockstep campaign slots cost one batched solve instead of up to
         ``P · max_loo_cells`` sequential ones.
+
+        The only randomness is the ``max_loo_cells`` subsample draw; with
+        ``rngs`` each slot draws from its own stream (None entries fall back
+        to this instance's stream), so a campaign's draw sequence does not
+        depend on which other slots share the pooled call.
         """
         n_slots = len(observed_matrices)
         if not (len(cycles) == len(requirements) == n_slots):
             raise ValueError("observed_matrices, cycles and requirements must be index-aligned")
+        if rngs is not None and len(rngs) != n_slots:
+            raise ValueError(f"{n_slots} slots but {len(rngs)} rngs")
         probabilities: List[Optional[float]] = [None] * n_slots
         plans: List[Tuple[int, np.ndarray, np.ndarray, int, int]] = []
         held_out_pool: List[np.ndarray] = []
@@ -216,7 +247,10 @@ class LeaveOneOutBayesianAssessor(QualityAssessor):
                 probabilities[slot] = 1.0
                 continue
             if sensed.size > self.max_loo_cells:
-                chosen = self._rng.choice(sensed, size=self.max_loo_cells, replace=False)
+                slot_rng = self._rng
+                if rngs is not None and rngs[slot] is not None:
+                    slot_rng = rngs[slot]
+                chosen = slot_rng.choice(sensed, size=self.max_loo_cells, replace=False)
             else:
                 chosen = sensed
             pool_start = len(held_out_pool)
@@ -382,7 +416,10 @@ class OracleAssessor(QualityAssessor):
         cycles: Sequence[int],
         requirements: Sequence[QualityRequirement],
         inference: InferenceAlgorithm,
+        *,
+        rngs: Optional[Sequence[Optional[np.random.Generator]]] = None,
     ) -> List[bool]:
+        del rngs  # the oracle draws no randomness
         errors = self.cycle_errors(observed_matrices, cycles, requirements, inference)
         return [
             bool(error <= requirement.epsilon)

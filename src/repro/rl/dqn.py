@@ -270,7 +270,7 @@ class DQNAgent:
             self.target.copy_weights_from(self.online)
         return loss
 
-    def learn_fused(self, fresh: int) -> float:
+    def learn_fused(self, fresh: int, *, batch_size: Optional[int] = None) -> float:
         """One global-step minibatch update spanning the ``fresh`` newest transitions.
 
         The fused counterpart of :meth:`learn`: the minibatch always contains
@@ -285,10 +285,14 @@ class DQNAgent:
 
         Target-network syncing follows :attr:`DQNConfig.target_update_interval`
         in learn steps, which under fused learning count global steps.
+
+        ``batch_size`` overrides :attr:`DQNConfig.batch_size` for this update
+        only — the central learner sizes its minibatch from its own
+        (scale-clamped) knob without mutating the agent's configuration.
         """
         fresh = min(int(fresh), len(self.replay))
         indices = self.replay.recent_indices(fresh)
-        fill = self.config.batch_size - fresh
+        fill = (self.config.batch_size if batch_size is None else int(batch_size)) - fresh
         if fill > 0:
             indices = np.concatenate([indices, self.replay.sample_indices(fill)])
         states, actions, rewards, next_states, dones = self.replay.gather(indices)

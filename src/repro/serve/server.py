@@ -4,7 +4,7 @@
 runners: where :class:`~repro.mcs.campaign.BatchedCampaignRunner` fuses work
 *inside* one pre-declared fleet, the server fuses work across any number of
 independently running campaigns that happen to have requests in flight at
-the same time.  Three endpoints cover the hot paths of a Sparse MCS
+the same time.  Four endpoints cover the hot paths of a Sparse MCS
 campaign:
 
 ``select_cell``
@@ -23,6 +23,12 @@ campaign:
     A raw matrix completion.  Pending requests are grouped by inference
     equivalence and solved with one
     :meth:`~repro.inference.base.InferenceAlgorithm.complete_batch` call.
+``learn_batch``
+    A tagged batch of campaign transitions for a central
+    :class:`~repro.learner.core.Learner`.  Pending batches for the same
+    learner are ingested in submission order with one ``ingest`` call, and
+    the learner's staleness/replay telemetry is surfaced through
+    :attr:`ServerStats.learners`.
 
 Both completion-backed endpoints route their inference through a shared
 :class:`~repro.serve.cache.CompletionCache`, so a partial matrix the server
@@ -61,8 +67,9 @@ from repro.utils.validation import check_positive_int
 
 #: Endpoint kinds in flush-priority order: policy queries unblock clients that
 #: still have to reveal data this round, assessments decide whether a round
-#: continues, completions only close out cycles.
-KINDS = ("select", "assess", "complete")
+#: continues, completions only close out cycles, and learn batches update the
+#: central learner after the cycle's data is in.
+KINDS = ("select", "assess", "complete", "learn")
 
 
 @dataclass(frozen=True)
@@ -120,6 +127,14 @@ class CompleteQuery:
     matrix: np.ndarray
 
 
+@dataclass
+class LearnQuery:
+    """Payload of a ``learn_batch`` request."""
+
+    learner: Any  # repro.learner.core.Learner (anything with ingest/telemetry)
+    batch: Any  # repro.learner.replay.TransitionBatch
+
+
 class DecisionServer:
     """A shared decision server for concurrently running MCS campaigns.
 
@@ -157,6 +172,9 @@ class DecisionServer:
         # self.cache regardless — wrappers are cheap to rebuild).
         self._cached_wrappers: "OrderedDict[int, CachingInference]" = OrderedDict()
         self._max_wrappers = 512
+        # Stable display labels for learners seen on the learn endpoint, in
+        # first-appearance order (telemetry keys in ServerStats.learners).
+        self._learner_labels: Dict[int, str] = {}
 
     # -- endpoints ---------------------------------------------------------------
 
@@ -207,6 +225,24 @@ class DecisionServer:
     ) -> PendingResult:
         """Queue a matrix completion; resolves to the completed matrix."""
         return self._submit("complete", CompleteQuery(inference=inference, matrix=matrix))
+
+    def learn_batch(self, learner: Any, batch: Any) -> PendingResult:
+        """Queue a transition batch for the central learner; resolves to a receipt.
+
+        ``learner`` is a :class:`~repro.learner.core.Learner` (anything with
+        an ``ingest(batches) -> receipts`` method); ``batch`` a
+        :class:`~repro.learner.replay.TransitionBatch`.  Batches for the
+        same learner that land in one flush are ingested in submission
+        order with a single ``ingest`` call, and the learner's combined
+        staleness/ingestion telemetry is snapshotted into
+        :attr:`ServerStats.learners` after every flush.
+        """
+        if not hasattr(learner, "ingest"):
+            raise TypeError(
+                f"{type(learner).__name__} cannot ingest transition batches; "
+                "expected a learner with an ingest method"
+            )
+        return self._submit("learn", LearnQuery(learner=learner, batch=batch))
 
     def _submit(self, kind: str, payload: Any) -> PendingResult:
         self.stats.record_request(kind)
@@ -266,6 +302,7 @@ class DecisionServer:
             "select": self._handle_select,
             "assess": self._handle_assess,
             "complete": self._handle_complete,
+            "learn": self._handle_learn,
         }[kind]
         with self.stats.record_batch(kind, len(requests)):
             handler(requests)
@@ -306,11 +343,21 @@ class DecisionServer:
         for group in groups:
             representative = group[0].payload
             try:
+                # Per-request RNG partitioning: each slot's subsampling draws
+                # come from its *own* assessor's stream even though one
+                # representative runs the pooled pass, so a campaign's
+                # assessment randomness is independent of who shares its
+                # batch.  Assessors without a public rng fall back to the
+                # representative's stream (pre-partitioning behaviour).
                 verdicts = representative.assessor.assess_many(
                     [request.payload.observed for request in group],
                     [request.payload.cycle for request in group],
                     [request.payload.requirement for request in group],
                     self._cached(representative.inference),
+                    rngs=[
+                        getattr(request.payload.assessor, "rng", None)
+                        for request in group
+                    ],
                 )
             except Exception as error:
                 self._fail_group(group, error)
@@ -340,6 +387,42 @@ class DecisionServer:
                 continue
             for request, matrix in zip(group, completed):
                 request.future.set_result(matrix)
+
+    def _handle_learn(self, requests: List[ServeRequest]) -> None:
+        """Feed the central learner(s), one ``ingest`` call per learner.
+
+        Batches for the same learner are ingested in submission order —
+        exactly the order sequential direct execution would have observed
+        the cycles in — and every request resolves to its per-batch receipt.
+        After each group the learner's telemetry snapshot (weight staleness,
+        per-campaign replay accounting, learn progress) is published into
+        :attr:`ServerStats.learners`.
+        """
+        groups: Dict[int, List[ServeRequest]] = {}
+        for request in requests:
+            groups.setdefault(id(request.payload.learner), []).append(request)
+        for group in groups.values():
+            learner = group[0].payload.learner
+            try:
+                receipts = learner.ingest(
+                    [request.payload.batch for request in group]
+                )
+            except Exception as error:
+                self._fail_group(group, error)
+                continue
+            for request, receipt in zip(group, receipts):
+                request.future.set_result(receipt)
+            self.stats.record_learner(
+                self._learner_label(learner), learner.telemetry()
+            )
+
+    def _learner_label(self, learner: Any) -> str:
+        """Stable telemetry key for a learner instance (first-seen order)."""
+        label = self._learner_labels.get(id(learner))
+        if label is None:
+            label = f"learner-{len(self._learner_labels)}"
+            self._learner_labels[id(learner)] = label
+        return label
 
     @staticmethod
     def _fail_group(group: Sequence[ServeRequest], error: BaseException) -> None:

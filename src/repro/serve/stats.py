@@ -6,6 +6,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional
 
+import numpy as np
+
 from repro.utils.timing import monotonic
 
 if TYPE_CHECKING:  # pragma: no cover - typing aid only
@@ -20,6 +22,11 @@ class EndpointStats:
     batches: int = 0
     batched_requests: int = 0
     seconds: float = 0.0
+    #: Per-request service latency samples: a request completes when its
+    #: batch's handler completes, so each request in a flushed batch records
+    #: that batch's handler duration.  Exact (no reservoir) — the serving
+    #: runs are deterministic and bounded, so the sample set stays small.
+    latencies: List[float] = field(default_factory=list)
 
     @property
     def mean_batch_occupancy(self) -> float:
@@ -35,7 +42,14 @@ class EndpointStats:
             return float("nan")
         return self.seconds / self.batched_requests
 
+    def latency_percentile(self, q: float) -> float:
+        """The ``q``-th percentile of per-request latency (NaN before any flush)."""
+        if not self.latencies:
+            return float("nan")
+        return float(np.percentile(self.latencies, q))
+
     def as_dict(self) -> Dict[str, object]:
+        flushed = bool(self.batched_requests)
         return {
             "requests": self.requests,
             "batches": self.batches,
@@ -44,7 +58,13 @@ class EndpointStats:
             else None,
             "seconds": round(self.seconds, 4),
             "mean_latency_seconds": round(self.mean_latency_seconds, 6)
-            if self.batched_requests
+            if flushed
+            else None,
+            "p50_latency_seconds": round(self.latency_percentile(50), 6)
+            if flushed
+            else None,
+            "p99_latency_seconds": round(self.latency_percentile(99), 6)
+            if flushed
             else None,
         }
 
@@ -57,11 +77,15 @@ class ServerStats:
     batches flush; the cache's hit/miss counters are read live from the
     attached :class:`~repro.serve.cache.CompletionCache`, so this object is
     always current — snapshot it with :meth:`as_dict` for reporting.
+    Learner telemetry (weight-version staleness, per-campaign replay
+    accounting) is pushed by the server after every ``learn`` flush, one
+    entry per learner instance.
     """
 
     endpoints: Dict[str, EndpointStats] = field(default_factory=dict)
     ticks: int = 0
     cache: Optional["CompletionCache"] = None
+    learners: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
     # -- recording (used by the server) -----------------------------------------
 
@@ -82,9 +106,15 @@ class ServerStats:
         try:
             yield
         finally:
+            elapsed = monotonic() - start
             endpoint.batches += 1
             endpoint.batched_requests += int(size)
-            endpoint.seconds += monotonic() - start
+            endpoint.seconds += elapsed
+            endpoint.latencies.extend([elapsed] * int(size))
+
+    def record_learner(self, label: str, telemetry: Dict[str, object]) -> None:
+        """Store the latest telemetry snapshot for the learner named ``label``."""
+        self.learners[str(label)] = dict(telemetry)
 
     # -- cache passthroughs -----------------------------------------------------
 
@@ -115,6 +145,7 @@ class ServerStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": round(self.cache_hit_rate, 4) if total else None,
+            "learners": {label: dict(data) for label, data in self.learners.items()},
         }
 
     def rows(self) -> List[Dict[str, object]]:

@@ -154,3 +154,63 @@ class TestServeCommand:
             TINY_SCALE, n_campaigns=100, replicas=5, max_batch=8
         )
         assert replicas == 1
+
+
+class TestLearnerKnobs:
+    def test_clamp_caps_requests_at_the_scale(self):
+        from repro.api.cli import clamp_learner_knobs
+
+        publish, capacity, minibatch = clamp_learner_knobs(
+            TINY_SCALE, publish_every=1000, replay_capacity=10**6, minibatch=4096
+        )
+        assert publish == TINY_SCALE.learner_publish_every
+        assert capacity == TINY_SCALE.learner_replay_capacity
+        assert minibatch == TINY_SCALE.learner_minibatch
+
+    def test_clamp_defaults_to_scale_values_and_floors_at_one(self):
+        from repro.api.cli import clamp_learner_knobs
+
+        publish, capacity, minibatch = clamp_learner_knobs(TINY_SCALE)
+        assert (publish, capacity, minibatch) == (
+            TINY_SCALE.learner_publish_every,
+            TINY_SCALE.learner_replay_capacity,
+            TINY_SCALE.learner_minibatch,
+        )
+        publish, _, _ = clamp_learner_knobs(TINY_SCALE, publish_every=0)
+        assert publish == 1
+
+    def test_apply_caps_served_online_slots_only(self, tiny_scenario_path):
+        import dataclasses
+
+        from repro.api.cli import apply_learner_knobs
+        from repro.api.specs import PolicySpec
+
+        spec = load_spec(tiny_scenario_path)
+        # First slot: served_online with one pinned knob (small) and one
+        # oversized pin; second slot keeps its non-learner policy.
+        slots = list(spec.slots)
+        slots[0] = dataclasses.replace(
+            slots[0],
+            policy=PolicySpec(
+                "served_online",
+                {"steps_per_publish": 2, "replay_capacity": 10**6},
+            ),
+        )
+        capped = apply_learner_knobs(
+            spec.replace(slots=tuple(slots)),
+            steps_per_publish=8,
+            replay_capacity=512,
+            minibatch=16,
+        )
+        params = capped.slots[0].policy.params
+        assert params["steps_per_publish"] == 2  # smaller pin wins
+        assert params["replay_capacity"] == 512  # oversized pin clamped
+        assert params["minibatch"] == 16  # unpinned knob filled in
+        assert capped.slots[1].policy.params == spec.slots[1].policy.params
+        assert ScenarioSpec.from_json(capped.to_json()) == capped
+
+    def test_apply_without_knobs_is_identity(self, tiny_scenario_path):
+        from repro.api.cli import apply_learner_knobs
+
+        spec = load_spec(tiny_scenario_path)
+        assert apply_learner_knobs(spec) is spec

@@ -1,0 +1,186 @@
+"""The determinism anchor of the actor/learner split.
+
+A single campaign served through the actor/learner stack in synchronous
+mode (publish after every transition, actor sharing the learner agent's RNG
+stream) must reproduce direct :class:`~repro.core.online.OnlineDRCellPolicy`
+execution **bit for bit** — selected cells, inferred matrices, and the final
+Q-network weights.  This is the served-online counterpart of PR 5's
+serve-vs-evaluate parity, and the property every staleness/fusion knob is
+measured against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.drcell import DRCellAgent, DRCellConfig
+from repro.core.online import OnlineDRCellPolicy
+from repro.datasets.sensorscope import generate_sensorscope
+from repro.inference.compressive import CompressiveSensingInference
+from repro.learner import Learner, LearnerConfig
+from repro.mcs import (
+    BatchedCampaignRunner,
+    CampaignConfig,
+    SensingTask,
+    ServedCampaignRunner,
+)
+from repro.quality.epsilon_p import QualityRequirement
+from repro.quality.loo_bayesian import LeaveOneOutBayesianAssessor
+from repro.rl.dqn import DQNConfig
+from repro.serve import DecisionServer, ServeConfig
+
+N_CYCLES = 5
+
+
+def build_task(*, n_cells=8, seed=0):
+    dataset = generate_sensorscope(
+        "temperature",
+        n_cells=n_cells,
+        duration_days=1.0,
+        cycle_length_hours=2.0,
+        seed=seed,
+    )
+    return SensingTask(
+        dataset=dataset,
+        requirement=QualityRequirement(epsilon=0.8, p=0.8, metric="mae"),
+        inference=CompressiveSensingInference(rank=3, iterations=5, seed=0),
+        assessor=LeaveOneOutBayesianAssessor(
+            min_observations=2,
+            max_loo_cells=4,
+            history_window=6,
+            rng=np.random.default_rng(0),
+        ),
+    )
+
+
+def build_agent(*, n_cells=8):
+    # learn_every=1 with a small warm-up so learning actually runs inside
+    # the short TINY-scale campaign the parity is asserted over.
+    config = DRCellConfig(
+        window=2,
+        seed=0,
+        lstm_hidden=12,
+        dense_hidden=(12,),
+        dqn=DQNConfig(
+            batch_size=8,
+            min_replay_size=8,
+            learn_every=1,
+            replay_capacity=128,
+            target_update_interval=10,
+        ),
+    )
+    return DRCellAgent.build(n_cells, config)
+
+
+def campaign_config():
+    return CampaignConfig(min_cells_per_cycle=2, assess_every=2, history_window=6)
+
+
+def assert_weights_equal(left, right):
+    for layer_a, layer_b in zip(left, right):
+        assert layer_a.keys() == layer_b.keys()
+        for name in layer_a:
+            assert np.array_equal(layer_a[name], layer_b[name]), name
+
+
+class TestSynchronousParity:
+    def test_served_online_is_bitwise_identical_to_direct(self):
+        direct_policy = OnlineDRCellPolicy(build_agent())
+        direct = BatchedCampaignRunner(build_task(), campaign_config()).run(
+            [direct_policy], n_cycles=N_CYCLES
+        )
+
+        learner = Learner(
+            build_agent(),
+            config=LearnerConfig(steps_per_publish=1, synchronous=True),
+        )
+        # rng=None: the actor shares the learner agent's generator object —
+        # the same interleaved exploration/replay stream the direct run uses.
+        served_policy = learner.policy(campaign="solo")
+        server = DecisionServer(ServeConfig(max_batch=16, max_wait_ticks=1))
+        served = ServedCampaignRunner(build_task(), campaign_config(), server=server).run(
+            [served_policy], n_cycles=N_CYCLES
+        )
+
+        for rd, rs in zip(direct[0].records, served[0].records):
+            assert rd.selected_cells == rs.selected_cells
+            assert rd.true_error == rs.true_error  # bitwise: no tolerance
+            assert rd.assessed_satisfied == rs.assessed_satisfied
+        assert np.array_equal(
+            direct[0].inferred_matrix, served[0].inferred_matrix, equal_nan=True
+        )
+        assert_weights_equal(
+            direct_policy.agent.get_weights(), learner.agent.get_weights()
+        )
+        # The learner saw exactly the transitions the direct agent observed.
+        assert learner.agent.agent.total_steps == direct_policy.agent.agent.total_steps
+        assert learner.agent.agent.learn_steps == direct_policy.agent.agent.learn_steps
+
+    def test_parity_survives_micro_batch_size_one(self):
+        direct_policy = OnlineDRCellPolicy(build_agent())
+        direct = BatchedCampaignRunner(build_task(), campaign_config()).run(
+            [direct_policy], n_cycles=3
+        )
+
+        learner = Learner(
+            build_agent(),
+            config=LearnerConfig(steps_per_publish=1, synchronous=True),
+        )
+        server = DecisionServer(ServeConfig(max_batch=1, max_wait_ticks=0))
+        served = ServedCampaignRunner(build_task(), campaign_config(), server=server).run(
+            [learner.policy(campaign="solo")], n_cycles=3
+        )
+        for rd, rs in zip(direct[0].records, served[0].records):
+            assert rd.selected_cells == rs.selected_cells
+            assert rd.true_error == rs.true_error
+        assert_weights_equal(
+            direct_policy.agent.get_weights(), learner.agent.get_weights()
+        )
+
+    def test_actor_selections_carry_no_learning_side_effects(self):
+        # A second actor pulled from the same store must not consume the
+        # learner agent's RNG or mutate its state when it acts greedily.
+        learner = Learner(build_agent(), config=LearnerConfig(synchronous=True))
+        actor = learner.actor(rng=np.random.default_rng(7))
+        before = learner.agent.agent._rng.bit_generator.state
+        state = np.zeros((2, 8), dtype=float)
+        mask = np.ones(8, dtype=bool)
+        actor.select_action(state, mask=mask, greedy=True)
+        assert learner.agent.agent._rng.bit_generator.state == before
+        assert learner.agent.agent.total_steps == 0
+        assert len(learner.agent.agent.replay) == 0
+
+
+class TestPublicationCadence:
+    def test_synchronous_mode_publishes_every_step(self):
+        learner = Learner(
+            build_agent(),
+            config=LearnerConfig(steps_per_publish=1, synchronous=True),
+        )
+        server = DecisionServer(ServeConfig(max_batch=16, max_wait_ticks=1))
+        ServedCampaignRunner(build_task(), campaign_config(), server=server).run(
+            [learner.policy(campaign="solo")], n_cycles=3
+        )
+        telemetry = learner.telemetry()
+        # Version 1 is the starting weights; every transition republished.
+        assert telemetry["weights"]["version"] == telemetry["total_steps"] + 1
+        assert telemetry["replay"]["campaigns"]["solo"]["transitions"] == (
+            telemetry["total_steps"]
+        )
+
+    def test_coarser_cadence_publishes_fewer_versions(self):
+        fine = Learner(
+            build_agent(), config=LearnerConfig(steps_per_publish=1, synchronous=True)
+        )
+        coarse = Learner(
+            build_agent(), config=LearnerConfig(steps_per_publish=8, synchronous=True)
+        )
+        for learner in (fine, coarse):
+            server = DecisionServer(ServeConfig(max_batch=16, max_wait_ticks=1))
+            ServedCampaignRunner(build_task(), campaign_config(), server=server).run(
+                [learner.policy(campaign="solo")], n_cycles=3
+            )
+        assert (
+            coarse.telemetry()["weights"]["version"]
+            < fine.telemetry()["weights"]["version"]
+        )

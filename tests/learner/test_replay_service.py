@@ -1,0 +1,93 @@
+"""ReplayService: cross-campaign ingestion accounting over one shared ring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.learner import ReplayService, TransitionBatch
+from repro.rl.replay import ArrayReplayBuffer, Transition
+
+
+def make_batch(campaign: str, count: int, *, offset: float = 0.0) -> TransitionBatch:
+    states = np.arange(count * 3, dtype=float).reshape(count, 3) + offset
+    return TransitionBatch(
+        campaign=campaign,
+        states=states,
+        actions=np.arange(count) % 2,
+        rewards=np.full(count, 0.5),
+        next_states=states + 1.0,
+        dones=np.zeros(count, dtype=bool),
+    )
+
+
+class TestTransitionBatch:
+    def test_len_is_the_transition_count(self):
+        assert len(make_batch("a", 4)) == 4
+
+    def test_from_transitions_stacks_in_order(self):
+        transitions = [
+            Transition(
+                state=np.full(3, float(i)),
+                action=i,
+                reward=float(i) / 2,
+                next_state=np.full(3, float(i) + 1),
+                done=False,
+            )
+            for i in range(3)
+        ]
+        batch = TransitionBatch.from_transitions("c", transitions)
+        assert batch.campaign == "c"
+        assert np.array_equal(batch.actions, [0, 1, 2])
+        assert np.array_equal(batch.states[2], np.full(3, 2.0))
+
+    def test_from_transitions_rejects_empty(self):
+        with pytest.raises(ValueError):
+            TransitionBatch.from_transitions("c", [])
+
+
+class TestReplayService:
+    def test_add_batch_lands_in_the_shared_ring(self):
+        buffer = ArrayReplayBuffer(16, seed=0)
+        service = ReplayService(buffer)
+        assert service.add_batch(make_batch("a", 3)) == 3
+        assert len(service) == 3
+        assert len(buffer) == 3
+
+    def test_per_campaign_accounting(self):
+        service = ReplayService(ArrayReplayBuffer(64, seed=0))
+        service.add_batch(make_batch("north", 3))
+        service.add_batch(make_batch("south", 5))
+        service.add_batch(make_batch("north", 2))
+        assert service.campaigns == ["north", "south"]
+        north = service.account("north")
+        assert (north.batches, north.transitions) == (2, 5)
+        telemetry = service.telemetry()
+        assert telemetry["transitions"] == 10
+        assert telemetry["batches"] == 3
+        assert telemetry["campaigns"]["south"] == {"batches": 1, "transitions": 5}
+
+    def test_record_books_without_inserting(self):
+        # The synchronous-parity mode inserts via the agent's observe_step;
+        # the service only books the campaign attribution.
+        buffer = ArrayReplayBuffer(16, seed=0)
+        service = ReplayService(buffer)
+        service.record("solo", transitions=4)
+        assert len(buffer) == 0
+        assert service.account("solo").transitions == 4
+
+    def test_rejects_non_batch(self):
+        service = ReplayService(ArrayReplayBuffer(16, seed=0))
+        with pytest.raises(TypeError):
+            service.add_batch([1, 2, 3])
+
+    def test_shared_ring_interleaves_campaigns_in_arrival_order(self):
+        buffer = ArrayReplayBuffer(8, seed=0)
+        service = ReplayService(buffer)
+        service.add_batch(make_batch("a", 2, offset=0.0))
+        service.add_batch(make_batch("b", 2, offset=100.0))
+        recent = buffer.recent_indices(4)
+        states, _, _, _, _ = buffer.gather(recent)
+        # Oldest-first: campaign a's two rows, then campaign b's.
+        assert states[0, 0] == 0.0
+        assert states[2, 0] == 100.0

@@ -1,0 +1,109 @@
+"""WeightStore: monotonic versions, copy-on-publish, staleness accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.learner import WeightStore
+from repro.serve.batcher import TickClock
+
+
+def make_weights(value: float):
+    return [{"w": np.full((2, 2), value), "b": np.full(2, value)}]
+
+
+class TestPublication:
+    def test_versions_are_monotonic_from_one(self):
+        store = WeightStore()
+        assert store.version == 0
+        first = store.publish(make_weights(0.0), total_steps=0, learn_steps=0)
+        second = store.publish(make_weights(1.0), total_steps=5, learn_steps=1)
+        assert (first.version, second.version) == (1, 2)
+        assert store.version == 2
+        assert store.latest is second
+
+    def test_latest_raises_before_first_publish(self):
+        with pytest.raises(RuntimeError):
+            WeightStore().latest
+
+    def test_publish_deep_copies_weights(self):
+        # Copy-on-publish: the learner keeps mutating its live arrays, the
+        # snapshot must stay frozen at publication time.
+        store = WeightStore()
+        live = make_weights(1.0)
+        snapshot = store.publish(live, total_steps=1, learn_steps=0)
+        live[0]["w"] += 100.0
+        assert np.all(snapshot.weights[0]["w"] == 1.0)
+
+    def test_snapshots_are_immutable_records(self):
+        store = WeightStore()
+        snapshot = store.publish(make_weights(0.0), total_steps=3, learn_steps=2)
+        assert snapshot.total_steps == 3
+        assert snapshot.learn_steps == 2
+        with pytest.raises(AttributeError):
+            snapshot.version = 99
+
+    def test_published_tick_comes_from_the_clock(self):
+        clock = TickClock()
+        store = WeightStore(clock)
+        clock.advance(7)
+        snapshot = store.publish(make_weights(0.0), total_steps=0, learn_steps=0)
+        assert snapshot.published_tick == 7
+
+    def test_use_clock_rebinds_timestamps(self):
+        store = WeightStore()
+        server_clock = TickClock()
+        server_clock.advance(3)
+        store.use_clock(server_clock)
+        snapshot = store.publish(make_weights(0.0), total_steps=0, learn_steps=0)
+        assert snapshot.published_tick == 3
+
+
+class TestStalenessTelemetry:
+    def test_fresh_pull_records_zero_versions_behind(self):
+        store = WeightStore()
+        store.publish(make_weights(0.0), total_steps=0, learn_steps=0)
+        latest = store.record_pull(1)
+        assert latest.version == 1
+        telemetry = store.telemetry()
+        assert telemetry["pulls"] == 1
+        assert telemetry["stale_pulls"] == 0
+        assert telemetry["mean_versions_behind"] == 0.0
+
+    def test_stale_pull_counts_versions_behind(self):
+        store = WeightStore()
+        for value in (0.0, 1.0, 2.0):
+            store.publish(make_weights(value), total_steps=0, learn_steps=0)
+        store.record_pull(1)  # two versions behind
+        store.record_pull(3)  # fresh
+        telemetry = store.telemetry()
+        assert telemetry["pulls"] == 2
+        assert telemetry["stale_pulls"] == 1
+        assert telemetry["max_versions_behind"] == 2
+        assert telemetry["mean_versions_behind"] == pytest.approx(1.0)
+
+    def test_ticks_since_publish_tracks_the_clock(self):
+        clock = TickClock()
+        store = WeightStore(clock)
+        store.publish(make_weights(0.0), total_steps=0, learn_steps=0)
+        clock.advance(5)
+        store.record_pull(1)
+        telemetry = store.telemetry()
+        assert telemetry["last_ticks_since_publish"] == 5
+        assert telemetry["max_ticks_since_publish"] == 5
+
+    def test_telemetry_snapshot_is_json_friendly(self):
+        store = WeightStore()
+        store.publish(make_weights(0.0), total_steps=0, learn_steps=0)
+        telemetry = store.telemetry()
+        assert set(telemetry) == {
+            "version",
+            "publishes",
+            "pulls",
+            "stale_pulls",
+            "mean_versions_behind",
+            "max_versions_behind",
+            "last_ticks_since_publish",
+            "max_ticks_since_publish",
+        }

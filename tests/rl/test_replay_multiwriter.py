@@ -1,0 +1,106 @@
+"""ArrayReplayBuffer under interleaved multi-writer ``add_batch``.
+
+The shared cross-campaign pool appends several campaigns' batches within one
+server tick.  These tests pin the ring semantics that makes that safe: batch
+inserts land in consecutive slots in arrival order, wraparound evicts oldest
+first exactly as sequential ``add_step`` calls would, and ``recent_indices``
+keeps returning the true most-recent window across writers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rl.replay import ArrayReplayBuffer
+
+
+def batch(tag: float, count: int):
+    """A batch whose states encode (writer tag, sequence number)."""
+    states = np.stack(
+        [np.array([tag, float(i)]) for i in range(count)]
+    )
+    return (
+        states,
+        np.arange(count) % 3,
+        np.full(count, tag),
+        states + 0.5,
+        np.zeros(count, dtype=bool),
+    )
+
+
+def stored_keys(buffer: ArrayReplayBuffer, count: int):
+    """(tag, seq) pairs of the ``count`` most recent transitions, oldest first."""
+    states, _, _, _, _ = buffer.gather(buffer.recent_indices(count))
+    return [(float(s[0]), float(s[1])) for s in states]
+
+
+class TestInterleavedWriters:
+    def test_batches_from_several_writers_land_in_arrival_order(self):
+        buffer = ArrayReplayBuffer(32, seed=0)
+        buffer.add_batch(*batch(1.0, 3))
+        buffer.add_batch(*batch(2.0, 2))
+        buffer.add_batch(*batch(1.0, 2))
+        assert len(buffer) == 7
+        assert stored_keys(buffer, 7) == [
+            (1.0, 0.0), (1.0, 1.0), (1.0, 2.0),
+            (2.0, 0.0), (2.0, 1.0),
+            (1.0, 0.0), (1.0, 1.0),
+        ]
+
+    def test_interleaved_batches_match_sequential_add_step(self):
+        batched = ArrayReplayBuffer(8, seed=0)
+        stepped = ArrayReplayBuffer(8, seed=0)
+        writers = [batch(1.0, 3), batch(2.0, 4), batch(3.0, 5)]
+        for states, actions, rewards, next_states, dones in writers:
+            batched.add_batch(states, actions, rewards, next_states, dones)
+            for i in range(len(actions)):
+                stepped.add_step(
+                    states[i], actions[i], rewards[i], next_states[i], dones[i]
+                )
+        assert len(batched) == len(stepped) == 8
+        assert stored_keys(batched, 8) == stored_keys(stepped, 8)
+
+    def test_wraparound_evicts_oldest_across_writer_boundaries(self):
+        buffer = ArrayReplayBuffer(4, seed=0)
+        buffer.add_batch(*batch(1.0, 3))
+        buffer.add_batch(*batch(2.0, 3))  # wraps: evicts writer 1's first two
+        assert len(buffer) == 4
+        assert buffer.is_full
+        assert stored_keys(buffer, 4) == [
+            (1.0, 2.0), (2.0, 0.0), (2.0, 1.0), (2.0, 2.0),
+        ]
+
+    def test_recent_indices_window_straddles_the_wrap_point(self):
+        buffer = ArrayReplayBuffer(4, seed=0)
+        buffer.add_batch(*batch(1.0, 3))
+        buffer.add_batch(*batch(2.0, 2))
+        # The 3 most recent straddle the physical end of the storage arrays.
+        assert stored_keys(buffer, 3) == [(1.0, 2.0), (2.0, 0.0), (2.0, 1.0)]
+
+    def test_oversized_batch_keeps_the_exact_suffix(self):
+        buffer = ArrayReplayBuffer(3, seed=0)
+        buffer.add_batch(*batch(1.0, 2))
+        buffer.add_batch(*batch(2.0, 7))  # only the last 3 survive
+        assert len(buffer) == 3
+        assert stored_keys(buffer, 3) == [(2.0, 4.0), (2.0, 5.0), (2.0, 6.0)]
+
+    def test_recent_window_rejects_more_than_stored(self):
+        buffer = ArrayReplayBuffer(8, seed=0)
+        buffer.add_batch(*batch(1.0, 2))
+        with pytest.raises(ValueError):
+            buffer.recent_indices(3)
+
+    def test_multi_writer_tick_then_fused_gather_sees_every_writer(self):
+        # One server tick: three campaigns append, the learner gathers the
+        # tick's fresh window in one fancy-indexed read.
+        buffer = ArrayReplayBuffer(64, seed=0)
+        tick_sizes = []
+        for tag in (1.0, 2.0, 3.0):
+            size = int(tag) + 2
+            buffer.add_batch(*batch(tag, size))
+            tick_sizes.append(size)
+        fresh = sum(tick_sizes)
+        keys = stored_keys(buffer, fresh)
+        tags = [tag for tag, _ in keys]
+        assert tags == [1.0] * 3 + [2.0] * 4 + [3.0] * 5

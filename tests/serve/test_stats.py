@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import math
 
+import pytest
+
 from repro.serve.stats import EndpointStats, ServerStats
 from repro.utils.timing import fake_clock
 
@@ -58,6 +60,69 @@ class TestRecordBatchLatency:
         snapshot = stats.as_dict()["endpoints"]["select_cell"]
         assert snapshot["seconds"] == 0.5
         assert snapshot["mean_latency_seconds"] == 0.25
+
+
+class TestLatencyPercentiles:
+    def test_percentiles_are_exact_over_recorded_batches(self):
+        # Each request's latency is its batch's handler duration, so three
+        # flushes give a known sample multiset to take percentiles over.
+        stats = ServerStats()
+        with fake_clock() as clock:
+            for seconds, size in ((0.1, 2), (0.2, 1), (0.4, 1)):
+                with stats.record_batch("select", size=size):
+                    clock.advance(seconds)
+        endpoint = stats.endpoint("select")
+        # Samples: [0.1, 0.1, 0.2, 0.4] — exact, not reservoir-approximated
+        # (approx only absorbs the fake clock's float accumulation).
+        assert endpoint.latency_percentile(50) == pytest.approx(0.15)
+        assert endpoint.latency_percentile(100) == pytest.approx(0.4)
+        assert endpoint.latency_percentile(0) == pytest.approx(0.1)
+
+    def test_every_request_in_a_batch_records_the_batch_latency(self):
+        stats = ServerStats()
+        with fake_clock() as clock:
+            with stats.record_batch("assess", size=5):
+                clock.advance(2.0)
+        assert stats.endpoint("assess").latencies == [2.0] * 5
+
+    def test_as_dict_reports_p50_and_p99(self):
+        stats = ServerStats()
+        with fake_clock() as clock:
+            for seconds in (0.1, 0.3):
+                with stats.record_batch("select", size=1):
+                    clock.advance(seconds)
+        snapshot = stats.as_dict()["endpoints"]["select"]
+        assert snapshot["p50_latency_seconds"] == 0.2
+        assert snapshot["p99_latency_seconds"] == pytest.approx(0.298, abs=1e-9)
+
+    def test_percentiles_are_none_before_any_flush(self):
+        stats = ServerStats()
+        stats.record_request("select")
+        snapshot = stats.as_dict()["endpoints"]["select"]
+        assert snapshot["p50_latency_seconds"] is None
+        assert snapshot["p99_latency_seconds"] is None
+        assert math.isnan(stats.endpoint("select").latency_percentile(50))
+
+
+class TestLearnerTelemetry:
+    def test_record_learner_snapshots_are_stored_per_label(self):
+        stats = ServerStats()
+        stats.record_learner("learner-0", {"mode": "fused", "total_steps": 10})
+        stats.record_learner("learner-0", {"mode": "fused", "total_steps": 20})
+        stats.record_learner("learner-1", {"mode": "synchronous", "total_steps": 3})
+        snapshot = stats.as_dict()["learners"]
+        assert snapshot["learner-0"]["total_steps"] == 20
+        assert snapshot["learner-1"]["mode"] == "synchronous"
+
+    def test_record_learner_copies_the_payload(self):
+        stats = ServerStats()
+        payload = {"total_steps": 1}
+        stats.record_learner("learner-0", payload)
+        payload["total_steps"] = 99
+        assert stats.as_dict()["learners"]["learner-0"]["total_steps"] == 1
+
+    def test_learners_key_is_always_present(self):
+        assert ServerStats().as_dict()["learners"] == {}
 
 
 class TestEndpointStatsEdges:
