@@ -23,6 +23,16 @@ replay capacity, and minibatch (``--learner-publish-every`` /
 ``--learner-replay`` / ``--learner-minibatch``, each clamped at the
 scale's ``learner_*`` caps).
 
+``python -m repro.api.cli record`` is ``serve`` with a flight recorder: the
+whole session — every request, flush, response, and learner weight
+publication — is written to a JSON-lines journal (plus, with
+``--checkpoint-after N``, a mid-flight checkpoint after N cycles).
+``python -m repro.api.cli replay journal`` re-executes a recorded journal
+from scratch and exits non-zero on any divergence — the bitwise
+reproducibility gate CI runs against committed golden journals.
+``python -m repro.api.cli resume checkpoint`` finishes a checkpointed
+session, bitwise-identically to never having stopped.
+
 ``python -m repro.api.cli components`` lists every registered component key.
 """
 
@@ -133,17 +143,33 @@ def override_als_backend(spec: ScenarioSpec, backend: str) -> ScenarioSpec:
 
 
 def clamp_serve_knobs(
-    scale: ExperimentScale, *, n_campaigns: int, replicas: int, max_batch: int
+    scale: ExperimentScale,
+    *,
+    n_campaigns: int,
+    replicas: int,
+    max_batch: int,
+    max_inflight: Optional[int] = None,
 ) -> tuple:
     """Bound the serve subcommand's knobs at a scale's serving limits.
 
     ``replicas`` is clamped so the total concurrent campaign count
     (``n_campaigns × replicas``) stays within ``scale.serve_campaigns``
-    (never below one replica), and ``max_batch`` is capped at
-    ``scale.serve_max_batch``.  Returns ``(replicas, max_batch)``.
+    (never below one replica), ``max_batch`` is capped at
+    ``scale.serve_max_batch``, and ``max_inflight`` — the per-campaign
+    fairness cap, ``None`` meaning uncapped — at
+    ``scale.serve_max_inflight``.  Returns
+    ``(replicas, max_batch, max_inflight)``.
     """
     max_replicas = max(1, scale.serve_campaigns // max(1, n_campaigns))
-    return min(replicas, max_replicas), min(max_batch, scale.serve_max_batch)
+    if max_inflight is None:
+        max_inflight = scale.serve_max_inflight
+    else:
+        max_inflight = max(1, min(int(max_inflight), scale.serve_max_inflight))
+    return (
+        min(replicas, max_replicas),
+        min(max_batch, scale.serve_max_batch),
+        max_inflight,
+    )
 
 
 def clamp_learner_knobs(
@@ -235,18 +261,21 @@ def run_command(args: argparse.Namespace) -> int:
     return 0
 
 
-def serve_command(args: argparse.Namespace) -> int:
+def _resolve_serve_spec(args: argparse.Namespace) -> tuple:
+    """Shared front half of ``serve`` and ``record``: the spec + resolved knobs."""
     spec = load_spec(args.scenario)
     replicas, max_batch = args.replicas, args.max_batch
+    max_inflight = args.max_inflight
     learner_knobs = (args.learner_publish_every, args.learner_replay, args.learner_minibatch)
     if args.scale is not None:
         scale = get_scale(args.scale)
         spec = constrain_to_scale(spec, scale)
-        replicas, max_batch = clamp_serve_knobs(
+        replicas, max_batch, max_inflight = clamp_serve_knobs(
             scale,
             n_campaigns=len(spec.slots),
             replicas=replicas,
             max_batch=max_batch,
+            max_inflight=max_inflight,
         )
         learner_knobs = clamp_learner_knobs(
             scale,
@@ -264,10 +293,10 @@ def serve_command(args: argparse.Namespace) -> int:
         spec = override_als_backend(spec, args.als_backend)
     if args.seed is not None:
         spec = spec.replace(seed=args.seed)
+    return spec, replicas, max_batch, max_inflight
 
-    session = Session.from_spec(spec)
-    session.train()
-    report, stats = session.serve(replicas=replicas, max_batch=max_batch)
+
+def _print_serve_report(spec, report, stats) -> None:
     print(
         format_rows(
             report.as_dicts(),
@@ -282,6 +311,70 @@ def serve_command(args: argparse.Namespace) -> int:
         f"\ncache: {summary['cache_hits']} hits / {summary['cache_misses']} misses"
         + (f" (hit rate {hit_rate})" if hit_rate is not None else "")
     )
+
+
+def serve_command(args: argparse.Namespace) -> int:
+    spec, replicas, max_batch, max_inflight = _resolve_serve_spec(args)
+    session = Session.from_spec(spec)
+    session.train()
+    report, stats = session.serve(
+        replicas=replicas, max_batch=max_batch, max_inflight=max_inflight
+    )
+    _print_serve_report(spec, report, stats)
+    return 0
+
+
+def record_command(args: argparse.Namespace) -> int:
+    """Serve a scenario with a journal attached; write journal (and checkpoint)."""
+    from repro.serve import RequestJournal
+
+    spec, replicas, max_batch, max_inflight = _resolve_serve_spec(args)
+    session = Session.from_spec(spec)
+    session.train()
+    journal = RequestJournal()
+    if args.checkpoint_after is not None:
+        if args.checkpoint is None:
+            print("--checkpoint-after requires --checkpoint PATH", file=sys.stderr)
+            return 2
+        report, stats, checkpoint = session.serve(
+            replicas=replicas,
+            max_batch=max_batch,
+            max_inflight=max_inflight,
+            journal=journal,
+            checkpoint_after=args.checkpoint_after,
+        )
+        checkpoint.save(args.checkpoint)
+        print(f"checkpoint (cycle {args.checkpoint_after}) saved to {args.checkpoint}")
+    else:
+        report, stats = session.serve(
+            replicas=replicas,
+            max_batch=max_batch,
+            max_inflight=max_inflight,
+            journal=journal,
+        )
+    journal.save(args.journal)
+    print(f"journal ({len(journal.events)} events) saved to {args.journal}")
+    _print_serve_report(spec, report, stats)
+    return 0
+
+
+def replay_command(args: argparse.Namespace) -> int:
+    """Re-execute a recorded journal; exit non-zero on any divergence."""
+    from repro.serve import replay_journal
+
+    report = replay_journal(args.journal)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def resume_command(args: argparse.Namespace) -> int:
+    """Finish a checkpointed serving session from where it stopped."""
+    from repro.serve import ServerCheckpoint
+
+    checkpoint = ServerCheckpoint.load(args.checkpoint)
+    report, stats = Session.resume_serve(checkpoint)
+    spec = ScenarioSpec.from_dict(checkpoint.payload["scenario"])
+    _print_serve_report(spec, report, stats)
     return 0
 
 
@@ -340,55 +433,109 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.set_defaults(func=run_command)
 
+    def add_serve_arguments(target: argparse.ArgumentParser) -> None:
+        target.add_argument("scenario", type=Path, help="path to a scenario .json file")
+        target.add_argument(
+            "--scale",
+            default=None,
+            help="cap effort AND serving knobs at a predefined scale (tiny/small/medium/full)",
+        )
+        target.add_argument(
+            "--seed", type=int, default=None, help="override the scenario seed"
+        )
+        target.add_argument(
+            "--replicas",
+            type=int,
+            default=1,
+            help="run each slot's campaign this many times (clamped by --scale)",
+        )
+        target.add_argument(
+            "--max-batch",
+            type=int,
+            default=32,
+            help="decision-server micro-batch size (clamped by --scale)",
+        )
+        target.add_argument(
+            "--max-inflight",
+            type=int,
+            default=None,
+            help="per-campaign cap on requests in one assembled batch "
+            "(default: uncapped, or the scale's cap under --scale)",
+        )
+        target.add_argument(
+            "--als-backend",
+            default=None,
+            help="pin the ALS execution backend (see `components` for the keys)",
+        )
+        target.add_argument(
+            "--learner-publish-every",
+            type=int,
+            default=None,
+            help="weight-publish cadence for served_online slots (clamped by --scale)",
+        )
+        target.add_argument(
+            "--learner-replay",
+            type=int,
+            default=None,
+            help="shared replay-buffer capacity for served_online slots (clamped by --scale)",
+        )
+        target.add_argument(
+            "--learner-minibatch",
+            type=int,
+            default=None,
+            help="central-learner minibatch size for served_online slots (clamped by --scale)",
+        )
+
     serve_parser = subparsers.add_parser(
         "serve", help="train, then run every slot server-backed through one decision server"
-    )
-    serve_parser.add_argument("scenario", type=Path, help="path to a scenario .json file")
-    serve_parser.add_argument(
-        "--scale",
-        default=None,
-        help="cap effort AND serving knobs at a predefined scale (tiny/small/medium/full)",
-    )
-    serve_parser.add_argument("--seed", type=int, default=None, help="override the scenario seed")
-    serve_parser.add_argument(
-        "--replicas",
-        type=int,
-        default=1,
-        help="run each slot's campaign this many times (clamped by --scale)",
-    )
-    serve_parser.add_argument(
-        "--max-batch",
-        type=int,
-        default=32,
-        help="decision-server micro-batch size (clamped by --scale)",
-    )
-    serve_parser.add_argument(
-        "--als-backend",
-        default=None,
-        help="pin the ALS execution backend (see `components` for the keys)",
-    )
-    serve_parser.add_argument(
-        "--learner-publish-every",
-        type=int,
-        default=None,
-        help="weight-publish cadence for served_online slots (clamped by --scale)",
-    )
-    serve_parser.add_argument(
-        "--learner-replay",
-        type=int,
-        default=None,
-        help="shared replay-buffer capacity for served_online slots (clamped by --scale)",
-    )
-    serve_parser.add_argument(
-        "--learner-minibatch",
-        type=int,
-        default=None,
-        help="central-learner minibatch size for served_online slots (clamped by --scale)",
     )
     # Note: max_wait_ticks is deliberately not exposed here — the cooperative
     # scheduler flushes everything pending once all campaigns block, so the
     # wait-based trigger only matters for externally pumped servers.
+    add_serve_arguments(serve_parser)
     serve_parser.set_defaults(func=serve_command)
+
+    record_parser = subparsers.add_parser(
+        "record",
+        help="serve with a request journal attached; write the journal "
+        "(and optionally a mid-flight checkpoint) for later replay",
+    )
+    add_serve_arguments(record_parser)
+    record_parser.add_argument(
+        "--journal",
+        type=Path,
+        required=True,
+        help="write the recorded session journal (JSON lines) here",
+    )
+    record_parser.add_argument(
+        "--checkpoint",
+        type=Path,
+        default=None,
+        help="with --checkpoint-after: write the mid-flight checkpoint here",
+    )
+    record_parser.add_argument(
+        "--checkpoint-after",
+        type=int,
+        default=None,
+        help="stop after this many cycles and capture a resumable checkpoint",
+    )
+    record_parser.set_defaults(func=record_command)
+
+    replay_parser = subparsers.add_parser(
+        "replay",
+        help="re-execute a recorded journal and fail on any divergence "
+        "(bitwise reproducibility gate)",
+    )
+    replay_parser.add_argument("journal", type=Path, help="path to a recorded journal")
+    replay_parser.set_defaults(func=replay_command)
+
+    resume_parser = subparsers.add_parser(
+        "resume", help="finish a checkpointed serving session from where it stopped"
+    )
+    resume_parser.add_argument(
+        "checkpoint", type=Path, help="path to a `record --checkpoint` file"
+    )
+    resume_parser.set_defaults(func=resume_command)
 
     validate_parser = subparsers.add_parser(
         "validate", help="check a scenario file without running it"

@@ -306,7 +306,10 @@ class Session:
         max_batch: Optional[int] = None,
         max_wait_ticks: Optional[int] = None,
         cache_capacity: Optional[int] = None,
-    ) -> Tuple[SessionEvaluationReport, "ServerStats"]:
+        max_inflight: Optional[int] = None,
+        journal: Optional["RequestJournal"] = None,
+        checkpoint_after: Optional[int] = None,
+    ):
         """Run every slot's campaign server-backed, through one decision server.
 
         Where :meth:`evaluate` runs one lockstep
@@ -334,15 +337,32 @@ class Session:
             the completion cache's best case (the point of A/B fan-out).
         server:
             An existing server to share; a fresh one is built otherwise,
-            with ``max_batch`` / ``max_wait_ticks`` / ``cache_capacity``
-            overriding the :class:`~repro.serve.server.ServeConfig`
-            defaults.
+            with ``max_batch`` / ``max_wait_ticks`` / ``cache_capacity`` /
+            ``max_inflight`` overriding the
+            :class:`~repro.serve.server.ServeConfig` defaults
+            (``max_inflight`` maps to ``max_inflight_per_campaign``).
+        journal:
+            A fresh :class:`~repro.serve.journal.RequestJournal` to record
+            the session into: the scenario and resolved knobs go into the
+            header, the server journals every request/flush/response/
+            publish, and the final deterministic stats snapshot is appended
+            — everything :func:`~repro.serve.journal.replay_journal` needs.
+        checkpoint_after:
+            Stop after this many cycles and capture a
+            :class:`~repro.serve.checkpoint.ServerCheckpoint` instead of
+            finishing; the campaigns' matrices stay sized for the full
+            ``n_cycles`` budget.  Hand the checkpoint to
+            :meth:`resume_serve` to finish the run bitwise-identically to
+            an uninterrupted one.
 
         Returns
         -------
         (report, stats):
             The per-campaign :class:`SessionEvaluationReport` and the
             server's :class:`~repro.serve.stats.ServerStats` telemetry.
+            With ``checkpoint_after`` set, a third element — the captured
+            :class:`~repro.serve.checkpoint.ServerCheckpoint` — is
+            returned, and the report only covers the completed cycles.
 
         Notes
         -----
@@ -353,17 +373,17 @@ class Session:
         order than sequential group-by-group evaluation — results are then
         statistically equivalent rather than bitwise identical.
         """
-        from repro.mcs.served import ServedCampaignRunner
         from repro.serve import DecisionServer, ServeConfig, drive
 
         check_positive_int(replicas, "replicas")
         if server is not None and any(
-            knob is not None for knob in (max_batch, max_wait_ticks, cache_capacity)
+            knob is not None
+            for knob in (max_batch, max_wait_ticks, cache_capacity, max_inflight)
         ):
             raise ValueError(
-                "max_batch/max_wait_ticks/cache_capacity configure a newly built "
-                "server and cannot rewire an explicitly passed one; configure the "
-                "server's ServeConfig instead"
+                "max_batch/max_wait_ticks/cache_capacity/max_inflight configure a "
+                "newly built server and cannot rewire an explicitly passed one; "
+                "configure the server's ServeConfig instead"
             )
         if server is None:
             defaults = ServeConfig()
@@ -376,14 +396,178 @@ class Session:
                     cache_capacity=cache_capacity
                     if cache_capacity is not None
                     else defaults.cache_capacity,
+                    max_inflight_per_campaign=max_inflight,
                 )
             )
         if n_cycles is None:
             n_cycles = self.spec.max_test_cycles
+        if checkpoint_after is not None:
+            check_positive_int(checkpoint_after, "checkpoint_after")
+        serve_knobs = self._serve_knobs(server, n_cycles=n_cycles, replicas=replicas)
+        if journal is not None:
+            server.attach_journal(journal)
+            journal.record_header(scenario=self.spec.to_dict(), serve=serve_knobs)
         config = self.campaign_config()
         report = SessionEvaluationReport()
 
+        launches = self._serve_launches(
+            server,
+            config,
+            n_cycles=n_cycles,
+            replicas=replicas,
+            stop_cycle=checkpoint_after,
+        )
+
+        drive(server, [driver for _, _, driver in launches])
+
+        checkpoint = None
+        if checkpoint_after is not None:
+            from repro.serve.checkpoint import ServerCheckpoint
+
+            checkpoint = ServerCheckpoint.capture(
+                server,
+                scenario=self.spec.to_dict(),
+                serve=serve_knobs,
+                cycle=checkpoint_after,
+                launches=[
+                    {
+                        "labels": [label for label, _ in labelled],
+                        "slot_states": runner.slot_states(),
+                    }
+                    for labelled, runner, _ in launches
+                ],
+            )
+
+        for labelled, runner, _ in launches:
+            for (label, slot), outcome in zip(labelled, runner.results):
+                self._record_evaluation(report, label, slot, outcome)
+        if journal is not None:
+            journal.finalize(server.stats)
+        logger.info(
+            "scenario %s served %d campaign(s): %s",
+            self.spec.name,
+            len(report.rows),
+            server.stats.as_dict(),
+        )
+        if checkpoint is not None:
+            return report, server.stats, checkpoint
+        return report, server.stats
+
+    @classmethod
+    def resume_serve(
+        cls,
+        checkpoint: "ServerCheckpoint",
+        *,
+        journal: Optional["RequestJournal"] = None,
+    ) -> Tuple[SessionEvaluationReport, "ServerStats"]:
+        """Finish a serving session from a :meth:`serve` ``checkpoint_after`` capture.
+
+        The session is rebuilt from the checkpoint's scenario spec and
+        re-trained (training is a pure function of the spec's seeds, so the
+        rebuilt agents are bitwise identical to the recorded run's), a fresh
+        server is restored from the checkpointed clock/batcher/cache/stats,
+        every campaign is rebuilt and restored mid-flight from its slot
+        state, and the remaining cycles are driven.  The final report and
+        telemetry are bitwise identical to an uninterrupted run's.
+
+        ``journal`` (optional) records the resumed tail — no header event,
+        since the events continue a recorded session rather than start one.
+        """
+        payload = checkpoint.payload
+        spec = ScenarioSpec.from_dict(payload["scenario"])
+        session = cls(spec)
+        session.train()
+        return session._resume_serve(checkpoint, journal=journal)
+
+    def _resume_serve(
+        self,
+        checkpoint: "ServerCheckpoint",
+        *,
+        journal: Optional["RequestJournal"] = None,
+    ) -> Tuple[SessionEvaluationReport, "ServerStats"]:
+        from repro.serve import DecisionServer, ServeConfig, drive
+
+        payload = checkpoint.payload
+        knobs = payload["serve"]
+        server = DecisionServer(
+            ServeConfig(
+                max_batch=int(knobs["max_batch"]),
+                max_wait_ticks=int(knobs["max_wait_ticks"]),
+                cache_capacity=int(knobs["cache_capacity"]),
+                max_inflight_per_campaign=knobs["max_inflight_per_campaign"],
+            )
+        )
+        if journal is not None:
+            server.attach_journal(journal)
+        config = self.campaign_config()
+        report = SessionEvaluationReport()
+
+        launches = self._serve_launches(
+            server,
+            config,
+            n_cycles=int(knobs["n_cycles"]),
+            replicas=int(knobs["replicas"]),
+            start_cycle=int(payload["cycle"]),
+            launch_states=payload["launches"],
+        )
+        # Restore the server after the policies are built (fresh learners
+        # publish an initial version into their stores at construction; the
+        # slot-state restore inside each launch overwrites that) but before
+        # the drive consumes the clock.
+        checkpoint.restore(server)
+
+        drive(server, [driver for _, _, driver in launches])
+
+        for labelled, runner, _ in launches:
+            for (label, slot), outcome in zip(labelled, runner.results):
+                self._record_evaluation(report, label, slot, outcome)
+        if journal is not None:
+            journal.finalize(server.stats)
+        logger.info(
+            "scenario %s resumed %d campaign(s) from cycle %d: %s",
+            self.spec.name,
+            len(report.rows),
+            int(payload["cycle"]),
+            server.stats.as_dict(),
+        )
+        return report, server.stats
+
+    def _serve_knobs(
+        self, server: "DecisionServer", *, n_cycles: Optional[int], replicas: int
+    ) -> Dict[str, Any]:
+        """The resolved serving knobs, as recorded in journals and checkpoints."""
+        return {
+            "n_cycles": n_cycles,
+            "replicas": int(replicas),
+            "max_batch": server.config.max_batch,
+            "max_wait_ticks": server.config.max_wait_ticks,
+            "cache_capacity": server.config.cache_capacity,
+            "max_inflight_per_campaign": server.config.max_inflight_per_campaign,
+        }
+
+    def _serve_launches(
+        self,
+        server: "DecisionServer",
+        config: CampaignConfig,
+        *,
+        n_cycles: Optional[int],
+        replicas: int,
+        start_cycle: int = 0,
+        stop_cycle: Optional[int] = None,
+        launch_states: Optional[List[Dict[str, Any]]] = None,
+    ) -> List[Tuple[List[Tuple[str, "_Slot"]], Any, Any]]:
+        """Build the per-(replica, dataset-group) served launches.
+
+        One :class:`~repro.mcs.served.ServedCampaignRunner` per replica per
+        dataset group, every campaign tagged with its report label as the
+        server-side tenant id.  ``launch_states`` (from a checkpoint's
+        ``launches`` payload, in the same deterministic order) restores each
+        fleet mid-flight.
+        """
+        from repro.mcs.served import ServedCampaignRunner
+
         launches: List[Tuple[List[Tuple[str, _Slot]], ServedCampaignRunner, Any]] = []
+        index = 0
         for replica in range(replicas):
             for members in self._dataset_groups():
                 labelled = [
@@ -399,22 +583,25 @@ class Session:
                     else self._replica_policy(slot)
                     for slot in members
                 ]
+                slot_states = None
+                if launch_states is not None:
+                    slot_states = launch_states[index]["slot_states"]
                 launches.append(
-                    (labelled, runner, runner.launch(policies, n_cycles=n_cycles))
+                    (
+                        labelled,
+                        runner,
+                        runner.launch(
+                            policies,
+                            n_cycles=n_cycles,
+                            tenants=[label for label, _ in labelled],
+                            start_cycle=start_cycle,
+                            stop_cycle=stop_cycle,
+                            slot_states=slot_states,
+                        ),
+                    )
                 )
-
-        drive(server, [driver for _, _, driver in launches])
-
-        for labelled, runner, _ in launches:
-            for (label, slot), outcome in zip(labelled, runner.results):
-                self._record_evaluation(report, label, slot, outcome)
-        logger.info(
-            "scenario %s served %d campaign(s): %s",
-            self.spec.name,
-            len(report.rows),
-            server.stats.as_dict(),
-        )
-        return report, server.stats
+                index += 1
+        return launches
 
     def set_agent(self, slot_name: str, agent: DRCellAgent) -> None:
         """Bind an externally trained agent to a slot (the transfer-learning route).

@@ -175,3 +175,23 @@ class DRCellPolicy(CellSelectionPolicy):
         return self.agent.select_cell(
             observed_matrix, cycle, sensed_mask, greedy=self.greedy
         )
+
+    # -- round-tripping ----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The agent's action stream position.
+
+        Even greedy selection consumes the agent generator (ties between
+        equal Q-values break randomly), so mid-campaign resumption must
+        restore the stream.  Network weights are not serialized here — the
+        policy does not learn during a campaign, and the session restores
+        weights through :meth:`DRCellAgent.save` / :meth:`DRCellAgent.load`.
+        """
+        from repro.utils.statedict import rng_state
+
+        return {"rng": rng_state(self.agent.agent._rng)}
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.utils.statedict import set_rng_state
+
+        set_rng_state(self.agent.agent._rng, state["rng"])

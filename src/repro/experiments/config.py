@@ -71,6 +71,10 @@ class ExperimentScale:
         subcommand (and the serve benchmark) drives at this scale.
     serve_max_batch:
         Cap on the decision server's micro-batch size at this scale.
+    serve_max_inflight:
+        Cap on the requests one campaign may occupy in a single assembled
+        server batch (the fairness knob ``max_inflight_per_campaign``) at
+        this scale.
     learner_publish_every:
         Cap on the central learner's publish cadence (learner global steps
         between consecutive weight-snapshot publications) for
@@ -102,6 +106,7 @@ class ExperimentScale:
     max_test_cycles: Optional[int] = None
     serve_campaigns: int = 32
     serve_max_batch: int = 64
+    serve_max_inflight: int = 8
     learner_publish_every: int = 64
     learner_replay_capacity: int = 20_000
     learner_minibatch: int = 64
@@ -220,6 +225,7 @@ TINY_SCALE = ExperimentScale(
     dense_hidden=(12,),
     max_test_cycles=4,
     serve_campaigns=4,
+    serve_max_inflight=2,
     serve_max_batch=8,
     learner_publish_every=8,
     learner_replay_capacity=512,
@@ -246,6 +252,7 @@ SMALL_SCALE = ExperimentScale(
     dense_hidden=(32,),
     max_test_cycles=20,
     serve_campaigns=8,
+    serve_max_inflight=4,
     serve_max_batch=16,
     learner_publish_every=16,
     learner_replay_capacity=2_048,
@@ -271,6 +278,7 @@ MEDIUM_SCALE = ExperimentScale(
     dense_hidden=(64,),
     max_test_cycles=48,
     serve_campaigns=16,
+    serve_max_inflight=8,
     serve_max_batch=32,
     learner_publish_every=32,
     learner_replay_capacity=8_192,

@@ -164,6 +164,33 @@ class ServingActor:
         """Single-state convenience over :meth:`select_actions`."""
         return self.select_actions([state], masks=[mask], greedy=greedy)[0]
 
+    # -- round-tripping ----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The actor's private state: held version plus exploration stream."""
+        from repro.utils.statedict import rng_state
+
+        return {"version": self._version, "rng": rng_state(self._rng)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output *without* recording a pull.
+
+        Must run after the shared :class:`~repro.learner.weights.WeightStore`
+        has been restored: the network is reloaded from the store's latest
+        snapshot (when the held version matches the store this is the exact
+        network the actor served from; when the actor was behind, the next
+        ``pull()`` — which precedes every prediction — overwrites the
+        weights anyway), and the staleness telemetry is left to the restored
+        store counters.
+        """
+        from repro.utils.statedict import set_rng_state
+
+        set_rng_state(self._rng, state["rng"])
+        self._version = int(state["version"])
+        snapshot = self.store.latest
+        self.network.set_weights(snapshot.weights)
+        self._snapshot = snapshot
+
     def _validate_mask(self, mask: Optional[np.ndarray]) -> np.ndarray:
         if mask is None:
             return np.ones(self.n_actions, dtype=bool)
@@ -282,13 +309,19 @@ class ActorPolicy(CellSelectionPolicy):
 
     def end_cycle(self, cycle: int, observed_matrix: np.ndarray) -> None:
         self._cycles_seen += 1
-        if not self._cycle_actions:
+        # Consume the trajectory here (not at the next begin_cycle) so the
+        # policy is checkpointable at every cycle boundary, including after
+        # the final cycle of a stopped run.
+        states, actions = self._cycle_states, self._cycle_actions
+        self._cycle_states = []
+        self._cycle_actions = []
+        if not actions:
             return
         transitions = build_cycle_transitions(
             self.agent,
             self.reward_model,
-            self._cycle_states,
-            self._cycle_actions,
+            states,
+            actions,
             cycle,
             observed_matrix,
         )
@@ -297,6 +330,43 @@ class ActorPolicy(CellSelectionPolicy):
             self._pending_batch = batch
         else:
             self.learner.ingest([batch])
+
+    # -- round-tripping ----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable policy state; requires cycle-boundary quiescence.
+
+        Refuses to serialize mid-cycle (recorded states/actions pending) or
+        with a parked transition batch the runner has not submitted yet —
+        checkpoints are taken between campaign cycles, where both are empty.
+        """
+        if self._cycle_states or self._cycle_actions:
+            raise RuntimeError("cannot checkpoint an ActorPolicy mid-cycle")
+        if self._pending_batch is not None:
+            raise RuntimeError(
+                "cannot checkpoint an ActorPolicy with an unsubmitted "
+                "transition batch parked"
+            )
+        return {
+            "cycles_seen": self._cycles_seen,
+            "learner": self.learner.state_dict(),
+            "actor": self.actor.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (learner first, then actor).
+
+        The learner restore brings the shared weight store back, which the
+        actor restore then reads its snapshot from.  Idempotent, so slots
+        sharing one learner may each carry — and re-apply — identical copies
+        of its state.
+        """
+        self._cycles_seen = int(state["cycles_seen"])
+        self.learner.load_state_dict(state["learner"])
+        self.actor.load_state_dict(state["actor"])
+        self._cycle_states = []
+        self._cycle_actions = []
+        self._pending_batch = None
 
     # -- introspection -----------------------------------------------------------
 

@@ -243,6 +243,58 @@ class Learner:
             self.actor(rng=rng), self, campaign=campaign, reward_model=reward_model
         )
 
+    # -- round-tripping ----------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Everything a mid-flight learner needs to resume bitwise.
+
+        Covers the agent's networks (online *and* target, restored
+        separately — :meth:`~repro.rl.dqn.DQNAgent.set_weights` would
+        collapse both onto the online weights), the online optimizer's
+        moments, the step counters, the agent's sampling/exploration RNG,
+        the shared replay service, and the weight store.  The configuration
+        itself is not serialized: a resumed session reconstructs the learner
+        from the same :class:`LearnerConfig` before loading this state.
+        """
+        from repro.utils.statedict import encode_weights, rng_state
+
+        dqn = self.agent.agent
+        return {
+            "since_publish": self._since_publish,
+            "agent": {
+                "online": encode_weights(dqn.online.get_weights()),
+                "target": encode_weights(dqn.target.get_weights()),
+                "optimizer": dqn.online.optimizer.state_dict(),
+                "total_steps": dqn.total_steps,
+                "learn_steps": dqn.learn_steps,
+                "global_steps": dqn.global_steps,
+                "rng": rng_state(dqn._rng),
+            },
+            "replay": self.replay.state_dict(),
+            "store": self.store.state_dict(),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore :meth:`state_dict` output onto this learner and its agent.
+
+        Idempotent — restoring the same state twice (shared-agent scenarios
+        capture one learner once per slot) leaves everything identical.
+        """
+        from repro.utils.statedict import decode_weights, set_rng_state
+
+        dqn = self.agent.agent
+        self._since_publish = int(state["since_publish"])  # type: ignore[arg-type]
+        agent_state = state["agent"]
+        dqn.online.set_weights(decode_weights(agent_state["online"]))  # type: ignore[index]
+        dqn.target.set_weights(decode_weights(agent_state["target"]))  # type: ignore[index]
+        dqn.online.optimizer.load_state_dict(agent_state["optimizer"])  # type: ignore[index]
+        dqn.total_steps = int(agent_state["total_steps"])  # type: ignore[index]
+        dqn.learn_steps = int(agent_state["learn_steps"])  # type: ignore[index]
+        dqn.global_steps = int(agent_state["global_steps"])  # type: ignore[index]
+        set_rng_state(dqn._rng, agent_state["rng"])  # type: ignore[index]
+        self.replay.load_state_dict(state["replay"])  # type: ignore[arg-type]
+        self.store.load_state_dict(state["store"])  # type: ignore[arg-type]
+
     # -- telemetry ---------------------------------------------------------------
 
     def telemetry(self) -> Dict[str, object]:

@@ -130,6 +130,36 @@ class ReplayService:
         """The (possibly zeroed) ingestion account for ``campaign``."""
         return self._accounts.get(str(campaign), CampaignAccount())
 
+    # -- round-tripping ----------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable service state: the shared ring plus per-campaign accounts."""
+        return {
+            "buffer": self.buffer.state_dict(),
+            "accounts": {
+                campaign: {
+                    "batches": account.batches,
+                    "transitions": account.transitions,
+                }
+                for campaign, account in self._accounts.items()
+            },
+            "total_batches": self._total_batches,
+            "total_transitions": self._total_transitions,
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore :meth:`state_dict` output onto this service and its ring."""
+        self.buffer.load_state_dict(state["buffer"])  # type: ignore[arg-type]
+        self._accounts = {
+            str(campaign): CampaignAccount(
+                batches=int(account["batches"]),
+                transitions=int(account["transitions"]),
+            )
+            for campaign, account in state["accounts"].items()  # type: ignore[union-attr]
+        }
+        self._total_batches = int(state["total_batches"])  # type: ignore[arg-type]
+        self._total_transitions = int(state["total_transitions"])  # type: ignore[arg-type]
+
     def telemetry(self) -> Dict[str, object]:
         """JSON-friendly ingestion counters, including the per-campaign split."""
         return {

@@ -21,9 +21,10 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from repro.serve.batcher import TickClock
+from repro.utils.statedict import decode_state, encode_state
 
 
 @dataclass(frozen=True)
@@ -78,12 +79,24 @@ class WeightStore:
         self._max_versions_behind = 0
         self._last_ticks_since_publish = 0
         self._max_ticks_since_publish = 0
+        self._subscribers: List[Callable[[WeightSnapshot], None]] = []
 
     # -- publication (learner side) ----------------------------------------------
 
     def use_clock(self, clock: TickClock) -> None:
         """Adopt ``clock`` for publication timestamps (e.g. the server's)."""
         self._clock = clock
+
+    def subscribe(self, callback: Callable[[WeightSnapshot], None]) -> None:
+        """Call ``callback`` with every snapshot published from now on.
+
+        The hook the serving journal uses to record learner publish events;
+        callbacks must be side-effect free with respect to the store (they
+        run synchronously inside :meth:`publish`).  Subscribing the same
+        callable twice is a no-op.
+        """
+        if callback not in self._subscribers:
+            self._subscribers.append(callback)
 
     def publish(self, weights: Any, *, total_steps: int, learn_steps: int) -> WeightSnapshot:
         """Publish a new snapshot; returns it.  The weights are deep-copied."""
@@ -96,6 +109,8 @@ class WeightStore:
         )
         self._latest = snapshot
         self._publishes += 1
+        for callback in self._subscribers:
+            callback(snapshot)
         return snapshot
 
     # -- pulling (actor side) ----------------------------------------------------
@@ -148,6 +163,59 @@ class WeightStore:
             "last_ticks_since_publish": self._last_ticks_since_publish,
             "max_ticks_since_publish": self._max_ticks_since_publish,
         }
+
+    # -- round-tripping ----------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable store state: the latest snapshot plus every counter.
+
+        Only the latest snapshot is kept live (publication is
+        copy-on-publish, older versions are garbage), so only it needs to
+        survive a checkpoint; the clock is *not* serialized — on restore the
+        store keeps whatever clock it is wired to (the server's restored
+        clock under :class:`~repro.serve.checkpoint.ServerCheckpoint`).
+        Subscribers are runtime wiring and are likewise left untouched.
+        """
+        latest = None
+        if self._latest is not None:
+            latest = {
+                "version": self._latest.version,
+                "weights": encode_state(self._latest.weights),
+                "total_steps": self._latest.total_steps,
+                "learn_steps": self._latest.learn_steps,
+                "published_tick": self._latest.published_tick,
+            }
+        return {
+            "latest": latest,
+            "publishes": self._publishes,
+            "pulls": self._pulls,
+            "stale_pulls": self._stale_pulls,
+            "versions_behind_total": self._versions_behind_total,
+            "max_versions_behind": self._max_versions_behind,
+            "last_ticks_since_publish": self._last_ticks_since_publish,
+            "max_ticks_since_publish": self._max_ticks_since_publish,
+        }
+
+    def load_state_dict(self, state: Mapping[str, object]) -> None:
+        """Restore :meth:`state_dict` output (clock and subscribers unchanged)."""
+        latest = state["latest"]
+        if latest is None:
+            self._latest = None
+        else:
+            self._latest = WeightSnapshot(
+                version=int(latest["version"]),  # type: ignore[index]
+                weights=decode_state(latest["weights"]),  # type: ignore[index]
+                total_steps=int(latest["total_steps"]),  # type: ignore[index]
+                learn_steps=int(latest["learn_steps"]),  # type: ignore[index]
+                published_tick=int(latest["published_tick"]),  # type: ignore[index]
+            )
+        self._publishes = int(state["publishes"])  # type: ignore[arg-type]
+        self._pulls = int(state["pulls"])  # type: ignore[arg-type]
+        self._stale_pulls = int(state["stale_pulls"])  # type: ignore[arg-type]
+        self._versions_behind_total = int(state["versions_behind_total"])  # type: ignore[arg-type]
+        self._max_versions_behind = int(state["max_versions_behind"])  # type: ignore[arg-type]
+        self._last_ticks_since_publish = int(state["last_ticks_since_publish"])  # type: ignore[arg-type]
+        self._max_ticks_since_publish = int(state["max_ticks_since_publish"])  # type: ignore[arg-type]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"WeightStore(version={self.version}, publishes={self._publishes})"

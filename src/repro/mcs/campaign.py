@@ -299,6 +299,9 @@ class _CampaignSlot:
     selected_order: List[int] = field(default_factory=list)
     assessed_satisfied: bool = False
     active: bool = False
+    #: Tenant (campaign) id the serving layer tags this slot's requests with;
+    #: the direct runners never read it.
+    tenant: str = "default"
 
     @property
     def n_selected(self) -> int:

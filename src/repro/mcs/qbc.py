@@ -79,3 +79,21 @@ class QBCSelectionPolicy(CellSelectionPolicy):
         # Break ties (common in the very first selections) at random.
         top = candidates[np.flatnonzero(scores == best)]
         return int(self._rng.choice(top))
+
+    # -- round-tripping ----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The tie-breaking stream position.
+
+        The committee members are stateless between calls (ALS freezes its
+        initialisation seed at construction), so the policy's only evolving
+        state is its tie-break generator.
+        """
+        from repro.utils.statedict import rng_state
+
+        return {"rng": rng_state(self._rng)}
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.utils.statedict import set_rng_state
+
+        set_rng_state(self._rng, state["rng"])

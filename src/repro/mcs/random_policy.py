@@ -33,3 +33,16 @@ class RandomSelectionPolicy(CellSelectionPolicy):
         if candidates.size == 0:
             raise ValueError("all cells are already sensed in this cycle")
         return int(self._rng.choice(candidates))
+
+    # -- round-tripping ----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The selection stream position (the policy's only state)."""
+        from repro.utils.statedict import rng_state
+
+        return {"rng": rng_state(self._rng)}
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.utils.statedict import set_rng_state
+
+        set_rng_state(self._rng, state["rng"])

@@ -53,7 +53,7 @@ from repro.mcs.campaign import (
 from repro.mcs.policies import CellSelectionPolicy
 from repro.mcs.results import CampaignResult, CycleRecord
 from repro.serve.batcher import PendingResult
-from repro.serve.server import DecisionServer, drive
+from repro.serve.server import CYCLE_BARRIER, DecisionServer, drive
 from repro.utils.validation import check_positive_int
 
 
@@ -86,6 +86,7 @@ class ServedCampaignRunner(BatchedCampaignRunner):
             raise TypeError(f"expected a DecisionServer, got {type(server).__name__}")
         self.server = server
         self._results: Optional[List[CampaignResult]] = None
+        self._slots: Optional[List[_CampaignSlot]] = None
 
     # -- running -----------------------------------------------------------------
 
@@ -118,6 +119,10 @@ class ServedCampaignRunner(BatchedCampaignRunner):
         policies: Sequence[CellSelectionPolicy],
         *,
         n_cycles: Optional[int] = None,
+        tenants: Optional[Sequence[str]] = None,
+        start_cycle: int = 0,
+        stop_cycle: Optional[int] = None,
+        slot_states: Optional[Sequence[Optional[dict]]] = None,
     ) -> Iterator[None]:
         """A cooperative driver for this fleet's campaigns.
 
@@ -127,9 +132,27 @@ class ServedCampaignRunner(BatchedCampaignRunner):
         whenever submitted futures must resolve before it can continue.
         Advance it with :func:`repro.serve.server.drive`, interleaved with
         any other runners sharing the server.
+
+        Parameters
+        ----------
+        tenants:
+            Per-slot campaign ids the server tags requests with (fairness
+            accounting and journal attribution); defaults to
+            ``campaign-{i}`` in slot order.
+        start_cycle, stop_cycle, slot_states:
+            Checkpoint/resume support.  ``stop_cycle`` ends the run early
+            (exclusive bound) while the slots' matrices stay sized for the
+            full ``n_cycles`` budget, so :meth:`slot_states` captured at the
+            stop restores cleanly.  To resume, pass ``start_cycle`` and the
+            captured ``slot_states``: cycles before ``start_cycle`` are
+            skipped and each slot is restored (observed/inferred matrices,
+            cycle records, policy and assessor state) before the first
+            resumed cycle runs.
         """
         self._results = None
-        return self._launch(policies, n_cycles)
+        return self._launch(
+            policies, n_cycles, tenants, start_cycle, stop_cycle, slot_states
+        )
 
     # -- internals ---------------------------------------------------------------
 
@@ -137,6 +160,10 @@ class ServedCampaignRunner(BatchedCampaignRunner):
         self,
         policies: Sequence[CellSelectionPolicy],
         n_cycles: Optional[int],
+        tenants: Optional[Sequence[str]] = None,
+        start_cycle: int = 0,
+        stop_cycle: Optional[int] = None,
+        slot_states: Optional[Sequence[Optional[dict]]] = None,
     ) -> Iterator[None]:
         if not policies:
             raise ValueError("at least one policy is required")
@@ -179,6 +206,35 @@ class ServedCampaignRunner(BatchedCampaignRunner):
             )
             for task, policy in zip(tasks, policies)
         ]
+        if tenants is None:
+            tenants = [f"campaign-{index}" for index in range(len(slots))]
+        if len(tenants) != len(slots):
+            raise ValueError(f"{len(slots)} slots but {len(tenants)} tenants")
+        for slot, tenant in zip(slots, tenants):
+            slot.tenant = str(tenant)
+        self._slots = slots
+
+        start_cycle = int(start_cycle)
+        if not 0 <= start_cycle <= total_cycles:
+            raise ValueError(
+                f"start_cycle {start_cycle} out of range [0, {total_cycles}]"
+            )
+        end_cycle = total_cycles
+        if stop_cycle is not None:
+            end_cycle = check_positive_int(stop_cycle, "stop_cycle")
+            if not start_cycle <= end_cycle <= total_cycles:
+                raise ValueError(
+                    f"stop_cycle {end_cycle} out of range "
+                    f"[{start_cycle}, {total_cycles}]"
+                )
+        if slot_states is not None:
+            if len(slot_states) != len(slots):
+                raise ValueError(
+                    f"{len(slots)} slots but {len(slot_states)} slot states"
+                )
+            for slot, state in zip(slots, slot_states):
+                if state is not None:
+                    self._restore_slot(slot, state)
 
         # Actor policies defer their end-of-cycle learning to the server's
         # learn_batch endpoint (and adopt its clock for publication stamps).
@@ -187,7 +243,7 @@ class ServedCampaignRunner(BatchedCampaignRunner):
             if bind is not None:
                 bind(self.server)
 
-        for cycle in range(total_cycles):
+        for cycle in range(start_cycle, end_cycle):
             for slot in slots:
                 slot.policy.begin_cycle(cycle, slot.observed)
                 slot.sensed_mask = np.zeros(n_cells, dtype=bool)
@@ -249,6 +305,7 @@ class ServedCampaignRunner(BatchedCampaignRunner):
                         slot.observed[:, : cycle + 1],
                         cycle,
                         slot.task.requirement,
+                        tenant=slot.tenant,
                     )
                     pending_assess.append((slot, future))
                 if pending_assess:
@@ -269,7 +326,9 @@ class ServedCampaignRunner(BatchedCampaignRunner):
                     slot.inferred[:, cycle] = ground_truth[:, cycle]
                 else:
                     future = self.server.complete_matrix(
-                        slot.task.inference, slot.observed[:, start : cycle + 1]
+                        slot.task.inference,
+                        slot.observed[:, start : cycle + 1],
+                        tenant=slot.tenant,
                     )
                     pending_complete.append((slot, future))
             if pending_complete:
@@ -306,16 +365,103 @@ class ServedCampaignRunner(BatchedCampaignRunner):
                 take = getattr(slot.policy, "take_transition_batch", None)
                 batch = take() if take is not None else None
                 if batch is not None:
-                    future = self.server.learn_batch(slot.policy.learner, batch)
+                    future = self.server.learn_batch(
+                        slot.policy.learner, batch, tenant=slot.tenant
+                    )
                     pending_learn.append((slot, future))
             if pending_learn:
                 yield  # resolve the learn batch
                 for slot, future in pending_learn:
                     future.result()
 
+            # Cycle barrier — park until every co-driven runner finishes
+            # this cycle.  Fleets of different cadence therefore enter each
+            # cycle in the same scheduling round, so no server batch mixes
+            # requests from different campaign cycles and the boundary is a
+            # global quiescent point a checkpoint can capture and a resumed
+            # drive reproduces bitwise.  ``run_pending`` does not tick when
+            # nothing is pending, so an already-aligned (or solo) fleet is
+            # unaffected.
+            yield CYCLE_BARRIER
+
         for slot in slots:
             slot.result.inferred_matrix = slot.inferred
         self._results = [slot.result for slot in slots]
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def slot_states(self) -> List[dict]:
+        """Per-slot checkpoint payloads (capture at a cycle boundary only).
+
+        Each entry carries the slot's observed/inferred matrices, its cycle
+        records so far, and the policy's and assessor's round-trippable
+        state (``None`` for stateless components).  Feed the list back to
+        :meth:`launch` via ``slot_states`` together with ``start_cycle`` to
+        resume bitwise.  Shared components (one agent or assessor across
+        slots) are captured once per slot with identical content, so the
+        idempotent per-slot restore converges to the same shared state.
+        """
+        from repro.utils.statedict import encode_array
+
+        if self._slots is None:
+            raise RuntimeError("no launched fleet; call launch() and drive it first")
+        states: List[dict] = []
+        for slot in self._slots:
+            policy_state = None
+            if hasattr(slot.policy, "state_dict"):
+                policy_state = slot.policy.state_dict()
+            assessor_state = None
+            if hasattr(slot.task.assessor, "state_dict"):
+                assessor_state = slot.task.assessor.state_dict()
+            states.append(
+                {
+                    "tenant": slot.tenant,
+                    "observed": encode_array(slot.observed),
+                    "inferred": encode_array(slot.inferred),
+                    "records": [
+                        {
+                            "cycle": record.cycle,
+                            "selected_cells": list(record.selected_cells),
+                            "true_error": record.true_error,
+                            "assessed_satisfied": record.assessed_satisfied,
+                        }
+                        for record in slot.result.records
+                    ],
+                    "policy": policy_state,
+                    "assessor": assessor_state,
+                }
+            )
+        return states
+
+    @staticmethod
+    def _restore_slot(slot: _CampaignSlot, state: dict) -> None:
+        """Apply one :meth:`slot_states` entry onto a freshly built slot."""
+        from repro.utils.statedict import decode_array
+
+        observed = decode_array(state["observed"])
+        inferred = decode_array(state["inferred"])
+        if observed.shape != slot.observed.shape:
+            raise ValueError(
+                f"checkpointed observed matrix shape {observed.shape} does not "
+                f"match the fleet's {slot.observed.shape} — resume with the "
+                "same scenario and cycle budget it was recorded under"
+            )
+        slot.observed[:, :] = observed
+        slot.inferred[:, :] = inferred
+        slot.result.records = []
+        for record in state["records"]:
+            slot.result.add_record(
+                CycleRecord(
+                    cycle=int(record["cycle"]),
+                    selected_cells=tuple(int(c) for c in record["selected_cells"]),
+                    true_error=float(record["true_error"]),
+                    assessed_satisfied=bool(record["assessed_satisfied"]),
+                )
+            )
+        if state.get("policy") is not None:
+            slot.policy.load_state_dict(state["policy"])
+        if state.get("assessor") is not None:
+            slot.task.assessor.load_state_dict(state["assessor"])
 
     def _select_query(
         self, slot: _CampaignSlot, cycle: int
@@ -338,7 +484,9 @@ class ServedCampaignRunner(BatchedCampaignRunner):
         policy = slot.policy
         if isinstance(policy, ActorPolicy):
             state, mask = policy.prepare_query(slot.observed, cycle, slot.sensed_mask)
-            return self.server.select_cell(policy.actor, state, mask, greedy=False)
+            return self.server.select_cell(
+                policy.actor, state, mask, greedy=False, tenant=slot.tenant
+            )
         if type(policy) is not DRCellPolicy:
             return None
         agent = policy.agent
@@ -346,7 +494,9 @@ class ServedCampaignRunner(BatchedCampaignRunner):
             slot.observed, cycle, slot.sensed_mask
         )
         mask = agent.action_space.mask_from_sensed(slot.sensed_mask)
-        return self.server.select_cell(agent, state, mask, greedy=policy.greedy)
+        return self.server.select_cell(
+            agent, state, mask, greedy=policy.greedy, tenant=slot.tenant
+        )
 
     @staticmethod
     def _apply_selection(

@@ -12,6 +12,7 @@ from typing import Dict, Iterable, List, Tuple, Type
 
 import numpy as np
 
+from repro.utils.statedict import decode_state, encode_state
 from repro.utils.validation import check_non_negative, check_positive
 
 ParamGroups = Iterable[Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray]]]
@@ -64,6 +65,23 @@ class Optimizer:
     def reset(self) -> None:
         """Forget all per-parameter state (moments, velocities)."""
         self.iterations = 0
+
+    # -- round-tripping ----------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Every instance attribute, JSON-encoded.
+
+        Optimizers keep all their state — hyper-parameters, the step counter,
+        and per-parameter moment dictionaries — as plain instance attributes
+        of floats, ints, and ``ndarray``-valued dicts, so one generic encoding
+        of ``vars(self)`` round-trips every subclass exactly.
+        """
+        return {name: encode_state(value) for name, value in vars(self).items()}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore :meth:`state_dict` output onto this instance."""
+        for name, value in state.items():
+            setattr(self, name, decode_state(value))
 
 
 class SGD(Optimizer):

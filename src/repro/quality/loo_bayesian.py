@@ -305,6 +305,19 @@ class LeaveOneOutBayesianAssessor(QualityAssessor):
                 )
         return probabilities  # type: ignore[return-value]
 
+    # -- round-tripping ----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The LOO-subsampling stream position (the assessor's only state)."""
+        from repro.utils.statedict import rng_state
+
+        return {"rng": rng_state(self._rng)}
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.utils.statedict import set_rng_state
+
+        set_rng_state(self._rng, state["rng"])
+
     # -- internals ---------------------------------------------------------
 
     def _window(self, observed_matrix: np.ndarray, cycle: int) -> np.ndarray:

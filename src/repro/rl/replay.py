@@ -297,6 +297,67 @@ class ArrayReplayBuffer:
         self._next_index = 0
         self._infos = [{} for _ in range(self.capacity)]
 
+    # -- round-tripping ----------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Serializable buffer state: contents in insertion order + RNG stream.
+
+        The ring's physical layout is fully determined by ``(size,
+        next_index, contents-in-insertion-order)`` — before the first
+        wraparound insertions occupy slots ``0..size-1``, afterwards slot
+        ``(next_index + i) % capacity`` holds the ``i``-th oldest surviving
+        transition — so the state stores only the live transitions (gathered
+        oldest-first), not the full preallocated arrays.  ``info`` dicts are
+        not serialized; the batched serving path never populates them.
+        """
+        from repro.utils.statedict import encode_array, rng_state
+
+        state: Dict[str, Any] = {
+            "capacity": self.capacity,
+            "size": self._size,
+            "next_index": self._next_index,
+            "rng": rng_state(self._rng),
+            "contents": None,
+        }
+        if self._size:
+            order = (self._next_index - self._size + np.arange(self._size)) % self.capacity
+            states, actions, rewards, next_states, dones = self.gather(order)
+            state["contents"] = {
+                "states": encode_array(states),
+                "actions": encode_array(actions),
+                "rewards": encode_array(rewards),
+                "next_states": encode_array(next_states),
+                "dones": encode_array(dones),
+            }
+        return state
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`state_dict` output bitwise (layout and RNG stream)."""
+        from repro.utils.statedict import decode_array, set_rng_state
+
+        if int(state["capacity"]) != self.capacity:
+            raise ValueError(
+                f"checkpoint replay capacity {state['capacity']} does not match "
+                f"this buffer's capacity {self.capacity}"
+            )
+        self.clear()
+        size = int(state["size"])
+        next_index = int(state["next_index"])
+        contents = state["contents"]
+        if size:
+            states = decode_array(contents["states"])
+            if self._states is None:
+                self._allocate(states.shape[1:])
+            slots = (next_index - size + np.arange(size)) % self.capacity
+            self._states[slots] = states
+            self._next_states[slots] = decode_array(contents["next_states"])
+            self._actions[slots] = decode_array(contents["actions"])
+            self._rewards[slots] = decode_array(contents["rewards"])
+            self._dones[slots] = decode_array(contents["dones"])
+        self._size = size
+        self._next_index = next_index
+        set_rng_state(self._rng, state["rng"])
+
 
 class ReplayBuffer(ArrayReplayBuffer):
     """Backward-compatible name for the array-backed replay buffer.

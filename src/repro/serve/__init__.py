@@ -7,13 +7,19 @@ online service: any number of concurrently running campaigns submit
 :class:`DecisionServer`, which coalesces them into fused batched calls and
 memoises completions in an LRU :class:`CompletionCache`.
 
-* :mod:`repro.serve.batcher` — :class:`MicroBatcher`, the deterministic
-  :class:`TickClock`, and :class:`PendingResult` futures.
+* :mod:`repro.serve.batcher` — :class:`MicroBatcher` (per-tenant fair batch
+  assembly), the deterministic :class:`TickClock`, and :class:`PendingResult`
+  futures.
 * :mod:`repro.serve.cache` — content-fingerprint completion caching
   (:class:`CompletionCache`, :class:`CachingInference`).
 * :mod:`repro.serve.server` — :class:`DecisionServer`, :class:`ServeConfig`,
   and the cooperative :func:`drive` scheduler.
-* :mod:`repro.serve.stats` — :class:`ServerStats` telemetry.
+* :mod:`repro.serve.stats` — :class:`ServerStats` telemetry, including
+  per-campaign fairness counters (:class:`TenantStats`).
+* :mod:`repro.serve.journal` — the :class:`RequestJournal` flight recorder
+  and the :func:`replay_journal` differential replay driver.
+* :mod:`repro.serve.checkpoint` — :class:`ServerCheckpoint`, freezing a
+  quiescent session for bitwise resumption.
 
 The campaign-side client adapter lives in :mod:`repro.mcs.served`
 (:class:`~repro.mcs.served.ServedCampaignRunner`), and
@@ -21,28 +27,50 @@ The campaign-side client adapter lives in :mod:`repro.mcs.served`
 slot, across datasets — through one server.
 """
 
-from repro.serve.batcher import MicroBatcher, PendingResult, ServeRequest, TickClock
+from repro.serve.batcher import (
+    DEFAULT_TENANT,
+    MicroBatcher,
+    PendingResult,
+    ServeRequest,
+    TickClock,
+)
 from repro.serve.cache import (
     CachingInference,
     CompletionCache,
     inference_fingerprint,
     matrix_fingerprint,
 )
+from repro.serve.checkpoint import ServerCheckpoint
+from repro.serve.journal import (
+    ReplayReport,
+    RequestJournal,
+    diff_journals,
+    replay_journal,
+    weights_fingerprint,
+)
 from repro.serve.server import DecisionServer, ServeConfig, drive
-from repro.serve.stats import EndpointStats, ServerStats
+from repro.serve.stats import EndpointStats, ServerStats, TenantStats
 
 __all__ = [
     "CachingInference",
     "CompletionCache",
+    "DEFAULT_TENANT",
     "DecisionServer",
     "EndpointStats",
     "MicroBatcher",
     "PendingResult",
+    "ReplayReport",
+    "RequestJournal",
     "ServeConfig",
     "ServeRequest",
+    "ServerCheckpoint",
     "ServerStats",
+    "TenantStats",
     "TickClock",
+    "diff_journals",
     "drive",
     "inference_fingerprint",
     "matrix_fingerprint",
+    "replay_journal",
+    "weights_fingerprint",
 ]

@@ -138,6 +138,44 @@ class CompletionCache:
         self.hits = 0
         self.misses = 0
 
+    # -- round-tripping ----------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable cache state: entries in LRU order plus the counters.
+
+        Keys are (fingerprint, fingerprint) string tuples and values float64
+        matrices, so the whole cache round-trips through JSON exactly (the
+        arrays are byte-encoded by :mod:`repro.utils.statedict`); restoring
+        preserves the LRU recency order, hence future eviction decisions.
+        """
+        from repro.utils.statedict import encode_array
+
+        return {
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": [
+                [list(key), encode_array(value)]
+                for key, value in self._entries.items()
+            ],
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore :meth:`state_dict` output, replacing current contents."""
+        from repro.utils.statedict import decode_array
+
+        if int(state["capacity"]) != self.capacity:  # type: ignore[arg-type]
+            raise ValueError(
+                f"checkpoint cache capacity {state['capacity']} does not match "
+                f"this cache's capacity {self.capacity}"
+            )
+        self._entries = OrderedDict(
+            ((str(key[0]), str(key[1])), decode_array(value))
+            for key, value in state["entries"]  # type: ignore[union-attr]
+        )
+        self.hits = int(state["hits"])  # type: ignore[arg-type]
+        self.misses = int(state["misses"])  # type: ignore[arg-type]
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"CompletionCache({len(self._entries)}/{self.capacity} entries, "

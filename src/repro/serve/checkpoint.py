@@ -1,0 +1,111 @@
+"""Server checkpoints: freeze a quiescent serving session, resume it bitwise.
+
+:class:`ServerCheckpoint` captures everything on the *server* side of a
+serving session that a resumed run must reproduce: the logical
+:class:`~repro.serve.batcher.TickClock`, the
+:class:`~repro.serve.batcher.MicroBatcher`'s scheduling state (the global
+sequence counter that orders fairness and the journal), the
+:class:`~repro.serve.cache.CompletionCache` contents (entries, LRU order,
+hit/miss counters), and the full :class:`~repro.serve.stats.ServerStats`
+telemetry.  Campaign-side state (observed matrices, policy/assessor RNG
+streams, learner replay and weight-store state) travels alongside in the
+checkpoint's extra payload — see
+:meth:`~repro.mcs.served.ServedCampaignRunner.slot_states` and
+:meth:`~repro.api.session.Session.serve`'s ``checkpoint_after``.
+
+Checkpoints are only valid at *quiescent* points — no request in flight —
+which the cooperative scheduler reaches at every cycle boundary.
+:meth:`capture` enforces this: a checkpoint that silently dropped pending
+futures could never resume bitwise.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Mapping, Union
+
+CHECKPOINT_VERSION = 1
+
+
+@dataclass
+class ServerCheckpoint:
+    """A JSON-able snapshot of a quiescent serving session.
+
+    ``payload`` holds the server's own state under ``"server"`` plus any
+    extra session-level entries the caller passed to :meth:`capture`
+    (scenario spec, serve knobs, the boundary cycle, per-launch slot
+    states).  The whole payload round-trips through :meth:`save` /
+    :meth:`load` losslessly — arrays and RNG streams inside slot states are
+    already encoded by :mod:`repro.utils.statedict`.
+    """
+
+    payload: Dict[str, Any]
+
+    @classmethod
+    def capture(cls, server: Any, **extra: Any) -> "ServerCheckpoint":
+        """Snapshot ``server`` (which must be quiescent) plus ``extra`` entries."""
+        pending = server.pending
+        if pending:
+            raise RuntimeError(
+                f"cannot checkpoint a server with {pending} pending request(s); "
+                "drive it to a cycle boundary first"
+            )
+        payload: Dict[str, Any] = {
+            "version": CHECKPOINT_VERSION,
+            "server": {
+                "clock": server.clock.as_dict(),
+                "batcher": server.batcher.state_dict(),
+                "cache": server.cache.state_dict(),
+                "stats": server.stats.state_dict(),
+            },
+        }
+        for key, value in extra.items():
+            if key in payload:
+                raise ValueError(f"reserved checkpoint key: {key!r}")
+            payload[key] = value
+        return cls(payload=payload)
+
+    def restore(self, server: Any) -> None:
+        """Load the captured server state onto a freshly built ``server``.
+
+        The server's clock object is mutated in place (batcher and weight
+        stores share it by reference), and the batcher/cache/stats are
+        restored through their ``load_state_dict`` round-trips.  The target
+        server must itself be quiescent.
+        """
+        state: Mapping[str, Any] = self.payload["server"]
+        clock_now = int(state["clock"]["now"])
+        behind = clock_now - server.clock.now()
+        if behind < 0:
+            raise RuntimeError(
+                f"cannot rewind the server clock from {server.clock.now()} "
+                f"to {clock_now}; restore onto a fresh server"
+            )
+        server.clock.advance(behind)
+        server.batcher.load_state_dict(state["batcher"])
+        server.cache.load_state_dict(state["cache"])
+        server.stats.load_state_dict(state["stats"])
+
+    # -- persistence -------------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the checkpoint as a single JSON document."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.payload, sort_keys=True), encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ServerCheckpoint":
+        """Read :meth:`save` output back."""
+        path = Path(path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        version = int(payload.get("version", 0))
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"checkpoint version {version} is not supported "
+                f"(expected {CHECKPOINT_VERSION})"
+            )
+        return cls(payload=payload)

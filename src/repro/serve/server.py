@@ -60,7 +60,13 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
 import numpy as np
 
 from repro.inference.base import InferenceAlgorithm
-from repro.serve.batcher import MicroBatcher, PendingResult, ServeRequest, TickClock
+from repro.serve.batcher import (
+    DEFAULT_TENANT,
+    MicroBatcher,
+    PendingResult,
+    ServeRequest,
+    TickClock,
+)
 from repro.serve.cache import CachingInference, CompletionCache
 from repro.serve.stats import ServerStats
 from repro.utils.validation import check_positive_int
@@ -85,17 +91,27 @@ class ServeConfig:
         clock ticks.
     cache_capacity:
         LRU capacity of the shared completion cache.
+    max_inflight_per_campaign:
+        Cap on the requests one campaign (tenant) may occupy in a single
+        assembled batch; ``None`` leaves campaigns uncapped.  Round-robin
+        fairness across campaigns applies either way — see
+        :class:`~repro.serve.batcher.MicroBatcher`.
     """
 
     max_batch: int = 32
     max_wait_ticks: int = 2
     cache_capacity: int = 512
+    max_inflight_per_campaign: Optional[int] = None
 
     def __post_init__(self) -> None:
         check_positive_int(self.max_batch, "max_batch")
         check_positive_int(self.cache_capacity, "cache_capacity")
         if int(self.max_wait_ticks) < 0:
             raise ValueError(f"max_wait_ticks must be >= 0, got {self.max_wait_ticks}")
+        if self.max_inflight_per_campaign is not None:
+            check_positive_int(
+                self.max_inflight_per_campaign, "max_inflight_per_campaign"
+            )
 
 
 @dataclass
@@ -164,8 +180,13 @@ class DecisionServer:
             max_batch=self.config.max_batch,
             max_wait_ticks=self.config.max_wait_ticks,
             clock=self.clock,
+            max_inflight_per_tenant=self.config.max_inflight_per_campaign,
         )
         self.stats = ServerStats(cache=self.cache)
+        # Optional request journal (duck-typed — see repro.serve.journal);
+        # when attached, every request, flush decision, response, and learner
+        # weight publication is recorded for differential replay.
+        self._journal: Optional[Any] = None
         # Bounded LRU of caching wrappers, keyed by inference instance id; a
         # long-lived server serving many short-lived campaigns must not pin
         # every inference instance it ever saw (completed work lives on in
@@ -176,6 +197,18 @@ class DecisionServer:
         # first-appearance order (telemetry keys in ServerStats.learners).
         self._learner_labels: Dict[int, str] = {}
 
+    # -- journal wiring ----------------------------------------------------------
+
+    def attach_journal(self, journal: Any) -> None:
+        """Record every request/flush/response/publish into ``journal``.
+
+        ``journal`` is duck-typed (anything with ``record_request`` /
+        ``record_flush`` / ``record_response`` / ``watch_store``); see
+        :class:`~repro.serve.journal.RequestJournal`.  Attach before the
+        first request — a journal that missed traffic cannot replay it.
+        """
+        self._journal = journal
+
     # -- endpoints ---------------------------------------------------------------
 
     def select_cell(
@@ -185,6 +218,7 @@ class DecisionServer:
         mask: np.ndarray,
         *,
         greedy: bool = True,
+        tenant: str = DEFAULT_TENANT,
     ) -> PendingResult:
         """Queue a policy query; resolves to the selected cell index.
 
@@ -200,7 +234,7 @@ class DecisionServer:
                 "agent with a batched select_actions method"
             )
         payload = SelectQuery(agent=agent, state=state, mask=mask, greedy=bool(greedy))
-        return self._submit("select", payload)
+        return self._submit("select", payload, tenant=tenant)
 
     def assess_quality(
         self,
@@ -209,6 +243,8 @@ class DecisionServer:
         observed: np.ndarray,
         cycle: int,
         requirement: Any,
+        *,
+        tenant: str = DEFAULT_TENANT,
     ) -> PendingResult:
         """Queue a quality assessment; resolves to a bool verdict."""
         payload = AssessQuery(
@@ -218,15 +254,23 @@ class DecisionServer:
             cycle=int(cycle),
             requirement=requirement,
         )
-        return self._submit("assess", payload)
+        return self._submit("assess", payload, tenant=tenant)
 
     def complete_matrix(
-        self, inference: InferenceAlgorithm, matrix: np.ndarray
+        self,
+        inference: InferenceAlgorithm,
+        matrix: np.ndarray,
+        *,
+        tenant: str = DEFAULT_TENANT,
     ) -> PendingResult:
         """Queue a matrix completion; resolves to the completed matrix."""
-        return self._submit("complete", CompleteQuery(inference=inference, matrix=matrix))
+        return self._submit(
+            "complete", CompleteQuery(inference=inference, matrix=matrix), tenant=tenant
+        )
 
-    def learn_batch(self, learner: Any, batch: Any) -> PendingResult:
+    def learn_batch(
+        self, learner: Any, batch: Any, *, tenant: str = DEFAULT_TENANT
+    ) -> PendingResult:
         """Queue a transition batch for the central learner; resolves to a receipt.
 
         ``learner`` is a :class:`~repro.learner.core.Learner` (anything with
@@ -242,13 +286,15 @@ class DecisionServer:
                 f"{type(learner).__name__} cannot ingest transition batches; "
                 "expected a learner with an ingest method"
             )
-        return self._submit("learn", LearnQuery(learner=learner, batch=batch))
+        return self._submit("learn", LearnQuery(learner=learner, batch=batch), tenant=tenant)
 
-    def _submit(self, kind: str, payload: Any) -> PendingResult:
-        self.stats.record_request(kind)
-        request = self.batcher.submit(kind, payload)
+    def _submit(self, kind: str, payload: Any, *, tenant: str = DEFAULT_TENANT) -> PendingResult:
+        self.stats.record_request(kind, tenant=tenant)
+        request = self.batcher.submit(kind, payload, tenant=tenant)
+        if self._journal is not None:
+            self._journal.record_request(request)
         if self.batcher.is_full(kind):
-            self._flush_one_batch(kind)
+            self._flush_one_batch(kind, trigger="full")
         return request.future
 
     # -- pumping -----------------------------------------------------------------
@@ -263,7 +309,7 @@ class DecisionServer:
         resolved = 0
         for kind in KINDS:
             while self.batcher.is_due(kind):
-                resolved += self._flush_one_batch(kind)
+                resolved += self._flush_one_batch(kind, trigger="due")
         return resolved
 
     def flush(self, kind: Optional[str] = None) -> int:
@@ -272,7 +318,7 @@ class DecisionServer:
         resolved = 0
         for current in kinds:
             while self.batcher.pending(current):
-                resolved += self._flush_one_batch(current)
+                resolved += self._flush_one_batch(current, trigger="forced")
         return resolved
 
     def run_pending(self) -> int:
@@ -294,10 +340,23 @@ class DecisionServer:
 
     # -- batch handlers ----------------------------------------------------------
 
-    def _flush_one_batch(self, kind: str) -> int:
+    def _flush_one_batch(self, kind: str, *, trigger: str = "forced") -> int:
+        waiting = self.batcher.pending_tenants(kind)
         requests = self.batcher.drain(kind)
         if not requests:
             return 0
+        batch_tenants = {request.tenant for request in requests}
+        self.stats.record_fairness(
+            (request.tenant for request in requests),
+            (tenant for tenant in waiting if tenant not in batch_tenants),
+        )
+        if self._journal is not None:
+            self._journal.record_flush(
+                kind,
+                tick=self.clock.now(),
+                trigger=trigger,
+                sequences=[request.sequence for request in requests],
+            )
         handler = {
             "select": self._handle_select,
             "assess": self._handle_assess,
@@ -306,6 +365,9 @@ class DecisionServer:
         }[kind]
         with self.stats.record_batch(kind, len(requests)):
             handler(requests)
+        if self._journal is not None:
+            for request in requests:
+                self._journal.record_response(request)
         return len(requests)
 
     def _handle_select(self, requests: List[ServeRequest]) -> None:
@@ -403,6 +465,11 @@ class DecisionServer:
             groups.setdefault(id(request.payload.learner), []).append(request)
         for group in groups.values():
             learner = group[0].payload.learner
+            if self._journal is not None and hasattr(learner, "store"):
+                # Idempotent: publish events from this very ingest (and all
+                # later ones) land in the journal under the learner's stable
+                # telemetry label.
+                self._journal.watch_store(self._learner_label(learner), learner.store)
             try:
                 receipts = learner.ingest(
                     [request.payload.batch for request in group]
@@ -452,6 +519,16 @@ class DecisionServer:
         )
 
 
+#: Yield this from a driven client to park at a cycle boundary until every
+#: other client reaches one (or finishes).  Campaign runners emit it after
+#: each completed cycle, which keeps co-scheduled fleets cycle-aligned: no
+#: batch ever mixes requests from different campaign cycles, and the global
+#: boundary after cycle ``c`` is a well-defined quiescent point — the state
+#: a :class:`~repro.serve.checkpoint.ServerCheckpoint` captures and a
+#: resumed drive reproduces exactly.
+CYCLE_BARRIER = "cycle-barrier"
+
+
 def drive(server: DecisionServer, clients: Iterable[Iterator]) -> None:
     """Cooperatively drive generator clients against one server to completion.
 
@@ -464,15 +541,33 @@ def drive(server: DecisionServer, clients: Iterable[Iterator]) -> None:
     different clients in the same round therefore share batches — campaigns
     never wait on wall-clock time, and the schedule (hence every batched
     result) is deterministic.
+
+    A client that yields :data:`CYCLE_BARRIER` is parked until every other
+    live client has also parked (or finished); then all parked clients are
+    released into the same scheduling round.  Campaigns of different
+    cadence therefore advance cycle-aligned — the alignment that makes
+    mid-flight checkpoints resumable bitwise.
     """
-    active: List[Iterator] = list(clients)
-    while active:
+    roster: List[Iterator] = list(clients)
+    # Launch order, not parking order, defines the round-robin order after a
+    # barrier release — a drive resumed from a checkpoint rebuilds its
+    # clients in launch order, so the uninterrupted schedule must use it too.
+    rank = {id(client): index for index, client in enumerate(roster)}
+    runnable: List[Iterator] = roster
+    parked: List[Iterator] = []
+    while runnable or parked:
         survivors: List[Iterator] = []
-        for client in active:
+        for client in runnable:
             try:
-                next(client)
+                signal = next(client)
             except StopIteration:
                 continue
-            survivors.append(client)
-        active = survivors
+            if signal == CYCLE_BARRIER:
+                parked.append(client)
+            else:
+                survivors.append(client)
+        runnable = survivors
+        if not runnable and parked:
+            parked.sort(key=lambda client: rank[id(client)])
+            runnable, parked = parked, []
         server.run_pending()

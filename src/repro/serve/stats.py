@@ -1,10 +1,22 @@
-"""Server telemetry: request counts, batch occupancy, latency, cache hit rate."""
+"""Server telemetry: request counts, batch occupancy, latency, cache hit rate.
+
+Two reporting views coexist:
+
+* :meth:`ServerStats.as_dict` — the full operational snapshot, including
+  wall-clock latency percentiles measured with
+  :func:`repro.utils.timing.monotonic`;
+* :meth:`ServerStats.deterministic_dict` — the subset that is a pure
+  function of the request schedule (request/batch/tick/tenant/cache/learner
+  counters, no wall-clock seconds).  This is the view the serving journal
+  records and the differential replay harness compares, because two bitwise
+  identical runs still take different nanoseconds per batch.
+"""
 
 from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional
 
 import numpy as np
 
@@ -43,12 +55,19 @@ class EndpointStats:
         return self.seconds / self.batched_requests
 
     def latency_percentile(self, q: float) -> float:
-        """The ``q``-th percentile of per-request latency (NaN before any flush)."""
+        """The ``q``-th percentile of per-request latency (NaN before any flush).
+
+        Well-defined at the edges: with a single sample every percentile is
+        that sample, and with all-equal samples (the common case — every
+        request in a batch records the same handler duration) every
+        percentile is that shared value.
+        """
         if not self.latencies:
             return float("nan")
         return float(np.percentile(self.latencies, q))
 
     def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly counters; derived fields are None before any flush."""
         flushed = bool(self.batched_requests)
         return {
             "requests": self.requests,
@@ -68,6 +87,65 @@ class EndpointStats:
             else None,
         }
 
+    def deterministic_dict(self) -> Dict[str, object]:
+        """The schedule-determined subset of :meth:`as_dict` (no wall clock)."""
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "batched_requests": self.batched_requests,
+            "mean_batch_occupancy": round(self.mean_batch_occupancy, 3)
+            if self.batches
+            else None,
+        }
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "batched_requests": self.batched_requests,
+            "seconds": self.seconds,
+            "latencies": list(self.latencies),
+        }
+
+    def load_state_dict(self, state: Mapping[str, object]) -> None:
+        self.requests = int(state["requests"])  # type: ignore[arg-type]
+        self.batches = int(state["batches"])  # type: ignore[arg-type]
+        self.batched_requests = int(state["batched_requests"])  # type: ignore[arg-type]
+        self.seconds = float(state["seconds"])  # type: ignore[arg-type]
+        self.latencies = [float(sample) for sample in state["latencies"]]  # type: ignore[union-attr]
+
+
+@dataclass
+class TenantStats:
+    """Fairness counters for one tenant (campaign id).
+
+    ``starved_flushes`` counts flushes of an endpoint where this tenant had
+    requests pending but contributed none to the assembled batch — the
+    scheduler's round-robin guarantees this only happens when a batch fills
+    with one-request-per-tenant rounds before reaching it, so a growing
+    counter is the signature of an oversubscribed endpoint, not of a
+    misbehaving scheduler.
+    """
+
+    requests: int = 0
+    served: int = 0
+    starved_flushes: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "requests": self.requests,
+            "served": self.served,
+            "starved_flushes": self.starved_flushes,
+        }
+
+    def state_dict(self) -> Dict[str, int]:
+        return self.as_dict()
+
+    def load_state_dict(self, state: Mapping[str, object]) -> None:
+        self.requests = int(state["requests"])  # type: ignore[arg-type]
+        self.served = int(state["served"])  # type: ignore[arg-type]
+        self.starved_flushes = int(state["starved_flushes"])  # type: ignore[arg-type]
+
 
 @dataclass
 class ServerStats:
@@ -79,13 +157,15 @@ class ServerStats:
     always current — snapshot it with :meth:`as_dict` for reporting.
     Learner telemetry (weight-version staleness, per-campaign replay
     accounting) is pushed by the server after every ``learn`` flush, one
-    entry per learner instance.
+    entry per learner instance.  Tenant counters track per-campaign request
+    volume and fairness (see :class:`TenantStats`).
     """
 
     endpoints: Dict[str, EndpointStats] = field(default_factory=dict)
     ticks: int = 0
     cache: Optional["CompletionCache"] = None
     learners: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    tenants: Dict[str, TenantStats] = field(default_factory=dict)
 
     # -- recording (used by the server) -----------------------------------------
 
@@ -95,8 +175,23 @@ class ServerStats:
             self.endpoints[kind] = EndpointStats()
         return self.endpoints[kind]
 
-    def record_request(self, kind: str) -> None:
+    def tenant(self, label: str) -> TenantStats:
+        """The (auto-created) fairness counters for tenant ``label``."""
+        if label not in self.tenants:
+            self.tenants[label] = TenantStats()
+        return self.tenants[label]
+
+    def record_request(self, kind: str, *, tenant: Optional[str] = None) -> None:
         self.endpoint(kind).requests += 1
+        if tenant is not None:
+            self.tenant(tenant).requests += 1
+
+    def record_fairness(self, served, starved) -> None:
+        """Account one assembled batch: who got slots, who waited it out."""
+        for label in served:
+            self.tenant(label).served += 1
+        for label in starved:
+            self.tenant(label).starved_flushes += 1
 
     @contextmanager
     def record_batch(self, kind: str, size: int):
@@ -146,6 +241,32 @@ class ServerStats:
             "cache_misses": self.cache_misses,
             "cache_hit_rate": round(self.cache_hit_rate, 4) if total else None,
             "learners": {label: dict(data) for label, data in self.learners.items()},
+            "tenants": {
+                label: tenant.as_dict() for label, tenant in self.tenants.items()
+            },
+        }
+
+    def deterministic_dict(self) -> Dict[str, object]:
+        """The schedule-determined snapshot (no wall-clock fields).
+
+        Two runs with identical request schedules and identical component
+        seeds produce identical ``deterministic_dict()`` output — this is
+        the stats view the journal records and replay verification diffs.
+        """
+        total = self.cache_hits + self.cache_misses
+        return {
+            "endpoints": {
+                kind: stats.deterministic_dict()
+                for kind, stats in self.endpoints.items()
+            },
+            "ticks": self.ticks,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": round(self.cache_hit_rate, 4) if total else None,
+            "learners": {label: dict(data) for label, data in self.learners.items()},
+            "tenants": {
+                label: tenant.as_dict() for label, tenant in self.tenants.items()
+            },
         }
 
     def rows(self) -> List[Dict[str, object]]:
@@ -154,3 +275,32 @@ class ServerStats:
             {"endpoint": kind, **stats.as_dict()}
             for kind, stats in self.endpoints.items()
         ]
+
+    # -- round-tripping ----------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable counters (the live cache reference is *not* included)."""
+        return {
+            "endpoints": {
+                kind: stats.state_dict() for kind, stats in self.endpoints.items()
+            },
+            "ticks": self.ticks,
+            "learners": {label: dict(data) for label, data in self.learners.items()},
+            "tenants": {
+                label: tenant.state_dict() for label, tenant in self.tenants.items()
+            },
+        }
+
+    def load_state_dict(self, state: Mapping[str, object]) -> None:
+        """Restore :meth:`state_dict` output (cache wiring is left untouched)."""
+        self.endpoints = {}
+        for kind, endpoint_state in state["endpoints"].items():  # type: ignore[union-attr]
+            self.endpoint(kind).load_state_dict(endpoint_state)
+        self.ticks = int(state["ticks"])  # type: ignore[arg-type]
+        self.learners = {
+            label: dict(data)
+            for label, data in state["learners"].items()  # type: ignore[union-attr]
+        }
+        self.tenants = {}
+        for label, tenant_state in state["tenants"].items():  # type: ignore[union-attr]
+            self.tenant(label).load_state_dict(tenant_state)

@@ -1,0 +1,127 @@
+"""JSON-able state serialization for checkpoint/resume.
+
+Every stateful object in the serving stack exposes ``state_dict()`` /
+``load_state_dict()`` built on these helpers, so a whole
+:class:`~repro.serve.checkpoint.ServerCheckpoint` can be written as plain
+JSON and restored bitwise:
+
+* numpy arrays are encoded as base64 of their raw bytes plus dtype/shape —
+  an exact round trip, no text formatting of floats anywhere;
+* ``numpy.random.Generator`` objects are encoded as their bit-generator
+  state (a plain dict of Python ints), which numpy guarantees restores the
+  exact stream position;
+* nested dicts / lists / tuples of the above are handled recursively by
+  :func:`encode_state` / :func:`decode_state`.
+
+The encoding is self-describing: markers (``__ndarray__`` / ``__rng__`` /
+``__tuple__``) distinguish encoded objects from ordinary mappings, so a
+state dict survives a JSON round trip without a schema.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Any, Dict, List, Mapping, Sequence
+
+import numpy as np
+
+_NDARRAY = "__ndarray__"
+_RNG = "__rng__"
+_TUPLE = "__tuple__"
+
+
+def encode_array(array: np.ndarray) -> Dict[str, Any]:
+    """Encode one array exactly: raw little-endian bytes + dtype + shape."""
+    array = np.ascontiguousarray(array)
+    return {
+        _NDARRAY: base64.b64encode(array.tobytes()).decode("ascii"),
+        "dtype": array.dtype.str,
+        "shape": list(array.shape),
+    }
+
+
+def decode_array(encoded: Mapping[str, Any]) -> np.ndarray:
+    """Rebuild the array :func:`encode_array` encoded, bit for bit."""
+    raw = base64.b64decode(encoded[_NDARRAY])
+    array = np.frombuffer(raw, dtype=np.dtype(encoded["dtype"]))
+    return array.reshape(tuple(encoded["shape"])).copy()
+
+
+def rng_state(rng: np.random.Generator) -> Dict[str, Any]:
+    """The generator's bit-generator state (plain ints — JSON-able)."""
+    return {_RNG: rng.bit_generator.state}
+
+
+def set_rng_state(rng: np.random.Generator, state: Mapping[str, Any]) -> None:
+    """Restore a generator to the exact stream position :func:`rng_state` saved."""
+    payload = state[_RNG] if _RNG in state else state
+    rng.bit_generator.state = _plain(payload)
+
+
+def _plain(value: Any) -> Any:
+    """Recursively strip container wrappers so numpy accepts the state dict."""
+    if isinstance(value, Mapping):
+        return {str(key): _plain(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(item) for item in value]
+    return value
+
+
+def encode_state(value: Any) -> Any:
+    """Recursively encode a nested state value into JSON-able primitives."""
+    if isinstance(value, np.ndarray):
+        return encode_array(value)
+    if isinstance(value, np.random.Generator):
+        return rng_state(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        # float() on a float64 is exact: Python floats are IEEE doubles.
+        return float(value)
+    if isinstance(value, tuple):
+        return {_TUPLE: [encode_state(item) for item in value]}
+    if isinstance(value, Mapping):
+        return {str(key): encode_state(item) for key, item in value.items()}
+    if isinstance(value, (list,)):
+        return [encode_state(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot encode {type(value).__name__} into a state dict")
+
+
+def decode_state(value: Any) -> Any:
+    """Invert :func:`encode_state`."""
+    if isinstance(value, Mapping):
+        if _NDARRAY in value:
+            return decode_array(value)
+        if _RNG in value:
+            return dict(value)  # opaque; hand to set_rng_state
+        if _TUPLE in value:
+            return tuple(decode_state(item) for item in value[_TUPLE])
+        return {key: decode_state(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [decode_state(item) for item in value]
+    return value
+
+
+def is_rng_state(value: Any) -> bool:
+    """True when ``value`` is an encoded generator state."""
+    return isinstance(value, Mapping) and _RNG in value
+
+
+def encode_weights(weights: Sequence[Mapping[str, np.ndarray]]) -> List[Dict[str, Any]]:
+    """Encode network weights (list of per-layer name→array dicts) exactly."""
+    return [
+        {name: encode_array(np.asarray(array)) for name, array in layer.items()}
+        for layer in weights
+    ]
+
+
+def decode_weights(encoded: Sequence[Mapping[str, Any]]) -> List[Dict[str, np.ndarray]]:
+    """Invert :func:`encode_weights`."""
+    return [
+        {name: decode_array(array) for name, array in layer.items()}
+        for layer in encoded
+    ]

@@ -144,16 +144,24 @@ class TestServeCommand:
     def test_serve_clamps_replicas_and_batch(self):
         from repro.api.cli import clamp_serve_knobs
 
-        replicas, max_batch = clamp_serve_knobs(
-            TINY_SCALE, n_campaigns=2, replicas=100, max_batch=1024
+        replicas, max_batch, max_inflight = clamp_serve_knobs(
+            TINY_SCALE, n_campaigns=2, replicas=100, max_batch=1024, max_inflight=1024
         )
         assert replicas == TINY_SCALE.serve_campaigns // 2
         assert max_batch == TINY_SCALE.serve_max_batch
+        assert max_inflight == TINY_SCALE.serve_max_inflight
         # Never clamp below one replica, even for oversized scenarios.
-        replicas, _ = clamp_serve_knobs(
+        replicas, _, max_inflight = clamp_serve_knobs(
             TINY_SCALE, n_campaigns=100, replicas=5, max_batch=8
         )
         assert replicas == 1
+        # Omitted fairness knob resolves to the scale's cap; explicit
+        # requests floor at one.
+        assert max_inflight == TINY_SCALE.serve_max_inflight
+        _, _, max_inflight = clamp_serve_knobs(
+            TINY_SCALE, n_campaigns=2, replicas=1, max_batch=8, max_inflight=0
+        )
+        assert max_inflight == 1
 
 
 class TestLearnerKnobs:

@@ -1,0 +1,156 @@
+"""Property-based tests for the micro-batcher's scheduling invariants.
+
+Randomized arrival schedules (via hypothesis) check what the unit tests in
+``test_batcher.py`` spot-check: batch assembly is a pure function of the
+queues (deterministic flush order), draining neither drops nor duplicates
+requests, per-tenant inflight caps hold, and the round-robin keeps a quiet
+tenant from starving behind a chatty one.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.batcher import MicroBatcher, TickClock
+
+# One arrival schedule: per-request tenant indices, submitted in order.
+schedules = st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=60)
+batch_sizes = st.integers(min_value=1, max_value=16)
+inflight_caps = st.one_of(st.none(), st.integers(min_value=1, max_value=4))
+
+
+def fill(batcher: MicroBatcher, schedule):
+    for index, tenant in enumerate(schedule):
+        batcher.submit("select", index, tenant=f"tenant-{tenant}")
+
+
+def drain_all(batcher: MicroBatcher):
+    batches = []
+    while batcher.pending("select"):
+        batch = batcher.drain("select")
+        assert batch, "pending requests but an empty batch"
+        batches.append(batch)
+    return batches
+
+
+class TestSchedulingInvariants:
+    @given(schedule=schedules, max_batch=batch_sizes, cap=inflight_caps)
+    @settings(max_examples=60, deadline=None)
+    def test_flush_order_is_deterministic(self, schedule, max_batch, cap):
+        runs = []
+        for _ in range(2):
+            batcher = MicroBatcher(
+                max_batch=max_batch, max_wait_ticks=0, max_inflight_per_tenant=cap
+            )
+            fill(batcher, schedule)
+            runs.append(
+                [[request.sequence for request in batch] for batch in drain_all(batcher)]
+            )
+        assert runs[0] == runs[1]
+
+    @given(schedule=schedules, max_batch=batch_sizes, cap=inflight_caps)
+    @settings(max_examples=60, deadline=None)
+    def test_no_request_dropped_or_duplicated(self, schedule, max_batch, cap):
+        batcher = MicroBatcher(
+            max_batch=max_batch, max_wait_ticks=0, max_inflight_per_tenant=cap
+        )
+        fill(batcher, schedule)
+        drained = [
+            request.sequence for batch in drain_all(batcher) for request in batch
+        ]
+        assert sorted(drained) == list(range(len(schedule)))
+        assert batcher.pending() == 0
+
+    @given(schedule=schedules, max_batch=batch_sizes, cap=st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_inflight_cap_holds_per_batch(self, schedule, max_batch, cap):
+        batcher = MicroBatcher(
+            max_batch=max_batch, max_wait_ticks=0, max_inflight_per_tenant=cap
+        )
+        fill(batcher, schedule)
+        for batch in drain_all(batcher):
+            per_tenant = {}
+            for request in batch:
+                per_tenant[request.tenant] = per_tenant.get(request.tenant, 0) + 1
+            assert max(per_tenant.values()) <= cap
+
+    @given(schedule=schedules, max_batch=batch_sizes)
+    @settings(max_examples=60, deadline=None)
+    def test_every_pending_tenant_is_served_when_the_batch_has_room(
+        self, schedule, max_batch
+    ):
+        # Round-robin assembly: whenever a batch has at least as many slots
+        # as there are tenants with pending work, every one of them
+        # contributes — no tenant is starved by queue depth alone.
+        batcher = MicroBatcher(max_batch=max_batch, max_wait_ticks=0)
+        fill(batcher, schedule)
+        while batcher.pending("select"):
+            waiting = set(batcher.pending_tenants("select"))
+            batch = batcher.drain("select")
+            if len(waiting) <= max_batch:
+                assert waiting <= {request.tenant for request in batch}
+
+    @given(schedule=schedules)
+    @settings(max_examples=60, deadline=None)
+    def test_single_pending_per_tenant_degenerates_to_fifo(self, schedule):
+        # The bitwise-compatibility anchor: with at most one pending request
+        # per tenant the assembled batch is plain arrival order.
+        tenants = list(dict.fromkeys(schedule))  # unique, first-seen order
+        batcher = MicroBatcher(max_batch=len(tenants), max_wait_ticks=0)
+        for index, tenant in enumerate(tenants):
+            batcher.submit("select", index, tenant=f"tenant-{tenant}")
+        batch = batcher.drain("select")
+        assert [request.sequence for request in batch] == list(range(len(tenants)))
+
+
+class TestChattyTenantAdversary:
+    def test_quiet_tenant_is_served_in_the_first_flush(self):
+        batcher = MicroBatcher(max_batch=8, max_wait_ticks=0)
+        for index in range(100):
+            batcher.submit("select", index, tenant="chatty")
+        quiet = batcher.submit("select", 100, tenant="quiet")
+        batch = batcher.drain("select")
+        assert quiet in batch
+
+    def test_quiet_tenant_latency_is_bounded_under_sustained_load(self):
+        # The chatty tenant keeps 50 requests queued at all times; every
+        # assembled batch must still include the quiet tenant's single
+        # pending request — it never waits more than one flush.
+        batcher = MicroBatcher(max_batch=4, max_wait_ticks=0)
+        for index in range(50):
+            batcher.submit("select", index, tenant="chatty")
+        for round_index in range(10):
+            quiet = batcher.submit("select", 1000 + round_index, tenant="quiet")
+            batch = batcher.drain("select")
+            assert quiet in batch
+            for index in range(len(batch)):
+                batcher.submit("select", 2000 + round_index * 10 + index, tenant="chatty")
+
+    def test_inflight_cap_reserves_slots_for_the_minority(self):
+        batcher = MicroBatcher(
+            max_batch=4, max_wait_ticks=0, max_inflight_per_tenant=2
+        )
+        for index in range(10):
+            batcher.submit("select", index, tenant="chatty")
+        batcher.submit("select", 10, tenant="quiet-a")
+        batcher.submit("select", 11, tenant="quiet-b")
+        batch = batcher.drain("select")
+        by_tenant = sorted(request.tenant for request in batch)
+        assert by_tenant == ["chatty", "chatty", "quiet-a", "quiet-b"]
+
+
+class TestClockedFlushes:
+    @given(
+        arrivals=st.lists(
+            st.tuples(st.integers(0, 2), st.integers(0, 3)), min_size=1, max_size=30
+        ),
+        max_wait=st.integers(0, 3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_due_iff_full_or_aged(self, arrivals, max_wait):
+        clock = TickClock()
+        batcher = MicroBatcher(max_batch=100, max_wait_ticks=max_wait, clock=clock)
+        for gap, tenant in arrivals:
+            clock.advance(gap)
+            batcher.submit("select", None, tenant=f"tenant-{tenant}")
+            oldest = batcher.oldest_wait("select")
+            assert batcher.is_due("select") == (oldest >= max_wait)

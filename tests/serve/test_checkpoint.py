@@ -1,0 +1,148 @@
+"""Tests for server checkpoints and the component state round-trips they rely on."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.inference.base import InferenceAlgorithm
+from repro.serve.batcher import MicroBatcher, TickClock
+from repro.serve.cache import CompletionCache
+from repro.serve.checkpoint import CHECKPOINT_VERSION, ServerCheckpoint
+from repro.serve.server import DecisionServer, ServeConfig
+
+
+class MeanInference(InferenceAlgorithm):
+    name = "mean"
+
+    def _complete(self, matrix: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        filled = matrix.copy()
+        filled[~mask] = np.mean(matrix[mask]) if mask.any() else 0.0
+        return filled
+
+
+def make_matrix(seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    matrix = rng.normal(size=(3, 4))
+    matrix[0, seed % 4] = np.nan
+    return matrix
+
+
+def busy_server() -> DecisionServer:
+    """A server with some resolved traffic behind it (and none pending)."""
+    server = DecisionServer(
+        ServeConfig(max_batch=4, max_wait_ticks=1, max_inflight_per_campaign=2)
+    )
+    inference = MeanInference()
+    for seed in range(5):
+        server.complete_matrix(inference, make_matrix(seed), tenant=f"t{seed % 2}")
+    server.run_pending()
+    # A repeat completes from the cache.
+    server.complete_matrix(inference, make_matrix(0), tenant="t0")
+    server.run_pending()
+    return server
+
+
+class TestComponentRoundTrips:
+    def test_tick_clock_round_trips(self):
+        clock = TickClock()
+        clock.advance(7)
+        clone = TickClock.from_dict(json.loads(json.dumps(clock.as_dict())))
+        assert clone.now() == 7
+        assert clone.as_dict() == clock.as_dict()
+
+    def test_completion_cache_round_trips_entries_lru_and_counters(self):
+        cache = CompletionCache(capacity=4)
+        for index in range(3):
+            cache.put(("algo", f"m{index}"), np.arange(4.0) + index)
+        cache.get(("algo", "m0"))  # refresh m0's recency, count one hit
+        cache.get(("algo", "nope"))  # one miss
+        clone = CompletionCache(capacity=4)
+        clone.load_state_dict(json.loads(json.dumps(cache.state_dict())))
+        assert clone.keys() == cache.keys()  # LRU order survives
+        assert (clone.hits, clone.misses) == (1, 1)
+        np.testing.assert_array_equal(
+            clone.get(("algo", "m2")), cache.get(("algo", "m2"))
+        )
+
+    def test_completion_cache_rejects_capacity_mismatch(self):
+        cache = CompletionCache(capacity=4)
+        clone = CompletionCache(capacity=8)
+        with pytest.raises(ValueError, match="capacity"):
+            clone.load_state_dict(cache.state_dict())
+
+    def test_batcher_state_requires_quiescence(self):
+        batcher = MicroBatcher(max_batch=4, max_wait_ticks=0)
+        batcher.submit("select", None)
+        with pytest.raises(RuntimeError, match="pending"):
+            batcher.state_dict()
+        batcher.drain("select")
+        state = json.loads(json.dumps(batcher.state_dict()))
+        clone = MicroBatcher(max_batch=4, max_wait_ticks=0)
+        clone.load_state_dict(state)
+        assert clone.submit("select", None).sequence == 1
+
+
+class TestServerCheckpoint:
+    def test_refuses_to_capture_with_requests_in_flight(self):
+        server = DecisionServer(ServeConfig(max_batch=8, max_wait_ticks=0))
+        server.complete_matrix(MeanInference(), make_matrix(0))
+        with pytest.raises(RuntimeError, match="pending"):
+            ServerCheckpoint.capture(server)
+
+    def test_capture_save_load_restore_round_trips(self, tmp_path):
+        server = busy_server()
+        checkpoint = ServerCheckpoint.capture(
+            server, scenario={"name": "x"}, cycle=2
+        )
+        path = checkpoint.save(tmp_path / "server.ckpt")
+        loaded = ServerCheckpoint.load(path)
+        assert loaded.payload["scenario"] == {"name": "x"}
+        assert loaded.payload["cycle"] == 2
+
+        fresh = DecisionServer(
+            ServeConfig(max_batch=4, max_wait_ticks=1, max_inflight_per_campaign=2)
+        )
+        loaded.restore(fresh)
+        assert fresh.clock.now() == server.clock.now()
+        assert fresh.cache.keys() == server.cache.keys()
+        assert (fresh.cache.hits, fresh.cache.misses) == (
+            server.cache.hits,
+            server.cache.misses,
+        )
+        assert fresh.stats.deterministic_dict() == server.stats.deterministic_dict()
+        # The restored sequence counter continues where the recording left off.
+        follow_up = fresh.batcher.submit("select", None)
+        assert follow_up.sequence == server.batcher.state_dict()["sequence"]
+
+    def test_restore_refuses_to_rewind_the_clock(self):
+        server = busy_server()
+        checkpoint = ServerCheckpoint.capture(server)
+        ahead = DecisionServer(
+            ServeConfig(max_batch=4, max_wait_ticks=1, max_inflight_per_campaign=2)
+        )
+        ahead.clock.advance(server.clock.now() + 5)
+        with pytest.raises(RuntimeError, match="rewind"):
+            checkpoint.restore(ahead)
+
+    def test_reserved_payload_keys_are_rejected(self):
+        server = busy_server()
+        with pytest.raises(ValueError, match="reserved"):
+            ServerCheckpoint.capture(server, version=99)
+
+    def test_load_rejects_unknown_versions(self, tmp_path):
+        server = busy_server()
+        path = ServerCheckpoint.capture(server).save(tmp_path / "server.ckpt")
+        payload = json.loads(path.read_text())
+        payload["version"] = CHECKPOINT_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="version"):
+            ServerCheckpoint.load(path)
+
+    def test_checkpoint_payload_is_pure_json(self, tmp_path):
+        server = busy_server()
+        checkpoint = ServerCheckpoint.capture(server)
+        round_tripped = json.loads(json.dumps(checkpoint.payload))
+        assert round_tripped == json.loads(
+            (checkpoint.save(tmp_path / "s.ckpt")).read_text()
+        )
