@@ -240,6 +240,130 @@ def apply_learner_knobs(
     )
 
 
+def add_serve_arguments(target: argparse.ArgumentParser) -> None:
+    """The serve-session arguments shared by ``serve``, ``record``, and
+    ``python -m repro.obs``."""
+    target.add_argument("scenario", type=Path, help="path to a scenario .json file")
+    target.add_argument(
+        "--scale",
+        default=None,
+        help="cap effort AND serving knobs at a predefined scale (tiny/small/medium/full)",
+    )
+    target.add_argument(
+        "--seed", type=int, default=None, help="override the scenario seed"
+    )
+    target.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="run each slot's campaign this many times (clamped by --scale)",
+    )
+    target.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="decision-server micro-batch size (clamped by --scale)",
+    )
+    target.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="per-campaign cap on requests in one assembled batch "
+        "(default: uncapped, or the scale's cap under --scale)",
+    )
+    target.add_argument(
+        "--als-backend",
+        default=None,
+        help="pin the ALS execution backend (see `components` for the keys)",
+    )
+    target.add_argument(
+        "--learner-publish-every",
+        type=int,
+        default=None,
+        help="weight-publish cadence for served_online slots (clamped by --scale)",
+    )
+    target.add_argument(
+        "--learner-replay",
+        type=int,
+        default=None,
+        help="shared replay-buffer capacity for served_online slots (clamped by --scale)",
+    )
+    target.add_argument(
+        "--learner-minibatch",
+        type=int,
+        default=None,
+        help="central-learner minibatch size for served_online slots (clamped by --scale)",
+    )
+    add_obs_arguments(target)
+
+
+def add_obs_arguments(target: argparse.ArgumentParser) -> None:
+    """Observability export flags (see :mod:`repro.obs`)."""
+    target.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        help="write a Chrome trace-event JSON of the served session here "
+        "(load in chrome://tracing or Perfetto)",
+    )
+    target.add_argument(
+        "--prom",
+        type=Path,
+        default=None,
+        help="write the final metrics registry as Prometheus text exposition here",
+    )
+    target.add_argument(
+        "--obs-json",
+        type=Path,
+        default=None,
+        help="write the final metrics registry as a JSON snapshot here",
+    )
+    target.add_argument(
+        "--profile",
+        action="store_true",
+        help="record per-phase timings (trainer/LOO/ALS) into the metrics "
+        "registry (and the trace, with --trace)",
+    )
+    target.add_argument(
+        "--obs-snapshot-every",
+        type=int,
+        default=0,
+        help="refresh the metrics registry from live server stats every N "
+        "cycle barriers (0 = only at the end)",
+    )
+
+
+def build_obs(args: argparse.Namespace):
+    """An :class:`repro.obs.Observability` for the parsed obs flags (or None)."""
+    wants_obs = any(
+        (args.trace, args.prom, args.obs_json, args.profile, args.obs_snapshot_every)
+    )
+    if not wants_obs:
+        return None
+    from repro.obs import Observability
+
+    return Observability(
+        trace=args.trace is not None,
+        profile=bool(args.profile),
+        snapshot_every=int(args.obs_snapshot_every),
+    )
+
+
+def write_obs_outputs(obs, args: argparse.Namespace) -> None:
+    """Write the requested obs exports; prints one line per file."""
+    if obs is None:
+        return
+    if args.trace is not None:
+        obs.save_trace(args.trace)
+        print(f"trace ({len(obs.tracer)} spans) saved to {args.trace}")
+    if args.prom is not None:
+        obs.save_prometheus(args.prom)
+        print(f"metrics (Prometheus text) saved to {args.prom}")
+    if args.obs_json is not None:
+        obs.save_snapshot(args.obs_json)
+        print(f"metrics (JSON snapshot) saved to {args.obs_json}")
+
+
 def run_command(args: argparse.Namespace) -> int:
     spec = load_spec(args.scenario)
     if args.scale is not None:
@@ -315,12 +439,14 @@ def _print_serve_report(spec, report, stats) -> None:
 
 def serve_command(args: argparse.Namespace) -> int:
     spec, replicas, max_batch, max_inflight = _resolve_serve_spec(args)
+    obs = build_obs(args)
     session = Session.from_spec(spec)
-    session.train()
+    session.train(obs=obs)
     report, stats = session.serve(
-        replicas=replicas, max_batch=max_batch, max_inflight=max_inflight
+        replicas=replicas, max_batch=max_batch, max_inflight=max_inflight, obs=obs
     )
     _print_serve_report(spec, report, stats)
+    write_obs_outputs(obs, args)
     return 0
 
 
@@ -329,8 +455,9 @@ def record_command(args: argparse.Namespace) -> int:
     from repro.serve import RequestJournal
 
     spec, replicas, max_batch, max_inflight = _resolve_serve_spec(args)
+    obs = build_obs(args)
     session = Session.from_spec(spec)
-    session.train()
+    session.train(obs=obs)
     journal = RequestJournal()
     if args.checkpoint_after is not None:
         if args.checkpoint is None:
@@ -342,6 +469,7 @@ def record_command(args: argparse.Namespace) -> int:
             max_inflight=max_inflight,
             journal=journal,
             checkpoint_after=args.checkpoint_after,
+            obs=obs,
         )
         checkpoint.save(args.checkpoint)
         print(f"checkpoint (cycle {args.checkpoint_after}) saved to {args.checkpoint}")
@@ -351,10 +479,12 @@ def record_command(args: argparse.Namespace) -> int:
             max_batch=max_batch,
             max_inflight=max_inflight,
             journal=journal,
+            obs=obs,
         )
     journal.save(args.journal)
     print(f"journal ({len(journal.events)} events) saved to {args.journal}")
     _print_serve_report(spec, report, stats)
+    write_obs_outputs(obs, args)
     return 0
 
 
@@ -432,59 +562,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="pin the ALS execution backend (see `components` for the keys)",
     )
     run_parser.set_defaults(func=run_command)
-
-    def add_serve_arguments(target: argparse.ArgumentParser) -> None:
-        target.add_argument("scenario", type=Path, help="path to a scenario .json file")
-        target.add_argument(
-            "--scale",
-            default=None,
-            help="cap effort AND serving knobs at a predefined scale (tiny/small/medium/full)",
-        )
-        target.add_argument(
-            "--seed", type=int, default=None, help="override the scenario seed"
-        )
-        target.add_argument(
-            "--replicas",
-            type=int,
-            default=1,
-            help="run each slot's campaign this many times (clamped by --scale)",
-        )
-        target.add_argument(
-            "--max-batch",
-            type=int,
-            default=32,
-            help="decision-server micro-batch size (clamped by --scale)",
-        )
-        target.add_argument(
-            "--max-inflight",
-            type=int,
-            default=None,
-            help="per-campaign cap on requests in one assembled batch "
-            "(default: uncapped, or the scale's cap under --scale)",
-        )
-        target.add_argument(
-            "--als-backend",
-            default=None,
-            help="pin the ALS execution backend (see `components` for the keys)",
-        )
-        target.add_argument(
-            "--learner-publish-every",
-            type=int,
-            default=None,
-            help="weight-publish cadence for served_online slots (clamped by --scale)",
-        )
-        target.add_argument(
-            "--learner-replay",
-            type=int,
-            default=None,
-            help="shared replay-buffer capacity for served_online slots (clamped by --scale)",
-        )
-        target.add_argument(
-            "--learner-minibatch",
-            type=int,
-            default=None,
-            help="central-learner minibatch size for served_online slots (clamped by --scale)",
-        )
 
     serve_parser = subparsers.add_parser(
         "serve", help="train, then run every slot server-backed through one decision server"

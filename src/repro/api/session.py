@@ -175,6 +175,14 @@ class _Slot:
         return self.spec.name
 
 
+class _AggregatedSolverStats:
+    """Attribute view over summed ALS solver counters (duck-typed for obs)."""
+
+    def __init__(self, counters: Mapping[str, int]) -> None:
+        for attr in ("solves", "matrices", "sweeps_run", "sweeps_saved", "sharded_solves"):
+            setattr(self, attr, int(counters.get(attr, 0)))
+
+
 def _accepted_parameters(factory: Callable[..., Any]) -> set:
     """Keyword-addressable parameter names of ``factory`` (class or function)."""
     signature = inspect.signature(factory)
@@ -211,14 +219,33 @@ class Session:
 
     # -- public API -------------------------------------------------------------
 
-    def train(self, *, episodes: Optional[int] = None) -> SessionTrainingReport:
+    def train(
+        self, *, episodes: Optional[int] = None, obs: Optional["Observability"] = None
+    ) -> SessionTrainingReport:
         """Train every slot whose policy wants training; returns a structured report.
 
         ``per_slot`` mode trains one agent per trainable slot on that slot's
         preliminary-study split; ``shared`` mode trains a single agent across
         every trainable slot's (dataset, requirement) pair in heterogeneous
         lockstep through the vectorized engine, then binds it to all of them.
+
+        ``obs`` (optional, a :class:`repro.obs.Observability`) activates its
+        profiler for the duration of training and mirrors every run's
+        :class:`~repro.core.trainer.TrainingReport` into its metrics registry
+        as ``repro_train_*`` (labelled by the run's slot names).  Purely
+        observational — trained weights are bitwise identical with or
+        without it.
         """
+        if obs is not None:
+            with obs.profiling():
+                report = self._train(episodes=episodes)
+            for run, training in report.reports.items():
+                obs.observe_training(training, run=run)
+            obs.finalize()
+            return report
+        return self._train(episodes=episodes)
+
+    def _train(self, *, episodes: Optional[int] = None) -> SessionTrainingReport:
         trainable = [slot for slot in self.slots if slot.wants_training]
         report = SessionTrainingReport(mode=self.spec.training.mode)
         if episodes is None:
@@ -309,6 +336,7 @@ class Session:
         max_inflight: Optional[int] = None,
         journal: Optional["RequestJournal"] = None,
         checkpoint_after: Optional[int] = None,
+        obs: Optional["Observability"] = None,
     ):
         """Run every slot's campaign server-backed, through one decision server.
 
@@ -354,6 +382,16 @@ class Session:
             ``n_cycles`` budget.  Hand the checkpoint to
             :meth:`resume_serve` to finish the run bitwise-identically to
             an uninterrupted one.
+        obs:
+            A :class:`repro.obs.Observability` bundle.  Its tracer (if
+            enabled) is attached to the server before any request is
+            submitted, its profiler is active while the drive runs, its
+            registry is refreshed from live server stats every
+            ``obs.snapshot_every`` cycle barriers (the drive's quiescent
+            points), and after the drive it ingests the final server stats
+            plus every slot's ALS solver counters.  Purely observational:
+            journals, checkpoints, and campaign results are bitwise
+            identical with or without it.
 
         Returns
         -------
@@ -407,6 +445,8 @@ class Session:
         if journal is not None:
             server.attach_journal(journal)
             journal.record_header(scenario=self.spec.to_dict(), serve=serve_knobs)
+        if obs is not None and obs.tracer is not None:
+            server.attach_tracer(obs.tracer)
         config = self.campaign_config()
         report = SessionEvaluationReport()
 
@@ -418,7 +458,16 @@ class Session:
             stop_cycle=checkpoint_after,
         )
 
-        drive(server, [driver for _, _, driver in launches])
+        drivers = [driver for _, _, driver in launches]
+        if obs is not None:
+            with obs.profiling():
+                drive(
+                    server,
+                    drivers,
+                    on_barrier=lambda: obs.on_cycle_barrier(server),
+                )
+        else:
+            drive(server, drivers)
 
         checkpoint = None
         if checkpoint_after is not None:
@@ -443,6 +492,10 @@ class Session:
                 self._record_evaluation(report, label, slot, outcome)
         if journal is not None:
             journal.finalize(server.stats)
+        if obs is not None:
+            obs.observe_server(server.stats)
+            self._observe_solvers(obs)
+            obs.finalize()
         logger.info(
             "scenario %s served %d campaign(s): %s",
             self.spec.name,
@@ -531,6 +584,29 @@ class Session:
             server.stats.as_dict(),
         )
         return report, server.stats
+
+    def _observe_solvers(self, obs: "Observability") -> None:
+        """Mirror the slots' ALS solver counters into ``obs``, summed per backend.
+
+        Slots may share inference instances (scenario-level components) or
+        pin their own; distinct instances carrying the same backend label
+        are aggregated so the mirrored ``repro_als_*`` totals count each
+        instance's work exactly once.
+        """
+        totals: Dict[str, Dict[str, int]] = {}
+        seen: set = set()
+        for slot in self.slots:
+            inference = slot.inference
+            stats = getattr(inference, "solver_stats", None)
+            if stats is None or id(inference) in seen:
+                continue
+            seen.add(id(inference))
+            backend = str(getattr(inference, "backend", "numpy"))
+            bucket = totals.setdefault(backend, {})
+            for attr, value in stats.as_dict().items():
+                bucket[attr] = bucket.get(attr, 0) + int(value)
+        for backend, counters in sorted(totals.items()):
+            obs.observe_solver(_AggregatedSolverStats(counters), backend=backend)
 
     def _serve_knobs(
         self, server: "DecisionServer", *, n_cycles: Optional[int], replicas: int

@@ -20,6 +20,7 @@ from repro.datasets.base import SensingDataset
 from repro.inference.base import InferenceAlgorithm
 from repro.mcs.environment import RewardModel, SparseMCSEnvironment
 from repro.mcs.vector import BatchedSparseMCSVectorEnv
+from repro.obs.profile import phase
 from repro.quality.epsilon_p import QualityRequirement
 from repro.rl.dqn import EpisodeStats
 from repro.utils.logging import get_logger
@@ -162,7 +163,8 @@ class DRCellTrainer:
         else:
             environment = self.build_environment(dataset, requirement)
             for episode in range(episodes):
-                stats: EpisodeStats = agent.agent.train_episode(environment)
+                with phase("train.episode"):
+                    stats: EpisodeStats = agent.agent.train_episode(environment)
                 episode_rewards.append(stats.total_reward)
                 cycles = max(1, environment.episode_cycles)
                 episode_selections.append(stats.steps / cycles)
@@ -303,12 +305,13 @@ class DRCellTrainer:
         agents); otherwise the agent's config decides.
         """
         vector_env = BatchedSparseMCSVectorEnv(environments)
-        history = agent.agent.train_episodes_vectorized(
-            vector_env,
-            episodes,
-            log_every=0,
-            fused=True if self.config.fused_learning else None,
-        )
+        with phase("train.lockstep"):
+            history = agent.agent.train_episodes_vectorized(
+                vector_env,
+                episodes,
+                log_every=0,
+                fused=True if self.config.fused_learning else None,
+            )
         for position, stats in enumerate(history):
             episode_rewards.append(stats.total_reward)
             cycles = max(1, int(stats.extra.get("episode_cycles", 1)))

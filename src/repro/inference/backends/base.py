@@ -114,6 +114,17 @@ class SolverStats:
             "sharded_solves": self.sharded_solves,
         }
 
+    def metrics(self, *, backend: Optional[str] = None) -> Dict[str, object]:
+        """The canonical ``repro_als_*`` metric view of these counters.
+
+        Flat sample keys identical to what :mod:`repro.obs` exports
+        (optionally labelled with the backend name); :meth:`as_dict` remains
+        the backwards-compatible legacy shape.
+        """
+        from repro.obs.adapters import solver_stats_metrics
+
+        return solver_stats_metrics(self, backend=backend)
+
 
 @dataclass
 class ALSProblem:

@@ -44,6 +44,7 @@ from repro.inference.backends import (
     resolve_backend_name,
 )
 from repro.inference.base import ColumnMeanFallbackMixin, InferenceAlgorithm, observed_mask
+from repro.obs.profile import phase
 from repro.utils.seeding import RngLike, as_rng
 from repro.utils.validation import check_non_negative, check_positive_int
 
@@ -154,7 +155,10 @@ class CompressiveSensingInference(ColumnMeanFallbackMixin, InferenceAlgorithm):
             shard_rows=self.shard_rows,
             shard_overlap=self.shard_overlap,
         )
-        cell_factors, cycle_factors, sweeps_run = get_backend(self.backend).solve(problem)
+        with phase("als.solve"):
+            cell_factors, cycle_factors, sweeps_run = get_backend(self.backend).solve(
+                problem
+            )
         self.solver_stats.record(
             matrices=1,
             sweeps_run=sweeps_run,
@@ -355,7 +359,8 @@ class CompressiveSensingInference(ColumnMeanFallbackMixin, InferenceAlgorithm):
             tolerance=self.tolerance,
             shard_rows=self.shard_rows,
         )
-        U, V, sweeps_run = get_backend(self.backend).solve_stacked(problem)
+        with phase("als.solve_stacked"):
+            U, V, sweeps_run = get_backend(self.backend).solve_stacked(problem)
         self.solver_stats.record(
             matrices=n_batch,
             sweeps_run=sweeps_run,

@@ -1,0 +1,217 @@
+"""Exporters: Prometheus text exposition and JSON snapshots of a metrics registry.
+
+Two renderings of one :class:`~repro.obs.metrics.MetricsRegistry`:
+
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` headers, ``name{labels} value`` samples,
+  histogram ``_bucket``/``_sum``/``_count`` expansion with cumulative
+  ``le`` buckets).  :func:`parse_prometheus` is the matching minimal
+  parser — the obs tests and the CI smoke step use it, so "the snapshot
+  parses" is a checked property, not an assumption.
+* :func:`snapshot` — a JSON-able dict carrying the full registry contents
+  (type, help, bucket edges, every labelled series);
+  :func:`registry_from_snapshot` rebuilds an equivalent registry from it,
+  which is what lets ``python -m repro.obs render`` re-render a saved
+  snapshot in either format.
+
+Rendering is a pure function of the registry: metrics in sorted-name
+order, series in sorted-label order, so two runs with equal telemetry
+produce byte-identical output.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "render_prometheus",
+    "parse_prometheus",
+    "snapshot",
+    "registry_from_snapshot",
+    "save_snapshot",
+]
+
+
+def _fmt(value: float) -> str:
+    """Prometheus-style number rendering (integers without a decimal point)."""
+    value = float(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _labels_text(label_key: Tuple[Tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{name}="{value}"' for name, value in label_key]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text exposition (deterministic ordering)."""
+    lines: List[str] = []
+    for metric in registry:
+        lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.type_name}")
+        if isinstance(metric, (Counter, Gauge)):
+            for label_key, cell in metric.samples():
+                lines.append(
+                    f"{metric.name}{_labels_text(label_key)} {_fmt(cell[0])}"  # type: ignore[index]
+                )
+        elif isinstance(metric, Histogram):
+            for label_key, series in metric.samples():
+                running = 0
+                for edge, count in zip(metric.buckets, series.counts):  # type: ignore[union-attr]
+                    running += count
+                    le = _labels_text(label_key, f'le="{_fmt(edge)}"')
+                    lines.append(f"{metric.name}_bucket{le} {running}")
+                running += series.counts[-1]  # type: ignore[union-attr]
+                le = _labels_text(label_key, 'le="+Inf"')
+                lines.append(f"{metric.name}_bucket{le} {running}")
+                lines.append(
+                    f"{metric.name}_sum{_labels_text(label_key)} {_fmt(series.sum)}"  # type: ignore[union-attr]
+                )
+                lines.append(
+                    f"{metric.name}_count{_labels_text(label_key)} {series.count}"  # type: ignore[union-attr]
+                )
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[str, Any]]:
+    """Parse text exposition into ``{metric: {"type", "help", "samples"}}``.
+
+    A deliberately strict, minimal parser: every non-comment line must be a
+    valid sample, every sample's metric must have been declared by a
+    preceding ``# TYPE`` line, and values must parse as floats.  Raises
+    ``ValueError`` otherwise.  ``samples`` maps the rendered label text to
+    the float value.
+    """
+    metrics: Dict[str, Dict[str, Any]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            metrics.setdefault(name, {"samples": {}})["help"] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, type_name = rest.partition(" ")
+            if type_name not in ("counter", "gauge", "histogram", "untyped"):
+                raise ValueError(f"line {lineno}: unknown metric type {type_name!r}")
+            metrics.setdefault(name, {"samples": {}})["type"] = type_name
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: unparseable sample {line!r}")
+        name = match.group("name")
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            trimmed = name[: -len(suffix)] if name.endswith(suffix) else None
+            if trimmed and metrics.get(trimmed, {}).get("type") == "histogram":
+                base = trimmed
+                break
+        if base not in metrics or "type" not in metrics[base]:
+            raise ValueError(f"line {lineno}: sample {name!r} has no # TYPE header")
+        try:
+            value = float(match.group("value"))
+        except ValueError as error:
+            raise ValueError(f"line {lineno}: bad sample value {line!r}") from error
+        labels = match.group("labels") or ""
+        if labels and not _LABEL_RE.findall(labels):
+            raise ValueError(f"line {lineno}: unparseable labels {labels!r}")
+        key = name + ("{" + labels + "}" if labels else "")
+        metrics[base]["samples"][key] = value
+    return metrics
+
+
+# -- JSON snapshots --------------------------------------------------------------
+
+
+def snapshot(registry: MetricsRegistry) -> Dict[str, Any]:
+    """A JSON-able snapshot of the registry's full contents."""
+    out: Dict[str, Any] = {"version": 1, "metrics": {}}
+    for metric in registry:
+        entry: Dict[str, Any] = {
+            "type": metric.type_name,
+            "help": metric.help,
+            "series": [],
+        }
+        if isinstance(metric, Histogram):
+            entry["buckets"] = list(metric.buckets)
+            for label_key, series in metric.samples():
+                entry["series"].append(
+                    {
+                        "labels": dict(label_key),
+                        "counts": list(series.counts),  # type: ignore[union-attr]
+                        "sum": series.sum,  # type: ignore[union-attr]
+                        "count": series.count,  # type: ignore[union-attr]
+                    }
+                )
+        else:
+            for label_key, cell in metric.samples():
+                entry["series"].append(
+                    {"labels": dict(label_key), "value": cell[0]}  # type: ignore[index]
+                )
+        out["metrics"][metric.name] = entry
+    return out
+
+
+def registry_from_snapshot(data: Dict[str, Any]) -> MetricsRegistry:
+    """Rebuild an equivalent :class:`MetricsRegistry` from :func:`snapshot` output."""
+    if int(data.get("version", 0)) != 1:
+        raise ValueError(f"unsupported obs snapshot version: {data.get('version')!r}")
+    registry = MetricsRegistry()
+    for name, entry in data["metrics"].items():
+        type_name = entry["type"]
+        help_text = entry.get("help", "")
+        if type_name == "counter":
+            metric = registry.counter(name, help_text)
+            for series in entry["series"]:
+                metric.set_total(float(series["value"]), **series["labels"])
+        elif type_name == "gauge":
+            metric = registry.gauge(name, help_text)
+            for series in entry["series"]:
+                metric.set(float(series["value"]), **series["labels"])
+        elif type_name == "histogram":
+            histogram = registry.histogram(
+                name, help_text, buckets=entry["buckets"]
+            )
+            for series in entry["series"]:
+                rebuilt = histogram._series_for(series["labels"])
+                rebuilt.counts = [int(c) for c in series["counts"]]  # type: ignore[union-attr]
+                rebuilt.sum = float(series["sum"])  # type: ignore[union-attr]
+                rebuilt.count = int(series["count"])  # type: ignore[union-attr]
+        else:
+            raise ValueError(f"unknown metric type in snapshot: {type_name!r}")
+    return registry
+
+
+def save_snapshot(registry: MetricsRegistry, path: Union[str, Path]) -> Path:
+    """Write :func:`snapshot` output as JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(snapshot(registry), indent=2), encoding="utf-8")
+    return path

@@ -42,6 +42,7 @@ from scipy import stats
 
 from repro.api.registry import ASSESSORS
 from repro.inference.base import InferenceAlgorithm
+from repro.obs.profile import phase
 from repro.quality.epsilon_p import QualityRequirement
 from repro.utils.seeding import RngLike, as_rng
 from repro.utils.validation import check_positive_int
@@ -179,9 +180,10 @@ class LeaveOneOutBayesianAssessor(QualityAssessor):
         *,
         rngs: Optional[Sequence[Optional[np.random.Generator]]] = None,
     ) -> List[bool]:
-        probabilities = self.probabilities_error_below(
-            observed_matrices, cycles, requirements, inference, rngs=rngs
-        )
+        with phase("loo.assess"):
+            probabilities = self.probabilities_error_below(
+                observed_matrices, cycles, requirements, inference, rngs=rngs
+            )
         return [
             bool(probability >= requirement.p)
             for probability, requirement in zip(probabilities, requirements)
@@ -279,7 +281,8 @@ class LeaveOneOutBayesianAssessor(QualityAssessor):
                 )
             )
 
-        completed_pool = self._complete_pool(held_out_pool, inference)
+        with phase("loo.complete_pool"):
+            completed_pool = self._complete_pool(held_out_pool, inference)
 
         for slot, cells, true_values, pool_start, n_unsensed in plans:
             if true_values.size == 0:

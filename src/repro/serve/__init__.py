@@ -48,15 +48,17 @@ from repro.serve.journal import (
     replay_journal,
     weights_fingerprint,
 )
-from repro.serve.server import DecisionServer, ServeConfig, drive
-from repro.serve.stats import EndpointStats, ServerStats, TenantStats
+from repro.serve.server import CYCLE_BARRIER, DecisionServer, ServeConfig, drive
+from repro.serve.stats import EndpointStats, LatencyReservoir, ServerStats, TenantStats
 
 __all__ = [
+    "CYCLE_BARRIER",
     "CachingInference",
     "CompletionCache",
     "DEFAULT_TENANT",
     "DecisionServer",
     "EndpointStats",
+    "LatencyReservoir",
     "MicroBatcher",
     "PendingResult",
     "ReplayReport",

@@ -55,7 +55,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -187,6 +187,11 @@ class DecisionServer:
         # when attached, every request, flush decision, response, and learner
         # weight publication is recorded for differential replay.
         self._journal: Optional[Any] = None
+        # Optional request tracer (duck-typed — see repro.obs.trace.Tracer);
+        # when attached, every flush opens a batch span that parents the
+        # spans of the requests it resolves.  Purely observational: traced
+        # and untraced runs are bitwise identical.
+        self._tracer: Optional[Any] = None
         # Bounded LRU of caching wrappers, keyed by inference instance id; a
         # long-lived server serving many short-lived campaigns must not pin
         # every inference instance it ever saw (completed work lives on in
@@ -208,6 +213,20 @@ class DecisionServer:
         first request — a journal that missed traffic cannot replay it.
         """
         self._journal = journal
+
+    def attach_tracer(self, tracer: Any) -> None:
+        """Follow every request and batch through the pipeline with ``tracer``.
+
+        ``tracer`` is duck-typed (anything with ``begin_request`` /
+        ``begin_batch`` / ``end_batch``); see
+        :class:`~repro.obs.trace.Tracer`.  Request spans are minted inside
+        :meth:`MicroBatcher.submit` — the moment a request gets its sequence
+        number — and closed by the batch span of the flush that answers
+        them.  Requests already queued when the tracer attaches simply
+        produce no spans.
+        """
+        self._tracer = tracer
+        self.batcher.tracer = tracer
 
     # -- endpoints ---------------------------------------------------------------
 
@@ -363,8 +382,21 @@ class DecisionServer:
             "complete": self._handle_complete,
             "learn": self._handle_learn,
         }[kind]
+        batch_span = None
+        hits_before = misses_before = 0
+        if self._tracer is not None:
+            batch_span = self._tracer.begin_batch(
+                kind, tick=self.clock.now(), trigger=trigger, requests=requests
+            )
+            hits_before, misses_before = self.cache.hits, self.cache.misses
         with self.stats.record_batch(kind, len(requests)):
             handler(requests)
+        if batch_span is not None:
+            self._tracer.end_batch(
+                batch_span,
+                cache_hits=self.cache.hits - hits_before,
+                cache_misses=self.cache.misses - misses_before,
+            )
         if self._journal is not None:
             for request in requests:
                 self._journal.record_response(request)
@@ -529,7 +561,12 @@ class DecisionServer:
 CYCLE_BARRIER = "cycle-barrier"
 
 
-def drive(server: DecisionServer, clients: Iterable[Iterator]) -> None:
+def drive(
+    server: DecisionServer,
+    clients: Iterable[Iterator],
+    *,
+    on_barrier: Optional[Callable[[], None]] = None,
+) -> None:
     """Cooperatively drive generator clients against one server to completion.
 
     Each client is a generator that submits requests to ``server`` and
@@ -547,6 +584,11 @@ def drive(server: DecisionServer, clients: Iterable[Iterator]) -> None:
     released into the same scheduling round.  Campaigns of different
     cadence therefore advance cycle-aligned — the alignment that makes
     mid-flight checkpoints resumable bitwise.
+
+    ``on_barrier`` (optional) is called, with no arguments, at every barrier
+    release — the drive's quiescent points, where nothing is in flight.
+    Observability snapshots hook in here; the callback must not submit
+    requests or otherwise perturb the schedule.
     """
     roster: List[Iterator] = list(clients)
     # Launch order, not parking order, defines the round-robin order after a
@@ -570,4 +612,6 @@ def drive(server: DecisionServer, clients: Iterable[Iterator]) -> None:
         if not runnable and parked:
             parked.sort(key=lambda client: rank[id(client)])
             runnable, parked = parked, []
+            if on_barrier is not None:
+                on_barrier()
         server.run_pending()

@@ -14,9 +14,10 @@ Two reporting views coexist:
 
 from __future__ import annotations
 
+from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Mapping, Optional
+from typing import TYPE_CHECKING, Deque, Dict, Iterable, Iterator, List, Mapping, Optional
 
 import numpy as np
 
@@ -24,6 +25,85 @@ from repro.utils.timing import monotonic
 
 if TYPE_CHECKING:  # pragma: no cover - typing aid only
     from repro.serve.cache import CompletionCache
+
+
+class LatencyReservoir:
+    """A bounded window of the most recent latency samples.
+
+    Keeps the last ``capacity`` samples in a fixed-size ring plus a ``seen``
+    counter of everything ever recorded, so a long-lived server's latency
+    memory is bounded while percentiles stay meaningful (they describe the
+    retained window).  Keep-last is deliberate: it is deterministic and
+    seedless — unlike probabilistic reservoir sampling, two identical
+    request schedules retain identical windows — which the serving stack's
+    bitwise-reproducibility guarantees require.
+    """
+
+    __slots__ = ("capacity", "seen", "_samples")
+
+    DEFAULT_CAPACITY = 512
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if int(capacity) < 1:
+            raise ValueError(f"reservoir capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.seen = 0
+        self._samples: Deque[float] = deque(maxlen=self.capacity)
+
+    def append(self, sample: float) -> None:
+        self._samples.append(float(sample))
+        self.seen += 1
+
+    def extend(self, samples: Iterable[float]) -> None:
+        for sample in samples:
+            self.append(sample)
+
+    def samples(self) -> List[float]:
+        """The retained window, oldest first."""
+        return list(self._samples)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __bool__(self) -> bool:
+        return bool(self._samples)
+
+    def __eq__(self, other: object) -> bool:
+        """Equal to another reservoir (same window + counters) or to a plain
+        sample sequence (the retained window) — the shape the field held
+        before it was bounded."""
+        if isinstance(other, LatencyReservoir):
+            return (self.capacity, self.seen, self.samples()) == (
+                other.capacity,
+                other.seen,
+                other.samples(),
+            )
+        if isinstance(other, (list, tuple)):
+            return self.samples() == [float(sample) for sample in other]
+        return NotImplemented
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "capacity": self.capacity,
+            "seen": self.seen,
+            "samples": self.samples(),
+        }
+
+    def load_state_dict(self, state: Mapping[str, object]) -> None:
+        self.capacity = int(state["capacity"])  # type: ignore[arg-type]
+        self._samples = deque(
+            (float(sample) for sample in state["samples"]),  # type: ignore[union-attr]
+            maxlen=self.capacity,
+        )
+        self.seen = int(state["seen"])  # type: ignore[arg-type]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LatencyReservoir({len(self._samples)}/{self.capacity}, seen={self.seen})"
+        )
 
 
 @dataclass
@@ -36,9 +116,18 @@ class EndpointStats:
     seconds: float = 0.0
     #: Per-request service latency samples: a request completes when its
     #: batch's handler completes, so each request in a flushed batch records
-    #: that batch's handler duration.  Exact (no reservoir) — the serving
-    #: runs are deterministic and bounded, so the sample set stays small.
-    latencies: List[float] = field(default_factory=list)
+    #: that batch's handler duration.  Bounded: a :class:`LatencyReservoir`
+    #: keeps the most recent window, so long-lived servers don't accumulate
+    #: one float per request forever.
+    latencies: LatencyReservoir = field(default_factory=LatencyReservoir)
+
+    def __post_init__(self) -> None:
+        # Accept a plain sample list (the field's pre-reservoir shape) and
+        # adopt it as the retained window.
+        if not isinstance(self.latencies, LatencyReservoir):
+            samples = self.latencies
+            self.latencies = LatencyReservoir()
+            self.latencies.extend(samples)
 
     @property
     def mean_batch_occupancy(self) -> float:
@@ -57,14 +146,15 @@ class EndpointStats:
     def latency_percentile(self, q: float) -> float:
         """The ``q``-th percentile of per-request latency (NaN before any flush).
 
-        Well-defined at the edges: with a single sample every percentile is
-        that sample, and with all-equal samples (the common case — every
-        request in a batch records the same handler duration) every
-        percentile is that shared value.
+        Computed over the reservoir's retained window.  Well-defined at the
+        edges: with a single sample every percentile is that sample, and
+        with all-equal samples (the common case — every request in a batch
+        records the same handler duration) every percentile is that shared
+        value.
         """
         if not self.latencies:
             return float("nan")
-        return float(np.percentile(self.latencies, q))
+        return float(np.percentile(self.latencies.samples(), q))
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-friendly counters; derived fields are None before any flush."""
@@ -104,7 +194,7 @@ class EndpointStats:
             "batches": self.batches,
             "batched_requests": self.batched_requests,
             "seconds": self.seconds,
-            "latencies": list(self.latencies),
+            "latencies": self.latencies.state_dict(),
         }
 
     def load_state_dict(self, state: Mapping[str, object]) -> None:
@@ -112,7 +202,14 @@ class EndpointStats:
         self.batches = int(state["batches"])  # type: ignore[arg-type]
         self.batched_requests = int(state["batched_requests"])  # type: ignore[arg-type]
         self.seconds = float(state["seconds"])  # type: ignore[arg-type]
-        self.latencies = [float(sample) for sample in state["latencies"]]  # type: ignore[union-attr]
+        recorded = state["latencies"]
+        self.latencies = LatencyReservoir()
+        if isinstance(recorded, Mapping):
+            self.latencies.load_state_dict(recorded)
+        else:
+            # Checkpoints from before the bounded reservoir stored a plain
+            # sample list; adopt it as the retained window.
+            self.latencies.extend(float(sample) for sample in recorded)  # type: ignore[union-attr]
 
 
 @dataclass
@@ -275,6 +372,17 @@ class ServerStats:
             {"endpoint": kind, **stats.as_dict()}
             for kind, stats in self.endpoints.items()
         ]
+
+    def metrics(self) -> Dict[str, object]:
+        """The canonical ``repro_serve_*`` metric view of this snapshot.
+
+        Flat ``name{label="value"}`` sample keys, identical to what
+        :mod:`repro.obs` exports for this object; :meth:`as_dict` remains
+        the backwards-compatible legacy shape.
+        """
+        from repro.obs.adapters import server_stats_metrics
+
+        return server_stats_metrics(self)
 
     # -- round-tripping ----------------------------------------------------------
 

@@ -1,0 +1,104 @@
+"""Exporters: Prometheus text exposition and JSON snapshot round trips."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    parse_prometheus,
+    registry_from_snapshot,
+    render_prometheus,
+    save_snapshot,
+    snapshot,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def build_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    requests = registry.counter("repro_serve_requests_total", "Requests per endpoint")
+    requests.set_total(12, endpoint="select")
+    requests.set_total(4, endpoint="assess")
+    registry.gauge("repro_serve_cache_hit_rate", "Cache hit rate").set(0.75)
+    latency = registry.histogram(
+        "repro_serve_latency_seconds", "Latency", buckets=(0.1, 1.0)
+    )
+    latency.observe(0.05, endpoint="select")
+    latency.observe(0.5, endpoint="select")
+    latency.observe(5.0, endpoint="select")
+    return registry
+
+
+class TestPrometheusRendering:
+    def test_exact_text_for_a_small_registry(self):
+        text = render_prometheus(build_registry())
+        assert text == (
+            "# HELP repro_serve_cache_hit_rate Cache hit rate\n"
+            "# TYPE repro_serve_cache_hit_rate gauge\n"
+            "repro_serve_cache_hit_rate 0.75\n"
+            "# HELP repro_serve_latency_seconds Latency\n"
+            "# TYPE repro_serve_latency_seconds histogram\n"
+            'repro_serve_latency_seconds_bucket{endpoint="select",le="0.1"} 1\n'
+            'repro_serve_latency_seconds_bucket{endpoint="select",le="1"} 2\n'
+            'repro_serve_latency_seconds_bucket{endpoint="select",le="+Inf"} 3\n'
+            'repro_serve_latency_seconds_sum{endpoint="select"} 5.55\n'
+            'repro_serve_latency_seconds_count{endpoint="select"} 3\n'
+            "# HELP repro_serve_requests_total Requests per endpoint\n"
+            "# TYPE repro_serve_requests_total counter\n"
+            'repro_serve_requests_total{endpoint="assess"} 4\n'
+            'repro_serve_requests_total{endpoint="select"} 12\n'
+        )
+
+    def test_rendered_text_parses_back(self):
+        text = render_prometheus(build_registry())
+        parsed = parse_prometheus(text)
+        assert set(parsed) == {
+            "repro_serve_cache_hit_rate",
+            "repro_serve_latency_seconds",
+            "repro_serve_requests_total",
+        }
+        assert parsed["repro_serve_requests_total"]["type"] == "counter"
+        assert (
+            parsed["repro_serve_requests_total"]["samples"][
+                'repro_serve_requests_total{endpoint="select"}'
+            ]
+            == 12.0
+        )
+        histogram = parsed["repro_serve_latency_seconds"]
+        assert histogram["type"] == "histogram"
+        assert (
+            histogram["samples"][
+                'repro_serve_latency_seconds_bucket{endpoint="select",le="+Inf"}'
+            ]
+            == 3.0
+        )
+
+    def test_parser_is_strict(self):
+        with pytest.raises(ValueError, match="no # TYPE header"):
+            parse_prometheus("repro_untyped_total 1\n")
+        with pytest.raises(ValueError, match="unknown metric type"):
+            parse_prometheus("# TYPE repro_x summary\n")
+        with pytest.raises(ValueError, match="bad sample value"):
+            parse_prometheus("# TYPE repro_x gauge\nrepro_x not-a-number\n")
+        with pytest.raises(ValueError, match="unparseable sample"):
+            parse_prometheus("# TYPE repro_x gauge\n}}{{\n")
+
+
+class TestSnapshotRoundTrip:
+    def test_snapshot_rebuilds_an_equivalent_registry(self):
+        registry = build_registry()
+        rebuilt = registry_from_snapshot(snapshot(registry))
+        # Equivalence is judged by the rendering: byte-identical text.
+        assert render_prometheus(rebuilt) == render_prometheus(registry)
+
+    def test_snapshot_survives_json_serialization(self, tmp_path):
+        registry = build_registry()
+        path = save_snapshot(registry, tmp_path / "metrics.json")
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert data["version"] == 1
+        rebuilt = registry_from_snapshot(data)
+        assert render_prometheus(rebuilt) == render_prometheus(registry)
+
+    def test_unknown_snapshot_version_is_rejected(self):
+        with pytest.raises(ValueError, match="snapshot version"):
+            registry_from_snapshot({"version": 2, "metrics": {}})

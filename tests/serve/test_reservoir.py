@@ -1,0 +1,88 @@
+"""The bounded latency reservoir: deterministic keep-last window semantics."""
+
+import pytest
+
+from repro.serve.stats import EndpointStats, LatencyReservoir
+
+
+class TestLatencyReservoir:
+    def test_keeps_the_most_recent_window_and_counts_everything(self):
+        reservoir = LatencyReservoir(capacity=4)
+        reservoir.extend(float(i) for i in range(10))
+        assert len(reservoir) == 4
+        assert reservoir.seen == 10
+        assert reservoir.samples() == [6.0, 7.0, 8.0, 9.0]
+        assert list(reservoir) == [6.0, 7.0, 8.0, 9.0]
+        assert bool(reservoir)
+
+    def test_default_capacity_bounds_a_long_lived_server(self):
+        reservoir = LatencyReservoir()
+        reservoir.extend(0.001 for _ in range(10_000))
+        assert len(reservoir) == LatencyReservoir.DEFAULT_CAPACITY
+        assert reservoir.seen == 10_000
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            LatencyReservoir(capacity=0)
+
+    def test_equality_against_reservoirs_and_plain_sequences(self):
+        a = LatencyReservoir(capacity=4)
+        b = LatencyReservoir(capacity=4)
+        for reservoir in (a, b):
+            reservoir.extend([1.0, 2.0])
+        assert a == b
+        assert a == [1.0, 2.0]
+        assert a == (1, 2)
+        assert a != [1.0]
+        b.append(3.0)
+        assert a != b
+        # Same window, different history: not interchangeable state.
+        c = LatencyReservoir(capacity=2)
+        c.extend([0.0, 1.0, 2.0])
+        d = LatencyReservoir(capacity=2)
+        d.extend([1.0, 2.0])
+        assert c.samples() == d.samples()
+        assert c != d
+
+    def test_state_dict_round_trip_preserves_window_and_seen(self):
+        reservoir = LatencyReservoir(capacity=3)
+        reservoir.extend([1.0, 2.0, 3.0, 4.0])
+        restored = LatencyReservoir()
+        restored.load_state_dict(reservoir.state_dict())
+        assert restored == reservoir
+        # The restored ring is still bounded at the recorded capacity.
+        restored.append(5.0)
+        assert restored.samples() == [3.0, 4.0, 5.0]
+
+
+class TestEndpointStatsCompatibility:
+    def test_constructor_accepts_a_plain_sample_list(self):
+        stats = EndpointStats(
+            requests=5, batches=1, batched_requests=5, seconds=0.5, latencies=[0.1] * 5
+        )
+        assert isinstance(stats.latencies, LatencyReservoir)
+        assert stats.latency_percentile(50) == pytest.approx(0.1)
+
+    def test_state_dict_round_trip_keeps_the_reservoir(self):
+        stats = EndpointStats(requests=3, batches=1, batched_requests=3, seconds=0.3)
+        stats.latencies.extend([0.1, 0.2, 0.3])
+        restored = EndpointStats()
+        restored.load_state_dict(stats.state_dict())
+        assert restored.latencies == stats.latencies
+        assert restored.requests == 3
+
+    def test_legacy_checkpoints_with_plain_lists_still_load(self):
+        # Checkpoints from before the bounded reservoir stored latencies as
+        # a plain list; loading one adopts it as the retained window.
+        state = {
+            "requests": 2,
+            "batches": 1,
+            "batched_requests": 2,
+            "seconds": 0.4,
+            "latencies": [0.2, 0.2],
+        }
+        stats = EndpointStats()
+        stats.load_state_dict(state)
+        assert isinstance(stats.latencies, LatencyReservoir)
+        assert stats.latencies.samples() == [0.2, 0.2]
+        assert stats.latencies.seen == 2
